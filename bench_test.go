@@ -1,0 +1,205 @@
+package harvsim
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// ablations from DESIGN.md. The benchmarks run bench-scale horizons
+// (physics identical to the paper-scale scenarios; CPU-time ratios are
+// per-step properties and carry over — see EXPERIMENTS.md). Regenerate
+// the full report with: go run ./cmd/benchtab
+//
+// Each benchmark logs the reproduced table/figure once so that
+// `go test -bench=. -benchmem` output doubles as the experiment record.
+
+import (
+	"testing"
+
+	"harvsim/internal/exp"
+	"harvsim/internal/harvester"
+)
+
+// benchTable1Sim is the simulated charging span for Table I benches.
+const benchTable1Sim = 2.0
+
+func BenchmarkTable1_SystemVisionVHDLAMS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := harvester.ChargeScenario(benchTable1Sim)
+		if _, _, err := harvester.RunScenario(sc, harvester.ExistingTrap, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_SystemCA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := harvester.ChargeScenario(benchTable1Sim)
+		if _, _, err := harvester.RunScenario(sc, harvester.ExistingBDF2, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_Proposed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := harvester.ChargeScenario(benchTable1Sim)
+		if _, _, err := harvester.RunScenario(sc, harvester.Proposed, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_Full(b *testing.B) {
+	// The assembled Table I (all four environments) with the rendered
+	// comparison logged once.
+	var res exp.Table1Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = exp.Table1(benchTable1Sim)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + res.String())
+}
+
+func BenchmarkTable2_Scenario1_Existing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := harvester.Scenario1(harvester.Quick)
+		sc.Duration = 30
+		if _, _, err := harvester.RunScenario(sc, harvester.ExistingTrap, 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_Scenario1_Proposed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := harvester.Scenario1(harvester.Quick)
+		sc.Duration = 30
+		if _, _, err := harvester.RunScenario(sc, harvester.Proposed, 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_Scenario2_Existing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := harvester.Scenario2(harvester.Quick)
+		sc.Duration = 40
+		if _, _, err := harvester.RunScenario(sc, harvester.ExistingTrap, 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_Scenario2_Proposed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := harvester.Scenario2(harvester.Quick)
+		sc.Duration = 40
+		if _, _, err := harvester.RunScenario(sc, harvester.Proposed, 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8a_PowerEnvelope(b *testing.B) {
+	var res exp.Fig8aResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = exp.Fig8a(harvester.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("\nRMS tuned@70=%.1fuW detuned=%.1fuW retuned@71=%.1fuW (paper: 118/dip/117 uW)",
+		res.RMSBefore*1e6, res.RMSDetuned*1e6, res.RMSAfter*1e6)
+}
+
+func BenchmarkFig8b_SupercapVoltage(b *testing.B) {
+	var res exp.FigVcResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = exp.Fig8b(harvester.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("\nsim-vs-measured RMSE %.3g V, max %.3g V", res.Comparison.RMSE, res.Comparison.MaxAbs)
+}
+
+func BenchmarkFig9_WideRetune(b *testing.B) {
+	var res exp.FigVcResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = exp.Fig9(harvester.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("\nsim-vs-measured RMSE %.3g V, max %.3g V", res.Comparison.RMSE, res.Comparison.MaxAbs)
+}
+
+func BenchmarkAblationABOrder(b *testing.B) {
+	var res exp.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = exp.AblationABOrder(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + res.String())
+}
+
+func BenchmarkAblationPWL(b *testing.B) {
+	var res exp.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = exp.AblationPWL(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + res.String())
+}
+
+func BenchmarkAblationStability(b *testing.B) {
+	var res exp.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = exp.AblationStability(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + res.String())
+}
+
+func BenchmarkAblationAccuracy(b *testing.B) {
+	var res exp.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = exp.AblationAccuracy(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + res.String())
+}
+
+// BenchmarkEngineStepRate isolates the proposed engine's raw step
+// throughput (steps per second of CPU) on the composite 10-state system.
+func BenchmarkEngineStepRate(b *testing.B) {
+	sc := ChargeScenario(1.0)
+	sc.Cfg.InitialVc = 2.5
+	b.ResetTimer()
+	steps := 0
+	for i := 0; i < b.N; i++ {
+		h := New(sc.Cfg)
+		eng, err := h.Run(Proposed, sc.Duration, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = eng
+		steps += 1
+	}
+	_ = steps
+}

@@ -1,0 +1,131 @@
+// Command harvsim runs one simulation of the complete tunable energy
+// harvesting system and writes the recorded waveforms as CSV.
+//
+// Examples:
+//
+//	harvsim -scenario s1 -engine proposed -out s1.csv
+//	harvsim -scenario charge -duration 120 -engine trap
+//	harvsim -scenario s2 -fidelity paper -decimate 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"harvsim/internal/harvester"
+	"harvsim/internal/trace"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "s1", "scenario: charge, s1 (1 Hz retune), s2 (14 Hz retune), track (chirp tracking)")
+		engine   = flag.String("engine", "proposed", "engine: proposed, trap, bdf2, be")
+		fidelity = flag.String("fidelity", "quick", "scenario timing: quick, paper")
+		duration = flag.Float64("duration", 0, "override simulated span [s] (0 = scenario default)")
+		decimate = flag.Int("decimate", 64, "keep every n-th waveform sample")
+		out      = flag.String("out", "", "CSV output path (default: stdout summary only)")
+		vcd      = flag.String("vcd", "", "VCD waveform dump path (viewable in GTKWave)")
+		plot     = flag.Bool("plot", true, "print ASCII waveform plots")
+	)
+	flag.Parse()
+
+	fid := harvester.Quick
+	if *fidelity == "paper" {
+		fid = harvester.PaperScale
+	}
+	var sc harvester.Scenario
+	switch *scenario {
+	case "charge":
+		d := *duration
+		if d == 0 {
+			d = 60
+		}
+		sc = harvester.ChargeScenario(d)
+	case "s1":
+		sc = harvester.Scenario1(fid)
+	case "s2":
+		sc = harvester.Scenario2(fid)
+	case "track":
+		d := *duration
+		if d == 0 {
+			d = 150
+		}
+		sc = harvester.TrackingScenario(d, 66, 72)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+	if *duration > 0 {
+		sc.Duration = *duration
+	}
+
+	var kind harvester.EngineKind
+	switch *engine {
+	case "proposed":
+		kind = harvester.Proposed
+	case "trap":
+		kind = harvester.ExistingTrap
+	case "bdf2":
+		kind = harvester.ExistingBDF2
+	case "be":
+		kind = harvester.ExistingBE
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
+	fmt.Printf("scenario %s (%s), engine %s, %.4g s simulated\n",
+		sc.Name, fid, kind, sc.Duration)
+	h, _, err := harvester.RunScenario(sc, kind, *decimate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	_, vcEnd := h.VcTrace.Last()
+	fmt.Printf("final supercap voltage: %.4f V\n", vcEnd)
+	fmt.Printf("energy: harvested %.4g J, to store %.4g J, load %.4g J, stored %+.4g J\n",
+		h.Energy.Harvested, h.Energy.ToStore, h.Energy.Load,
+		h.Energy.StoredT1-h.Energy.StoredT0)
+	if h.MCU != nil {
+		fmt.Printf("MCU: %d wakes, %d measurements, %d tuning runs, %d aborts\n",
+			h.MCU.Stats.Wakes, h.MCU.Stats.Measures, h.MCU.Stats.Tunes, h.MCU.Stats.Aborts)
+		fmt.Printf("final resonance: %.2f Hz (ambient %.2f Hz)\n",
+			h.Cfg.Microgen.TunedHz(h.Act.ForceAt(sc.Duration)), h.Vib.Freq(sc.Duration))
+	}
+	if *plot {
+		fmt.Println(trace.ASCIIPlot(h.VcTrace, 76, 10))
+		rms := h.PMultIn.WindowedRMS(0.05, sc.Duration/200)
+		if rms.Len() > 2 {
+			fmt.Println(trace.ASCIIPlot(rms, 76, 10))
+		}
+	}
+	if *vcd != "" {
+		f, err := os.Create(*vcd)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *vcd, err)
+			os.Exit(1)
+		}
+		if err := trace.WriteVCD(f, 1e-4, h.VcTrace, h.PMultIn, h.FresTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "write VCD: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote VCD to %s\n", *vcd)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		rows, err := trace.WriteCSV(f, h.VcTrace, h.PMultIn, h.FresTrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "write CSV: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d rows to %s\n", rows, *out)
+	}
+}

@@ -1,0 +1,36 @@
+// Designsweep: the use case the paper's conclusion motivates — iterate
+// simulations to pick harvester parameters. Here: how does delivered
+// power depend on the coil resistance? Each point is a full-system
+// simulation that completes in well under a second with the proposed
+// engine (the same sweep under a Newton-Raphson solver is what used to
+// take overnight).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"harvsim"
+	"harvsim/internal/trace"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println("coil resistance sweep, power into storage at Vc=2.5 V:")
+	var series trace.Series
+	for _, rc := range []float64{100, 250, 500, 1000, 2000, 4000} {
+		cfg := harvsim.DefaultConfig()
+		cfg.Autonomous = false
+		cfg.InitialVc = 2.5
+		cfg.Microgen.Rc = rc
+		h := harvsim.New(cfg)
+		if _, err := h.Run(harvsim.Proposed, 12, 64); err != nil {
+			log.Fatalf("Rc=%v failed: %v", rc, err)
+		}
+		p := h.PMultIn.Slice(4, 12).Mean()
+		series.Append(rc, p*1e6)
+		fmt.Printf("  Rc = %6.0f Ohm -> %6.1f uW\n", rc, p*1e6)
+	}
+	fmt.Printf("swept %d designs in %v\n", series.Len(), time.Since(start).Round(time.Millisecond))
+}

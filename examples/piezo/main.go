@@ -1,0 +1,47 @@
+// Piezo: the paper's generality claim (Section V) — the linearised
+// state-space technique applies to any microgenerator for which block
+// state equations exist. This example swaps the electromagnetic
+// generator for the piezoelectric variant and harvests into a resistive
+// load near the optimum 1/(2*pi*f*Cpz).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"harvsim/internal/blocks"
+	"harvsim/internal/core"
+	"harvsim/internal/trace"
+)
+
+func main() {
+	p := blocks.DefaultPiezo()
+	fr := p.UntunedHz()
+	vib := blocks.NewVibration(2.0, fr)
+
+	ropt := 1 / (2 * math.Pi * fr * p.Cpz)
+	fmt.Printf("piezoelectric harvester at %.1f Hz, load %.0f kOhm\n", fr, ropt/1e3)
+
+	sys := core.NewSystem()
+	sys.AddBlock(blocks.NewPiezo("pz", p, vib))
+	sys.AddBlock(blocks.NewResistor("load", "Vm", "Im", ropt))
+
+	eng := core.NewEngine(sys)
+	eng.Ctl.HMax = 2e-4
+	var power, volt trace.Series
+	eng.Observe(func(t float64, x, y []float64) {
+		if t > 4 { // past the mechanical transient
+			power.Append(t, y[0]*y[1])
+			volt.Append(t, y[0])
+		}
+	})
+	if err := eng.Run(0, 8); err != nil {
+		log.Fatalf("simulation failed: %v", err)
+	}
+
+	_, vpk := volt.MinMax()
+	fmt.Printf("steady state: %.2f V peak, %.1f uW mean into the load\n",
+		vpk, power.Mean()*1e6)
+	fmt.Println(trace.ASCIIPlot(volt.Slice(7.9, 8.0), 72, 10))
+}

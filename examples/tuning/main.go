@@ -1,0 +1,38 @@
+// Tuning: the paper's Scenario 1 — the ambient vibration shifts from 70
+// to 71 Hz and the autonomous microcontroller detects the mismatch,
+// drives the actuator and retunes the microgenerator's resonance, paying
+// for the manoeuvre out of the supercapacitor (Figs. 7 and 8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"harvsim"
+)
+
+func main() {
+	sc := harvsim.Scenario1(harvsim.Quick)
+	fmt.Printf("scenario: %s — ambient shifts 70 -> 71 Hz at t=%.3gs\n",
+		sc.Name, sc.Shifts[0].T)
+
+	h, _, err := harvsim.RunScenario(sc, harvsim.Proposed, 16)
+	if err != nil {
+		log.Fatalf("simulation failed: %v", err)
+	}
+
+	fmt.Printf("MCU activity: %d wakes, %d measurements, %d tuning runs\n",
+		h.MCU.Stats.Wakes, h.MCU.Stats.Measures, h.MCU.Stats.Tunes)
+	fmt.Printf("resonance after run: %.2f Hz (target 71 Hz)\n",
+		h.Cfg.Microgen.TunedHz(h.Act.ForceAt(sc.Duration)))
+
+	before := h.PMultIn.Slice(2, sc.Shifts[0].T).Mean()
+	after := h.PMultIn.Slice(sc.Duration-20, sc.Duration).Mean()
+	fmt.Printf("mean microgenerator power: %.1f uW tuned @70 Hz, %.1f uW retuned @71 Hz\n",
+		before*1e6, after*1e6)
+	fmt.Printf("(paper Fig. 8(a): 118 uW and 117 uW, measured 116 uW)\n")
+
+	lo, _ := h.VcTrace.MinMax()
+	_, vcEnd := h.VcTrace.Last()
+	fmt.Printf("supercap: dipped to %.3f V while tuning, finished at %.3f V\n", lo, vcEnd)
+}

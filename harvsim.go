@@ -1,0 +1,81 @@
+// Package harvsim reproduces the linearised state-space simulation
+// technique for complete tunable vibration energy harvesting systems of
+// Wang, Kazmierski, Al-Hashimi, Weddell, Merrett and Ayala Garcia
+// (DATE 2011).
+//
+// The root package is a thin facade over the internal implementation; it
+// re-exports the types a downstream user needs to assemble and simulate
+// a harvester:
+//
+//	cfg := harvsim.DefaultConfig()
+//	h := harvsim.New(cfg)
+//	eng, err := h.Run(harvsim.Proposed, 60 /* seconds */, 16)
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduced tables and figures. The runnable entry points live under
+// cmd/ and examples/.
+package harvsim
+
+import (
+	"harvsim/internal/harvester"
+)
+
+// Config gathers every component's parameters. See the internal
+// harvester package for field documentation.
+type Config = harvester.Config
+
+// Harvester is the assembled mixed-technology system.
+type Harvester = harvester.Harvester
+
+// Scenario is one of the paper's evaluation runs.
+type Scenario = harvester.Scenario
+
+// FreqShift schedules an ambient frequency change.
+type FreqShift = harvester.FreqShift
+
+// EngineKind selects the analogue solver.
+type EngineKind = harvester.EngineKind
+
+// Engine abstracts the analogue solvers (proposed explicit engine and
+// implicit baselines).
+type Engine = harvester.Engine
+
+// Engine kinds: the proposed explicit linearised state-space engine and
+// the Newton-Raphson implicit baselines of the paper's comparison.
+const (
+	Proposed     = harvester.Proposed
+	ExistingTrap = harvester.ExistingTrap
+	ExistingBDF2 = harvester.ExistingBDF2
+	ExistingBE   = harvester.ExistingBE
+)
+
+// Fidelity selects bench-scale or paper-scale scenario timing.
+type Fidelity = harvester.Fidelity
+
+// Fidelity levels.
+const (
+	Quick      = harvester.Quick
+	PaperScale = harvester.PaperScale
+)
+
+// DefaultConfig returns the calibrated full-system configuration.
+func DefaultConfig() Config { return harvester.DefaultConfig() }
+
+// New assembles a harvester from cfg.
+func New(cfg Config) *Harvester { return harvester.New(cfg) }
+
+// Scenario1 is the paper's 1 Hz retune scenario (Fig. 8, Table II).
+func Scenario1(f Fidelity) Scenario { return harvester.Scenario1(f) }
+
+// Scenario2 is the 14 Hz wide-range scenario (Fig. 9, Table II).
+func Scenario2(f Fidelity) Scenario { return harvester.Scenario2(f) }
+
+// ChargeScenario is the non-tunable supercapacitor charge-up (Table I).
+func ChargeScenario(duration float64) Scenario {
+	return harvester.ChargeScenario(duration)
+}
+
+// RunScenario assembles and runs a scenario under the chosen engine.
+func RunScenario(sc Scenario, kind EngineKind, decimate int) (*Harvester, Engine, error) {
+	return harvester.RunScenario(sc, kind, decimate)
+}

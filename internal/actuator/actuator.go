@@ -1,0 +1,140 @@
+// Package actuator models the linear actuator of the tuning mechanism
+// (paper Fig. 4(a)): it moves the free tuning magnet along the axis, and
+// the gap between the two tuning magnets sets the attractive tuning
+// force that shifts the cantilever's effective stiffness (paper Eq. 12).
+package actuator
+
+import "math"
+
+// Params describes the actuator and the magnetic force law
+// Ft(d) = F0 * exp(-d/D0), a standard closed-form fit to the measured
+// force-vs-gap curves of axially magnetised magnet pairs over the
+// millimetre travel range used by the validation rig.
+type Params struct {
+	F0       float64 // force at zero gap [N]
+	D0       float64 // force decay length [m]
+	Speed    float64 // actuator travel speed [m/s]
+	TravelLo float64 // minimum gap [m]
+	TravelHi float64 // maximum gap [m]
+}
+
+// Default returns the calibrated actuator: force span covering the
+// microgenerator's 14 Hz tuning range (~0 to ~2 N) over 0-30 mm travel
+// at 1 mm/s.
+func Default() Params {
+	return Params{
+		F0:       2.5,
+		D0:       6e-3,
+		Speed:    1e-3,
+		TravelLo: 1.0e-3,
+		TravelHi: 30e-3,
+	}
+}
+
+// Actuator tracks the tuning-magnet position. All motion is commanded by
+// the microcontroller process; Position advances lazily from motion
+// segments so the analogue side never needs actuator state equations
+// (the actuator's electrical load is folded into Req per paper Eq. 16).
+type Actuator struct {
+	P Params
+
+	pos       float64 // current gap [m] at time ref
+	ref       float64 // time of pos
+	target    float64 // commanded gap [m]
+	moving    bool
+	moveStart float64
+}
+
+// New returns an actuator resting at gap pos0.
+func New(p Params, pos0 float64) *Actuator {
+	pos0 = clamp(pos0, p.TravelLo, p.TravelHi)
+	return &Actuator{P: p, pos: pos0, target: pos0}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Force returns the magnetic tuning force at gap d (Ft(d) law).
+func (a *Actuator) Force(d float64) float64 {
+	return a.P.F0 * math.Exp(-d/a.P.D0)
+}
+
+// GapForForce inverts the force law, clamped to the travel range.
+func (a *Actuator) GapForForce(ft float64) float64 {
+	if ft <= 0 {
+		return a.P.TravelHi
+	}
+	if ft >= a.P.F0 {
+		return a.P.TravelLo
+	}
+	return clamp(-a.P.D0*math.Log(ft/a.P.F0), a.P.TravelLo, a.P.TravelHi)
+}
+
+// Position returns the gap at time t (advancing any motion in progress).
+func (a *Actuator) Position(t float64) float64 {
+	if !a.moving {
+		return a.pos
+	}
+	if t < a.ref {
+		t = a.ref
+	}
+	dist := a.P.Speed * (t - a.ref)
+	remaining := math.Abs(a.target - a.pos)
+	if dist >= remaining {
+		return a.target
+	}
+	if a.target > a.pos {
+		return a.pos + dist
+	}
+	return a.pos - dist
+}
+
+// Moving reports whether a motion command is in progress at time t.
+func (a *Actuator) Moving(t float64) bool {
+	if !a.moving {
+		return false
+	}
+	return a.Position(t) != a.target
+}
+
+// MoveTo commands motion to gap target starting at time t and returns
+// the arrival time. The target is clamped to the travel range.
+func (a *Actuator) MoveTo(t, target float64) (arrival float64) {
+	target = clamp(target, a.P.TravelLo, a.P.TravelHi)
+	a.pos = a.Position(t)
+	a.ref = t
+	a.target = target
+	a.moving = true
+	a.moveStart = t
+	return t + math.Abs(target-a.pos)/a.P.Speed
+}
+
+// Halt stops any motion at time t, freezing the position there.
+func (a *Actuator) Halt(t float64) {
+	a.pos = a.Position(t)
+	a.ref = t
+	a.target = a.pos
+	a.moving = false
+}
+
+// Settle marks a commanded motion complete at time t (the kernel calls
+// this at the arrival event).
+func (a *Actuator) Settle(t float64) {
+	a.pos = a.Position(t)
+	a.ref = t
+	if a.pos == a.target {
+		a.moving = false
+	}
+}
+
+// ForceAt returns the tuning force at time t given any motion progress.
+func (a *Actuator) ForceAt(t float64) float64 {
+	return a.Force(a.Position(t))
+}

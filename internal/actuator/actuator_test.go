@@ -1,0 +1,114 @@
+package actuator
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestForceLawMonotone(t *testing.T) {
+	a := New(Default(), 10e-3)
+	prev := math.Inf(1)
+	for d := 1e-3; d <= 30e-3; d += 1e-3 {
+		f := a.Force(d)
+		if f >= prev {
+			t.Fatalf("force not decreasing with gap at %v", d)
+		}
+		prev = f
+	}
+}
+
+func TestGapForForceRoundTrip(t *testing.T) {
+	a := New(Default(), 10e-3)
+	f := func(raw uint16) bool {
+		d := 1e-3 + float64(raw)/65535*29e-3
+		ft := a.Force(d)
+		back := a.GapForForce(ft)
+		return math.Abs(back-d) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+func TestGapForForceClamps(t *testing.T) {
+	a := New(Default(), 10e-3)
+	if got := a.GapForForce(0); got != a.P.TravelHi {
+		t.Fatalf("zero force should park at max gap: %v", got)
+	}
+	if got := a.GapForForce(100); got != a.P.TravelLo {
+		t.Fatalf("huge force should clamp to min gap: %v", got)
+	}
+}
+
+func TestMoveToAndPosition(t *testing.T) {
+	a := New(Default(), 10e-3)
+	arrival := a.MoveTo(0, 15e-3) // 5 mm at 1 mm/s
+	if math.Abs(arrival-5) > 1e-9 {
+		t.Fatalf("arrival = %v, want 5", arrival)
+	}
+	if p := a.Position(2.5); math.Abs(p-12.5e-3) > 1e-12 {
+		t.Fatalf("midway position = %v", p)
+	}
+	if !a.Moving(2.5) {
+		t.Fatalf("should be moving at t=2.5")
+	}
+	if p := a.Position(7); p != 15e-3 {
+		t.Fatalf("post-arrival position = %v", p)
+	}
+	a.Settle(7)
+	if a.Moving(7) {
+		t.Fatalf("should be settled")
+	}
+}
+
+func TestMoveClampsToTravel(t *testing.T) {
+	a := New(Default(), 10e-3)
+	a.MoveTo(0, 1) // way past TravelHi
+	a.Settle(1e6)
+	if p := a.Position(1e6); p != a.P.TravelHi {
+		t.Fatalf("clamped target = %v", p)
+	}
+}
+
+func TestHaltFreezesPosition(t *testing.T) {
+	a := New(Default(), 10e-3)
+	a.MoveTo(0, 20e-3)
+	a.Halt(3) // 3 mm into a 10 mm move
+	if p := a.Position(10); math.Abs(p-13e-3) > 1e-12 {
+		t.Fatalf("halted position = %v, want 13 mm", p)
+	}
+	if a.Moving(10) {
+		t.Fatalf("halted actuator reports moving")
+	}
+}
+
+func TestForceAtTracksMotion(t *testing.T) {
+	a := New(Default(), 20e-3)
+	f0 := a.ForceAt(0)
+	a.MoveTo(0, 5e-3)
+	fMid := a.ForceAt(10)
+	a.Settle(20)
+	fEnd := a.ForceAt(20)
+	if !(fEnd > fMid && fMid > f0) {
+		t.Fatalf("force should grow as gap closes: %v %v %v", f0, fMid, fEnd)
+	}
+}
+
+func TestReverseMove(t *testing.T) {
+	a := New(Default(), 5e-3)
+	arrival := a.MoveTo(0, 25e-3)
+	if math.Abs(arrival-20) > 1e-9 {
+		t.Fatalf("arrival = %v, want 20", arrival)
+	}
+	if p := a.Position(10); math.Abs(p-15e-3) > 1e-12 {
+		t.Fatalf("position = %v", p)
+	}
+}
+
+func TestNewClampsInitialPosition(t *testing.T) {
+	a := New(Default(), 99)
+	if a.Position(0) != Default().TravelHi {
+		t.Fatalf("initial position not clamped: %v", a.Position(0))
+	}
+}

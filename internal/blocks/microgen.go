@@ -1,0 +1,223 @@
+package blocks
+
+import (
+	"math"
+
+	"harvsim/internal/core"
+)
+
+// MicrogenParams holds the tunable electromagnetic microgenerator
+// parameters (paper Fig. 4, Eqs. 8-13). Defaults are calibrated so the
+// device reproduces the headline observables of the validation rig
+// (Ayala-Garcia et al., PowerMEMS 2009 / Zhu et al. 2010): untuned
+// resonance 64 Hz, ~14 Hz magnetic tuning range, and ~116-118 uW RMS
+// output at 0.59 m/s^2 when tuned to the excitation.
+//
+// Lc selects the coil model. With Lc > 0 the block carries the coil
+// current iL as a third state exactly as paper Eq. 13. With Lc = 0 the
+// coil branch is treated quasi-statically (Vm = Phi*zdot - Rc*Im): at
+// vibration frequencies of tens of Hz the coil reactance is a small
+// fraction of its resistance, and — crucially for the explicit technique
+// — the L/R_off time constant formed with the rectifier's reverse-biased
+// diodes would otherwise be an artificial sub-microsecond mode that no
+// explicit integrator could step over. The quasi-static coil is the
+// default; the inductive variant remains available for the implicit
+// baselines and for studies of the stiff regime the paper excludes.
+type MicrogenParams struct {
+	M   float64 // proof mass [kg]
+	Ks  float64 // untuned effective spring stiffness [N/m]
+	Cp  float64 // parasitic damping [N.s/m]
+	Phi float64 // transduction factor NBl [V.s/m = N/A]
+	Rc  float64 // coil resistance [Ohm]
+	Lc  float64 // coil inductance [H]; 0 = quasi-static coil
+	Fb  float64 // cantilever buckling load for Eq. 12 [N]
+}
+
+// DefaultMicrogen returns the calibrated parameter set (quasi-static
+// coil).
+func DefaultMicrogen() MicrogenParams {
+	const fr = 64.0 // untuned resonant frequency [Hz]
+	m := 5.0e-3
+	return MicrogenParams{
+		M:   m,
+		Ks:  m * (2 * math.Pi * fr) * (2 * math.Pi * fr),
+		Cp:  7.2e-3,
+		Phi: 5.3,
+		Rc:  500,
+		Lc:  0,
+		Fb:  4.0,
+	}
+}
+
+// UntunedHz returns the resonant frequency with zero tuning force.
+func (p MicrogenParams) UntunedHz() float64 {
+	return math.Sqrt(p.Ks/p.M) / (2 * math.Pi)
+}
+
+// TunedHz returns the resonant frequency under tuning force ft (Eq. 12):
+// f'r = fr*sqrt(1 + Ft/Fb).
+func (p MicrogenParams) TunedHz(ft float64) float64 {
+	return p.UntunedHz() * math.Sqrt(1+ft/p.Fb)
+}
+
+// ForceForHz inverts Eq. 12: the tuning force needed to move the
+// resonance to f Hz.
+func (p MicrogenParams) ForceForHz(f float64) float64 {
+	fr := p.UntunedHz()
+	return p.Fb * ((f/fr)*(f/fr) - 1)
+}
+
+// Microgenerator is the electromagnetic microgenerator block (Eq. 13):
+// states [z, zdot] plus iL when the coil inductance is modelled,
+// terminals [Vm, Im] with Im flowing out of the device into the
+// power-processing stage.
+//
+// The magnetic tuning force Ft raises the effective stiffness to
+// Ks*(1 + Ft/Fb), shifting the resonance per Eq. 12; its z-component
+// Ftz (usually tiny) enters the force balance of Eq. 8 directly.
+type Microgenerator struct {
+	P   MicrogenParams
+	Vib *Vibration
+
+	name    string
+	ft, ftz float64
+	dirty   bool
+	stamped bool
+}
+
+// NewMicrogenerator returns a microgenerator block named name, driven by
+// vib, with terminals named "Vm" and "Im".
+func NewMicrogenerator(name string, p MicrogenParams, vib *Vibration) *Microgenerator {
+	return &Microgenerator{P: p, Vib: vib, name: name, dirty: true}
+}
+
+// inductive reports whether the coil current is a state.
+func (g *Microgenerator) inductive() bool { return g.P.Lc > 0 }
+
+// Name implements core.Block.
+func (g *Microgenerator) Name() string { return g.name }
+
+// NumStates implements core.Block.
+func (g *Microgenerator) NumStates() int {
+	if g.inductive() {
+		return 3
+	}
+	return 2
+}
+
+// NumEquations implements core.Block.
+func (g *Microgenerator) NumEquations() int { return 1 }
+
+// Terminals implements core.Block.
+func (g *Microgenerator) Terminals() []string { return []string{"Vm", "Im"} }
+
+// InitState implements core.Block: the device starts at rest.
+func (g *Microgenerator) InitState(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// SetTuningForce sets the magnetic tuning force (Eq. 12) and its
+// z-component; callers must also Invalidate the owning system so the
+// engine refreshes the linearisation.
+func (g *Microgenerator) SetTuningForce(ft, ftz float64) {
+	if ft != g.ft || ftz != g.ftz {
+		g.ft, g.ftz = ft, ftz
+		g.dirty = true
+	}
+}
+
+// TuningForce returns the current tuning force.
+func (g *Microgenerator) TuningForce() float64 { return g.ft }
+
+// ResonantHz returns the current (tuned) resonant frequency.
+func (g *Microgenerator) ResonantHz() float64 { return g.P.TunedHz(g.ft) }
+
+// keff returns the tuned effective stiffness.
+func (g *Microgenerator) keff() float64 { return g.P.Ks * (1 + g.ft/g.P.Fb) }
+
+// Linearise implements core.Block. The model is linear for a fixed
+// tuning force; only the excitation changes between refreshes.
+func (g *Microgenerator) Linearise(t float64, x, y []float64, st core.Stamp) bool {
+	p := g.P
+	// Excitation (time-varying): base-excitation force plus the static
+	// z-component of the tuning force.
+	fa := -p.M * g.Vib.Accel(t)
+	st.E(1, (fa-g.ftz)/p.M)
+	if g.stamped && !g.dirty {
+		return false
+	}
+	ke := g.keff()
+	// dz/dt = zdot.
+	st.A(0, 1, 1)
+	// dzdot/dt = -(ke/m) z - (cp/m) zdot - (phi/m) i + E.
+	st.A(1, 0, -ke/p.M)
+	st.A(1, 1, -p.Cp/p.M)
+	if g.inductive() {
+		// Electromagnetic force from the coil-current state.
+		st.A(1, 2, -p.Phi/p.M)
+		// diL/dt = (phi*zdot - Rc*iL - Vm)/Lc.
+		st.A(2, 1, p.Phi/p.Lc)
+		st.A(2, 2, -p.Rc/p.Lc)
+		st.B(2, 0, -1/p.Lc)
+		// Terminal relation 0 = Im - iL.
+		st.C(0, 2, -1)
+		st.D(0, 1, 1)
+	} else {
+		// Electromagnetic force from the terminal current (Fem = phi*Im).
+		st.B(1, 1, -p.Phi/p.M)
+		// Quasi-static coil KVL: 0 = Vm - phi*zdot + Rc*Im.
+		st.C(0, 1, -p.Phi)
+		st.D(0, 0, 1)
+		st.D(0, 1, p.Rc)
+	}
+	g.stamped = true
+	g.dirty = false
+	return true
+}
+
+// EvalNonlinear implements core.Block (the device is linear in its
+// states; the exact equations coincide with the linearisation).
+func (g *Microgenerator) EvalNonlinear(t float64, x, y, fx, fy []float64) {
+	p := g.P
+	fa := -p.M * g.Vib.Accel(t)
+	z, zd := x[0], x[1]
+	vm, im := y[0], y[1]
+	fx[0] = zd
+	if g.inductive() {
+		il := x[2]
+		fx[1] = (-g.keff()*z - p.Cp*zd - p.Phi*il + fa - g.ftz) / p.M
+		fx[2] = (p.Phi*zd - p.Rc*il - vm) / p.Lc
+		fy[0] = im - il
+		return
+	}
+	fx[1] = (-g.keff()*z - p.Cp*zd - p.Phi*im + fa - g.ftz) / p.M
+	fy[0] = vm - p.Phi*zd + p.Rc*im
+}
+
+// JacNonlinear implements core.Block.
+func (g *Microgenerator) JacNonlinear(t float64, x, y []float64, st core.Stamp) {
+	p := g.P
+	ke := g.keff()
+	st.A(0, 1, 1)
+	st.A(1, 0, -ke/p.M)
+	st.A(1, 1, -p.Cp/p.M)
+	if g.inductive() {
+		st.A(1, 2, -p.Phi/p.M)
+		st.A(2, 1, p.Phi/p.Lc)
+		st.A(2, 2, -p.Rc/p.Lc)
+		st.B(2, 0, -1/p.Lc)
+		st.C(0, 2, -1)
+		st.D(0, 1, 1)
+	} else {
+		st.B(1, 1, -p.Phi/p.M)
+		st.C(0, 1, -p.Phi)
+		st.D(0, 0, 1)
+		st.D(0, 1, p.Rc)
+	}
+	g.stamped = false
+}
+
+// EMF returns the electromagnetic voltage Phi*zdot for state x (Eq. 9).
+func (g *Microgenerator) EMF(x []float64) float64 { return g.P.Phi * x[1] }

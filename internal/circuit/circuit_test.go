@@ -1,0 +1,188 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"harvsim/internal/trace"
+)
+
+func TestRCStepResponse(t *testing.T) {
+	net := NewNetlist()
+	in := net.Node("in")
+	out := net.Node("out")
+	net.Add(&VSource{Inst: "V1", A: in, B: -1, V: func(float64) float64 { return 5 }})
+	net.Add(&Resistor{Inst: "R1", A: in, B: out, R: 1e3})
+	net.Add(&Capacitor{Inst: "C1", A: out, B: -1, C: 1e-6})
+	tr := NewTransient(net)
+	tr.HMax = 2e-5
+	var rec trace.Series
+	tr.Observer = func(tm float64, x []float64) { rec.Append(tm, x[out]) }
+	if err := tr.Run(0, 5e-3); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, tm := range []float64{1e-3, 3e-3, 5e-3} {
+		want := 5 * (1 - math.Exp(-tm/1e-3))
+		if got := rec.At(tm); math.Abs(got-want) > 0.03 {
+			t.Fatalf("Vout(%v) = %v, want %v", tm, got, want)
+		}
+	}
+	if tr.Stats.Steps == 0 || tr.Stats.NewtonIters == 0 {
+		t.Fatalf("stats not recorded: %+v", tr.Stats)
+	}
+}
+
+func TestRLCResonance(t *testing.T) {
+	// Series RLC driven at resonance: the capacitor voltage is Q times
+	// the drive amplitude.
+	net := NewNetlist()
+	in := net.Node("in")
+	n1 := net.Node("n1")
+	out := net.Node("out")
+	l, c, r := 0.1, 1e-4, 10.0 // f0 = 50.3 Hz, Q = sqrt(L/C)/R ~ 3.16
+	f0 := 1 / (2 * math.Pi * math.Sqrt(l*c))
+	net.Add(&VSource{Inst: "V1", A: in, B: -1, V: func(tm float64) float64 {
+		return math.Sin(2 * math.Pi * f0 * tm)
+	}})
+	net.Add(&Inductor{Inst: "L1", A: in, B: n1, L: l})
+	net.Add(&Resistor{Inst: "R1", A: n1, B: out, R: r})
+	net.Add(&Capacitor{Inst: "C1", A: out, B: -1, C: c})
+	tr := NewTransient(net)
+	tr.HMax = 1e-4
+	var rec trace.Series
+	tr.Observer = func(tm float64, x []float64) { rec.Append(tm, x[out]) }
+	if err := tr.Run(0, 1.0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	q := math.Sqrt(l/c) / r
+	_, peak := rec.Slice(0.6, 1.0).MinMax()
+	if math.Abs(peak-q) > 0.15*q {
+		t.Fatalf("resonant peak = %v, want ~Q = %v", peak, q)
+	}
+}
+
+func TestDiodeHalfWaveRectifier(t *testing.T) {
+	net := NewNetlist()
+	in := net.Node("in")
+	out := net.Node("out")
+	net.Add(&VSource{Inst: "V1", A: in, B: -1, V: func(tm float64) float64 {
+		return 2 * math.Sin(2*math.Pi*50*tm)
+	}})
+	net.Add(&Diode{Inst: "D1", A: in, B: out, Is: 1e-9, NVt: 26e-3, Rs: 10})
+	net.Add(&Capacitor{Inst: "C1", A: out, B: -1, C: 1e-5})
+	net.Add(&Resistor{Inst: "RL", A: out, B: -1, R: 1e5})
+	tr := NewTransient(net)
+	tr.HMax = 1e-4
+	var rec trace.Series
+	tr.Observer = func(tm float64, x []float64) { rec.Append(tm, x[out]) }
+	if err := tr.Run(0, 0.2); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	_, vEnd := rec.Last()
+	if vEnd < 1.2 || vEnd > 2.0 {
+		t.Fatalf("rectified output = %v, want ~2 V minus a drop", vEnd)
+	}
+}
+
+func TestCCVSPair(t *testing.T) {
+	// An ideal transformer-like coupling: source drives loop 1; CCVS
+	// pair transfers to loop 2 loaded with a resistor. With gain k, the
+	// secondary voltage is k * i1.
+	net := NewNetlist()
+	a := net.Node("a")
+	b := net.Node("b")
+	net.Add(&VSource{Inst: "V1", A: a, B: -1, V: func(float64) float64 { return 1 }})
+	r1 := &Resistor{Inst: "R1", A: a, B: b, R: 100}
+	net.Add(r1)
+	// Sense loop-1 current with a zero-volt source (ammeter).
+	amm := &VSource{Inst: "Vamm", A: b, B: -1, V: func(float64) float64 { return 0 }}
+	net.Add(amm)
+	sec := net.Node("sec")
+	h := &CCVS{Inst: "H1", A: sec, B: -1, Gain: 50, CtrlSlot: amm.BranchSlot()}
+	net.Add(h)
+	net.Add(&Resistor{Inst: "RL", A: sec, B: -1, R: 1e3})
+	tr := NewTransient(net)
+	if err := tr.Run(0, 1e-4); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	x := tr.X()
+	// Loop 1 current: 1 V across 100 Ohm = 10 mA; v(sec) = 50 * i = 0.5 V.
+	// The ammeter branch current is defined flowing a->b through the
+	// source, so the magnitude is what matters here.
+	if math.Abs(math.Abs(x[sec])-0.5) > 1e-3 {
+		t.Fatalf("CCVS output = %v, want |0.5|", x[sec])
+	}
+}
+
+func TestHarvesterEquivalentChargesStorage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalent-circuit transient")
+	}
+	p := DefaultEquivParams()
+	h := BuildHarvester(p)
+	tr := NewTransient(h.Net)
+	tr.HMax = 1e-4
+	var out trace.Series
+	tr.Observer = func(tm float64, x []float64) { out.Append(tm, x[h.OutNode]) }
+	if err := tr.Run(0, 15); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	_, vEnd := out.Last()
+	if vEnd <= 5e-4 {
+		t.Fatalf("equivalent circuit did not charge: %v", vEnd)
+	}
+	// The mechanical loop should resonate: velocity amplitude within
+	// physical bounds (< free amplitude m*a/cp).
+	var vel trace.Series
+	// Re-read from final state only: check the branch current magnitude.
+	velAmp := math.Abs(tr.X()[h.Net.NumNodes()+h.VelSlot])
+	free := p.M * p.AccelAmp / p.Cp
+	if velAmp > free*1.2 {
+		t.Fatalf("velocity beyond free resonance: %v > %v", velAmp, free)
+	}
+	_ = vel
+}
+
+func TestNetlistNodeInterning(t *testing.T) {
+	net := NewNetlist()
+	if net.Node("0") != -1 || net.Node("gnd") != -1 {
+		t.Fatalf("ground should be -1")
+	}
+	a := net.Node("a")
+	if net.Node("a") != a {
+		t.Fatalf("interning broken")
+	}
+	if net.NumNodes() != 1 {
+		t.Fatalf("NumNodes = %d", net.NumNodes())
+	}
+	net.Add(&VSource{Inst: "V", A: a, B: -1, V: func(float64) float64 { return 0 }})
+	if net.Size() != 2 {
+		t.Fatalf("Size = %d, want nodes+branches = 2", net.Size())
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	net := NewNetlist()
+	a := net.Node("a")
+	net.Add(&Resistor{Inst: "R", A: a, B: -1, R: 1})
+	tr := NewTransient(net)
+	if err := tr.Run(1, 0); err == nil {
+		t.Fatalf("reversed span should error")
+	}
+}
+
+func TestModeResistorSwitch(t *testing.T) {
+	net := NewNetlist()
+	a := net.Node("a")
+	net.Add(&VSource{Inst: "V", A: a, B: -1, V: func(float64) float64 { return 2 }})
+	mr := &ModeResistor{Inst: "Req", A: a, B: -1, R: 100}
+	net.Add(mr)
+	tr := NewTransient(net)
+	if err := tr.Run(0, 1e-4); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	mr.Set(50)
+	if mr.R != 50 {
+		t.Fatalf("Set failed")
+	}
+}

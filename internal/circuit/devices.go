@@ -1,0 +1,275 @@
+package circuit
+
+import "math"
+
+// Resistor between nodes A and B.
+type Resistor struct {
+	Inst string
+	A, B int
+	R    float64
+}
+
+// Name implements Device.
+func (r *Resistor) Name() string { return r.Inst }
+
+// Linear implements Device.
+func (r *Resistor) Linear() bool { return true }
+
+// Stamp implements Device.
+func (r *Resistor) Stamp(st *MNAStamp, t, h float64, x, xPrev []float64) {
+	st.Conductance(r.A, r.B, 1/r.R)
+}
+
+// Capacitor between nodes A and B with a trapezoidal companion model:
+// geq = 2C/h in parallel with a history current source.
+type Capacitor struct {
+	Inst string
+	A, B int
+	C    float64
+	V0   float64 // initial voltage (A positive)
+
+	// companion history: current through the capacitor at the previous
+	// accepted point (A->B) — updated by the transient engine via Commit.
+	iPrev float64
+	init  bool
+}
+
+// Name implements Device.
+func (c *Capacitor) Name() string { return c.Inst }
+
+// Linear implements Device.
+func (c *Capacitor) Linear() bool { return true }
+
+// Stamp implements Device.
+func (c *Capacitor) Stamp(st *MNAStamp, t, h float64, x, xPrev []float64) {
+	geq := 2 * c.C / h
+	vPrev := VoltageAt(xPrev, c.A) - VoltageAt(xPrev, c.B)
+	if !c.init {
+		vPrev = c.V0
+	}
+	ieq := geq*vPrev + c.iPrev
+	st.Conductance(c.A, c.B, geq)
+	st.Current(c.B, c.A, ieq) // history source pushes current A<-B
+}
+
+// Commit updates the companion history after an accepted step.
+func (c *Capacitor) Commit(h float64, x, xPrev []float64) {
+	geq := 2 * c.C / h
+	vPrev := VoltageAt(xPrev, c.A) - VoltageAt(xPrev, c.B)
+	if !c.init {
+		vPrev = c.V0
+		c.init = true
+	}
+	vNew := VoltageAt(x, c.A) - VoltageAt(x, c.B)
+	c.iPrev = geq*(vNew-vPrev) - c.iPrev
+}
+
+// Inductor between nodes A and B with a branch-current unknown and a
+// trapezoidal companion model.
+type Inductor struct {
+	Inst string
+	A, B int
+	L    float64
+
+	slot  int
+	vPrev float64
+	iPrev float64
+	init  bool
+}
+
+// Name implements Device.
+func (l *Inductor) Name() string { return l.Inst }
+
+// Linear implements Device.
+func (l *Inductor) Linear() bool { return true }
+
+func (l *Inductor) assignBranch(firstSlot int) int {
+	l.slot = firstSlot
+	return 1
+}
+
+// BranchSlot returns the inductor's branch slot (its current unknown).
+func (l *Inductor) BranchSlot() int { return l.slot }
+
+// Stamp implements Device: branch equation
+// v(A)-v(B) - (2L/h)*i = -(2L/h)*iPrev - vPrev (trapezoidal).
+func (l *Inductor) Stamp(st *MNAStamp, t, h float64, x, xPrev []float64) {
+	br := st.Branch(l.slot)
+	req := 2 * l.L / h
+	if l.A >= 0 {
+		st.Entry(l.A, br, 1)
+		st.Entry(br, l.A, 1)
+	}
+	if l.B >= 0 {
+		st.Entry(l.B, br, -1)
+		st.Entry(br, l.B, -1)
+	}
+	st.Entry(br, br, -req)
+	st.RHS(br, -req*l.iPrev-l.vPrev)
+}
+
+// Commit updates the inductor history after an accepted step.
+func (l *Inductor) Commit(st *MNAStamp, x []float64) {
+	br := st.Branch(l.slot)
+	l.iPrev = x[br]
+	l.vPrev = VoltageAt(x, l.A) - VoltageAt(x, l.B)
+	l.init = true
+}
+
+// VSource is an independent voltage source v(t) from node A (+) to B (-)
+// with a branch-current unknown.
+type VSource struct {
+	Inst string
+	A, B int
+	V    func(t float64) float64
+
+	slot int
+}
+
+// Name implements Device.
+func (v *VSource) Name() string { return v.Inst }
+
+// Linear implements Device.
+func (v *VSource) Linear() bool { return true }
+
+func (v *VSource) assignBranch(firstSlot int) int {
+	v.slot = firstSlot
+	return 1
+}
+
+// BranchSlot returns the source's branch slot.
+func (v *VSource) BranchSlot() int { return v.slot }
+
+// Stamp implements Device.
+func (v *VSource) Stamp(st *MNAStamp, t, h float64, x, xPrev []float64) {
+	br := st.Branch(v.slot)
+	if v.A >= 0 {
+		st.Entry(v.A, br, 1)
+		st.Entry(br, v.A, 1)
+	}
+	if v.B >= 0 {
+		st.Entry(v.B, br, -1)
+		st.Entry(br, v.B, -1)
+	}
+	st.RHS(br, v.V(t))
+}
+
+// CCVS is a current-controlled voltage source (SPICE H element):
+// v(A)-v(B) = Gain * i(ctrl branch). Used in pairs to build the ideal
+// electromechanical coupling of the equivalent-circuit harvester model.
+type CCVS struct {
+	Inst     string
+	A, B     int
+	Gain     float64
+	CtrlSlot int // branch slot of the controlling current
+
+	slot int
+}
+
+// Name implements Device.
+func (c *CCVS) Name() string { return c.Inst }
+
+// Linear implements Device.
+func (c *CCVS) Linear() bool { return true }
+
+func (c *CCVS) assignBranch(firstSlot int) int {
+	c.slot = firstSlot
+	return 1
+}
+
+// BranchSlot returns the output branch slot.
+func (c *CCVS) BranchSlot() int { return c.slot }
+
+// Stamp implements Device.
+func (c *CCVS) Stamp(st *MNAStamp, t, h float64, x, xPrev []float64) {
+	br := st.Branch(c.slot)
+	ctrl := st.Branch(c.CtrlSlot)
+	if c.A >= 0 {
+		st.Entry(c.A, br, 1)
+		st.Entry(br, c.A, 1)
+	}
+	if c.B >= 0 {
+		st.Entry(c.B, br, -1)
+		st.Entry(br, c.B, -1)
+	}
+	st.Entry(br, ctrl, -c.Gain)
+}
+
+// Diode is a Shockley junction with series resistance folded in as a
+// conductance limit, stamped with the standard Newton companion (geq,
+// ieq) and a pn-junction voltage limiter for convergence.
+type Diode struct {
+	Inst string
+	A, B int // anode, cathode
+	Is   float64
+	NVt  float64
+	Rs   float64 // bounds the on-conductance at 1/Rs
+
+	vLast float64
+}
+
+// Name implements Device.
+func (d *Diode) Name() string { return d.Inst }
+
+// Linear implements Device.
+func (d *Diode) Linear() bool { return false }
+
+// current returns (i, g) at junction voltage v with the Rs-limited
+// exponential.
+func (d *Diode) current(v float64) (i, g float64) {
+	// Critical voltage where the exponential's slope reaches 1/Rs.
+	vCrit := d.NVt * math.Log(d.NVt/(d.Is*d.Rs))
+	if v < vCrit {
+		e := math.Exp(v / d.NVt)
+		return d.Is * (e - 1), d.Is * e / d.NVt
+	}
+	// Linear continuation with slope 1/Rs above vCrit.
+	iCrit := d.Is * (math.Exp(vCrit/d.NVt) - 1)
+	g = 1 / d.Rs
+	return iCrit + g*(v-vCrit), g
+}
+
+// limitV applies SPICE-style junction voltage limiting between Newton
+// iterations.
+func (d *Diode) limitV(v float64) float64 {
+	const maxStep = 0.3
+	if v > d.vLast+maxStep {
+		v = d.vLast + maxStep
+	} else if v < d.vLast-2 {
+		v = d.vLast - 2
+	}
+	d.vLast = v
+	return v
+}
+
+// Stamp implements Device.
+func (d *Diode) Stamp(st *MNAStamp, t, h float64, x, xPrev []float64) {
+	v := VoltageAt(x, d.A) - VoltageAt(x, d.B)
+	v = d.limitV(v)
+	i, g := d.current(v)
+	ieq := i - g*v
+	st.Conductance(d.A, d.B, g)
+	st.Current(d.A, d.B, ieq)
+}
+
+// ModeResistor is a resistor whose value is switched externally (the
+// equivalent-load Req of paper Eq. 16).
+type ModeResistor struct {
+	Inst string
+	A, B int
+	R    float64
+}
+
+// Name implements Device.
+func (m *ModeResistor) Name() string { return m.Inst }
+
+// Linear implements Device.
+func (m *ModeResistor) Linear() bool { return true }
+
+// Set switches the resistance.
+func (m *ModeResistor) Set(r float64) { m.R = r }
+
+// Stamp implements Device.
+func (m *ModeResistor) Stamp(st *MNAStamp, t, h float64, x, xPrev []float64) {
+	st.Conductance(m.A, m.B, 1/m.R)
+}

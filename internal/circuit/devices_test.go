@@ -1,0 +1,132 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"harvsim/internal/trace"
+)
+
+func TestInductorLRDecay(t *testing.T) {
+	// Current source behaviour: an inductor with initial energy through a
+	// resistor decays exponentially. Build: V step through R-L to ground
+	// and check the L/R rise of the current.
+	net := NewNetlist()
+	in := net.Node("in")
+	n1 := net.Node("n1")
+	net.Add(&VSource{Inst: "V1", A: in, B: -1, V: func(float64) float64 { return 1 }})
+	net.Add(&Resistor{Inst: "R1", A: in, B: n1, R: 100})
+	l := &Inductor{Inst: "L1", A: n1, B: -1, L: 0.1} // tau = 1 ms
+	net.Add(l)
+	tr := NewTransient(net)
+	tr.HMax = 2e-5
+	var cur trace.Series
+	brIdx := net.NumNodes() + l.BranchSlot()
+	tr.Observer = func(tm float64, x []float64) { cur.Append(tm, x[brIdx]) }
+	if err := tr.Run(0, 5e-3); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, tm := range []float64{1e-3, 3e-3, 5e-3} {
+		want := 0.01 * (1 - math.Exp(-tm/1e-3)) // I_final = 10 mA
+		if got := cur.At(tm); math.Abs(got-want) > 5e-4 {
+			t.Fatalf("iL(%v) = %v, want %v", tm, got, want)
+		}
+	}
+}
+
+func TestDiodeDeviceCurrentContinuity(t *testing.T) {
+	// The Rs-limited exponential must be continuous and monotone across
+	// the critical voltage.
+	d := &Diode{Inst: "D", Is: 1e-9, NVt: 26e-3, Rs: 10}
+	prevI := math.Inf(-1)
+	for v := -1.0; v <= 2.0; v += 1e-3 {
+		i, g := d.current(v)
+		if i < prevI-1e-12 {
+			t.Fatalf("current not monotone at v=%v", v)
+		}
+		if g < 0 {
+			t.Fatalf("negative conductance at v=%v", v)
+		}
+		if g > 1/d.Rs+1e-9 {
+			t.Fatalf("conductance above 1/Rs at v=%v: %v", v, g)
+		}
+		prevI = i
+	}
+	// Continuity at vCrit: evaluate both sides.
+	vCrit := d.NVt * math.Log(d.NVt/(d.Is*d.Rs))
+	iLo, _ := d.current(vCrit - 1e-9)
+	iHi, _ := d.current(vCrit + 1e-9)
+	if math.Abs(iLo-iHi) > 1e-6*(1+math.Abs(iHi)) {
+		t.Fatalf("current discontinuous at vCrit: %v vs %v", iLo, iHi)
+	}
+}
+
+func TestDiodeVoltageLimiter(t *testing.T) {
+	d := &Diode{Inst: "D", Is: 1e-9, NVt: 26e-3, Rs: 10}
+	d.vLast = 0.2
+	if v := d.limitV(5.0); v > 0.5+1e-12 {
+		t.Fatalf("limiter allowed a %v jump", v)
+	}
+	d.vLast = 0.2
+	if v := d.limitV(-10); v < 0.2-2-1e-12 {
+		t.Fatalf("limiter allowed reverse jump to %v", v)
+	}
+}
+
+func TestCapacitorInitialVoltage(t *testing.T) {
+	// A charged capacitor discharging into a resistor: V(t) = V0*exp(-t/RC).
+	net := NewNetlist()
+	n1 := net.Node("n1")
+	net.Add(&Capacitor{Inst: "C1", A: n1, B: -1, C: 1e-6, V0: 5})
+	net.Add(&Resistor{Inst: "R1", A: n1, B: -1, R: 1e3})
+	tr := NewTransient(net)
+	tr.HMax = 2e-5
+	var v trace.Series
+	tr.Observer = func(tm float64, x []float64) { v.Append(tm, x[n1]) }
+	if err := tr.Run(0, 3e-3); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, tm := range []float64{1e-3, 2e-3, 3e-3} {
+		want := 5 * math.Exp(-tm/1e-3)
+		if got := v.At(tm); math.Abs(got-want) > 0.05 {
+			t.Fatalf("V(%v) = %v, want %v", tm, got, want)
+		}
+	}
+}
+
+func TestEquivalentCircuitModeSwitch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalent-circuit transient")
+	}
+	// Switching Req mid-run (the MCU's Eq. 16 behaviour) must discharge
+	// the precharged storage visibly.
+	p := DefaultEquivParams()
+	p.V0 = 3.0
+	h := BuildHarvester(p)
+	tr := NewTransient(h.Net)
+	tr.HMax = 2e-4
+	var out trace.Series
+	tr.Observer = func(tm float64, x []float64) { out.Append(tm, x[h.OutNode]) }
+	fired := false
+	tr.Events = func(now float64) float64 {
+		if fired {
+			return math.Inf(1)
+		}
+		return 1.0
+	}
+	tr.Fire = func(now float64) {
+		h.Req.Set(16.7)
+		fired = true
+	}
+	if err := tr.Run(0, 3); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	vAt1 := out.At(0.99)
+	_, vEnd := out.Last()
+	if !fired {
+		t.Fatalf("event did not fire")
+	}
+	if vEnd > vAt1-0.2 {
+		t.Fatalf("tuning load should sag the storage: %v -> %v", vAt1, vEnd)
+	}
+}

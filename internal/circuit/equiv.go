@@ -1,0 +1,148 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+)
+
+// EquivParams describes the complete harvester for the equivalent-
+// circuit-model route (the PSPICE approach of the paper's Section I):
+// the mechanical resonator becomes a series RLC loop in the
+// force-voltage analogy (mass -> inductance, damping -> resistance,
+// compliance -> capacitance) and the electromagnetic transduction is an
+// ideal coupling built from two current-controlled voltage sources.
+type EquivParams struct {
+	// Mechanical side.
+	M, Cp, Ks float64
+	AccelAmp  float64
+	FreqHz    float64
+	// Transduction and coil.
+	Phi, Rc float64
+	// Multiplier: a 5-diode Cockcroft-Walton/Dickson cascade. CPump is
+	// the AC-coupling (pump) capacitance, sized so its reactance is
+	// comparable to the coil impedance at the excitation frequency.
+	Stages              int
+	CPump, CStage, COut float64
+	DiodeIs             float64
+	DiodeNVt            float64
+	DiodeRs             float64
+	// Storage (three-branch supercapacitor, constant immediate C).
+	Ri, Ci, Rd, Cd, Rl, Cl float64
+	ReqOhms                float64
+	V0                     float64
+}
+
+// DefaultEquivParams mirrors the calibrated physical harvester with the
+// generator tuned to the 70 Hz excitation (effective stiffness set per
+// paper Eq. 12, as the autonomous controller would leave it).
+func DefaultEquivParams() EquivParams {
+	const fTuned = 70.0
+	m := 5.0e-3
+	return EquivParams{
+		M: m, Cp: 7.2e-3, Ks: m * (2 * math.Pi * fTuned) * (2 * math.Pi * fTuned),
+		AccelAmp: 0.59, FreqHz: 70,
+		Phi: 5.3, Rc: 500,
+		Stages: 5, CPump: 4.7e-6, CStage: 22e-6, COut: 220e-6,
+		DiodeIs: 5e-6, DiodeNVt: 38.7e-3, DiodeRs: 100,
+		Ri: 2.5, Ci: 0.46, Rd: 900, Cd: 0.10, Rl: 5200, Cl: 0.22,
+		ReqOhms: 1e9, V0: 0,
+	}
+}
+
+// Harvester holds the assembled equivalent-circuit netlist and the
+// handles needed by observers.
+type Harvester struct {
+	Net     *Netlist
+	OutNode int // multiplier output / supercap terminal node
+	AcNode  int // rectifier input node
+	VelSlot int // mechanical loop current (velocity) branch slot
+	Req     *ModeResistor
+}
+
+// BuildHarvester constructs the equivalent circuit of the complete
+// harvester (Fig. 1 rendered as a PSPICE-style netlist).
+func BuildHarvester(p EquivParams) *Harvester {
+	net := NewNetlist()
+	h := &Harvester{Net: net}
+
+	// Mechanical loop (force-voltage analogy). Loop: force source ->
+	// mass inductor -> damping resistor -> compliance capacitor ->
+	// coupling CCVS -> ground. The loop current is the proof-mass
+	// velocity.
+	mA := net.Node("mA")
+	mB := net.Node("mB")
+	mC := net.Node("mC")
+	mD := net.Node("mD")
+	force := &VSource{Inst: "Vforce", A: mA, B: -1, V: func(t float64) float64 {
+		return -p.M * p.AccelAmp * math.Sin(2*math.Pi*p.FreqHz*t)
+	}}
+	net.Add(force)
+	mass := &Inductor{Inst: "Lmass", A: mA, B: mB, L: p.M}
+	net.Add(mass)
+	net.Add(&Resistor{Inst: "Rdamp", A: mB, B: mC, R: p.Cp})
+	net.Add(&Capacitor{Inst: "Ccompl", A: mC, B: mD, C: 1 / p.Ks})
+	h.VelSlot = mass.BranchSlot()
+
+	// Electromagnetic coupling: Fem = Phi*i_elec in the mechanical loop;
+	// Vem = Phi*velocity on the electrical side. The electrical-side
+	// CCVS's own branch current is the coil current, which controls the
+	// mechanical-side source.
+	// Sign note: with the MNA convention used here the CCVS branch
+	// current is the current the external circuit pushes into its +
+	// terminal, i.e. the negative of the coil current flowing out of the
+	// Vem source. The reaction force must oppose the velocity (Lenz), so
+	// the force-side gain is -Phi.
+	e1 := net.Node("e1")
+	vem := &CCVS{Inst: "Hvem", A: e1, B: -1, Gain: p.Phi, CtrlSlot: mass.BranchSlot()}
+	net.Add(vem)
+	fem := &CCVS{Inst: "Hfem", A: mD, B: -1, Gain: -p.Phi, CtrlSlot: vem.BranchSlot()}
+	net.Add(fem)
+
+	// Coil resistance into the rectifier input.
+	ac := net.Node("ac")
+	h.AcNode = ac
+	net.Add(&Resistor{Inst: "Rcoil", A: e1, B: ac, R: p.Rc})
+
+	// Cockcroft-Walton / Dickson cascade: odd nodes couple to the AC rail
+	// through pump capacitors, even nodes hold DC on storage capacitors,
+	// diodes zig-zag up the ladder.
+	prev := -1 // diode chain starts at ground
+	for i := 1; i <= p.Stages; i++ {
+		ni := net.Node(fmt.Sprintf("n%d", i))
+		net.Add(&Diode{
+			Inst: fmt.Sprintf("D%d", i), A: prev, B: ni,
+			Is: p.DiodeIs, NVt: p.DiodeNVt, Rs: p.DiodeRs,
+		})
+		c := p.CStage
+		other := -1 // storage stages hold DC to ground
+		if i == p.Stages {
+			c = p.COut // output smoothing stage
+		} else if i%2 == 1 {
+			c = p.CPump
+			other = ac // odd interior stages pump from the AC rail
+		}
+		v0 := 0.0
+		if other == -1 {
+			v0 = p.V0 * float64(i) / float64(p.Stages)
+		}
+		net.Add(&Capacitor{Inst: fmt.Sprintf("C%d", i), A: ni, B: other, C: c, V0: v0})
+		prev = ni
+	}
+	out := prev
+	h.OutNode = out
+
+	// Supercapacitor three-branch network plus the equivalent load.
+	si := net.Node("si")
+	sd := net.Node("sd")
+	sl := net.Node("sl")
+	net.Add(&Resistor{Inst: "Rim", A: out, B: si, R: p.Ri})
+	net.Add(&Capacitor{Inst: "Cim", A: si, B: -1, C: p.Ci, V0: p.V0})
+	net.Add(&Resistor{Inst: "Rdel", A: out, B: sd, R: p.Rd})
+	net.Add(&Capacitor{Inst: "Cdel", A: sd, B: -1, C: p.Cd, V0: p.V0})
+	net.Add(&Resistor{Inst: "Rlong", A: out, B: sl, R: p.Rl})
+	net.Add(&Capacitor{Inst: "Clong", A: sl, B: -1, C: p.Cl, V0: p.V0})
+	h.Req = &ModeResistor{Inst: "Req", A: out, B: -1, R: p.ReqOhms}
+	net.Add(h.Req)
+
+	return h
+}

@@ -1,0 +1,196 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"harvsim/internal/la"
+)
+
+// TranStats reports the work a transient analysis performed.
+type TranStats struct {
+	Steps       int
+	NewtonIters int
+	LUFactors   int
+	Rejected    int
+	HMean       float64
+}
+
+// Transient runs nonlinear transient analysis on a netlist: trapezoidal
+// companion models for the reactive elements and a full Newton-Raphson
+// solve of the MNA system at every time step — the algorithmic shape of
+// the circuit simulators in the paper's Table I.
+type Transient struct {
+	Net *Netlist
+
+	HMax   float64 // maximum step (default 1e-4 s)
+	HMin   float64 // minimum step (default 1e-9 s)
+	Atol   float64 // Newton update tolerance on voltages (default 1e-6)
+	Rtol   float64
+	MaxNR  int // Newton iteration limit per step (default 50)
+	Events func(now float64) float64
+	Fire   func(now float64)
+
+	Observer func(t float64, x []float64)
+
+	Stats TranStats
+
+	st    *MNAStamp
+	lu    *la.LU
+	x     []float64 // current accepted solution
+	xTry  []float64
+	xPrev []float64 // previous accepted solution (companion history)
+	mat   *la.Matrix
+}
+
+// NewTransient prepares a transient analysis for the netlist.
+func NewTransient(net *Netlist) *Transient {
+	n := net.Size()
+	return &Transient{
+		Net:   net,
+		HMax:  1e-4,
+		HMin:  1e-9,
+		Atol:  1e-6,
+		Rtol:  1e-4,
+		MaxNR: 50,
+		st:    NewMNAStamp(n, net.NumNodes()),
+		lu:    la.NewLU(n),
+		x:     make([]float64, n),
+		xTry:  make([]float64, n),
+		xPrev: make([]float64, n),
+		mat:   la.NewMatrix(n, n),
+	}
+}
+
+// X returns the current solution vector (live view).
+func (tr *Transient) X() []float64 { return tr.x }
+
+// solveStep performs the Newton iteration for one candidate step,
+// leaving the result in xTry. Returns the iterations used or an error.
+func (tr *Transient) solveStep(t, h float64) (int, error) {
+	copy(tr.xTry, tr.x)
+	for iter := 0; iter < tr.MaxNR; iter++ {
+		tr.st.Clear()
+		for _, d := range tr.Net.Devices() {
+			d.Stamp(tr.st, t, h, tr.xTry, tr.x)
+		}
+		// Copy into the LU workspace and solve G*xNew = b.
+		for i := 0; i < tr.st.N; i++ {
+			copy(tr.mat.Row(i), tr.st.G[i])
+		}
+		if err := tr.lu.Factor(tr.mat); err != nil {
+			return iter, fmt.Errorf("circuit: MNA matrix singular at t=%g: %w", t, err)
+		}
+		tr.Stats.LUFactors++
+		xNew := make([]float64, tr.st.N)
+		if err := tr.lu.Solve(xNew, tr.st.B); err != nil {
+			return iter, err
+		}
+		tr.Stats.NewtonIters++
+		// Convergence on the largest voltage/current change.
+		var worst float64
+		for i := range xNew {
+			d := math.Abs(xNew[i] - tr.xTry[i])
+			scale := tr.Atol + tr.Rtol*math.Abs(xNew[i])
+			if r := d / scale; r > worst {
+				worst = r
+			}
+		}
+		copy(tr.xTry, xNew)
+		if !la.AllFinite(tr.xTry) {
+			return iter, fmt.Errorf("circuit: non-finite iterate at t=%g", t)
+		}
+		if worst <= 1 {
+			return iter + 1, nil
+		}
+	}
+	return tr.MaxNR, fmt.Errorf("circuit: Newton did not converge at t=%g", t)
+}
+
+// commit propagates companion histories after an accepted step.
+func (tr *Transient) commit(h float64) {
+	for _, d := range tr.Net.Devices() {
+		switch dev := d.(type) {
+		case *Capacitor:
+			dev.Commit(h, tr.xTry, tr.x)
+		case *Inductor:
+			dev.Commit(tr.st, tr.xTry)
+		}
+	}
+	copy(tr.xPrev, tr.x)
+	copy(tr.x, tr.xTry)
+}
+
+// Run marches from t0 to tEnd.
+func (tr *Transient) Run(t0, tEnd float64) error {
+	if tEnd <= t0 {
+		return fmt.Errorf("circuit: empty span [%g, %g]", t0, tEnd)
+	}
+	t := t0
+	// DC-ish initialisation: one tiny implicit step settles the operating
+	// point from capacitor initial conditions.
+	h := tr.HMax / 100
+	var hSum float64
+	if tr.Observer != nil {
+		tr.Observer(t, tr.x)
+	}
+	for t < tEnd {
+		horizon := tEnd
+		if tr.Events != nil {
+			if te := tr.Events(t); te > t && te < horizon {
+				horizon = te
+			}
+		}
+		hTry := math.Min(h, tr.HMax)
+		if t+hTry > horizon {
+			hTry = horizon - t
+		}
+		if hTry <= 0 {
+			hTry = math.Min(tr.HMin, horizon-t)
+		}
+		var iters int
+		var err error
+		accepted := false
+		for attempt := 0; attempt < 30; attempt++ {
+			iters, err = tr.solveStep(t+hTry, hTry)
+			if err == nil {
+				accepted = true
+				break
+			}
+			tr.Stats.Rejected++
+			hTry = math.Max(hTry/4, tr.HMin)
+			if t+hTry > horizon {
+				hTry = horizon - t
+			}
+		}
+		if !accepted {
+			return err
+		}
+		tr.commit(hTry)
+		t += hTry
+		hSum += hTry
+		tr.Stats.Steps++
+		if tr.Observer != nil {
+			tr.Observer(t, tr.x)
+		}
+		// Iteration-count step control (classic SPICE heuristic).
+		switch {
+		case iters <= 8:
+			h = hTry * 1.6
+		case iters >= 20:
+			h = hTry / 2
+		default:
+			h = hTry
+		}
+		if h > tr.HMax {
+			h = tr.HMax
+		}
+		if tr.Fire != nil && tr.Events != nil && tr.Events(math.Inf(-1)) <= t+1e-12 {
+			tr.Fire(t)
+		}
+	}
+	if tr.Stats.Steps > 0 {
+		tr.Stats.HMean = hSum / float64(tr.Stats.Steps)
+	}
+	return nil
+}

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"harvsim/internal/trace"
+)
+
+// srcBlock is an ideal voltage source: no states, one algebraic equation
+// 0 = Vp - V(t) on terminals [Vp, Ip].
+type srcBlock struct {
+	name    string
+	v       func(t float64) float64
+	stamped bool
+}
+
+func (b *srcBlock) Name() string        { return b.name }
+func (b *srcBlock) NumStates() int      { return 0 }
+func (b *srcBlock) NumEquations() int   { return 1 }
+func (b *srcBlock) Terminals() []string { return []string{"Vp", "Ip"} }
+func (b *srcBlock) InitState([]float64) {}
+
+func (b *srcBlock) Linearise(t float64, x, y []float64, st Stamp) bool {
+	st.G(0, -b.v(t))
+	if b.stamped {
+		return false
+	}
+	st.D(0, 0, 1)
+	st.D(0, 1, 0)
+	b.stamped = true
+	return true
+}
+
+func (b *srcBlock) EvalNonlinear(t float64, x, y, fx, fy []float64) {
+	fy[0] = y[0] - b.v(t)
+}
+
+func (b *srcBlock) JacNonlinear(t float64, x, y []float64, st Stamp) {
+	st.D(0, 0, 1)
+	st.D(0, 1, 0)
+	b.stamped = false
+}
+
+// rcBlock is a series-R shunt-C load on terminals [Vp, Ip]: state Vc with
+// dVc/dt = (Vp-Vc)/(R*C) and terminal relation 0 = Ip - (Vp-Vc)/R.
+type rcBlock struct {
+	name    string
+	r, c    float64
+	v0      float64
+	stamped bool
+}
+
+func (b *rcBlock) Name() string        { return b.name }
+func (b *rcBlock) NumStates() int      { return 1 }
+func (b *rcBlock) NumEquations() int   { return 1 }
+func (b *rcBlock) Terminals() []string { return []string{"Vp", "Ip"} }
+func (b *rcBlock) InitState(x []float64) {
+	x[0] = b.v0
+}
+
+func (b *rcBlock) Linearise(t float64, x, y []float64, st Stamp) bool {
+	if b.stamped {
+		return false
+	}
+	rc := b.r * b.c
+	st.A(0, 0, -1/rc)
+	st.B(0, 0, 1/rc)
+	st.B(0, 1, 0)
+	st.E(0, 0)
+	st.C(0, 0, 1/b.r)
+	st.D(0, 0, -1/b.r)
+	st.D(0, 1, 1)
+	st.G(0, 0)
+	b.stamped = true
+	return true
+}
+
+func (b *rcBlock) EvalNonlinear(t float64, x, y, fx, fy []float64) {
+	fx[0] = (y[0] - x[0]) / (b.r * b.c)
+	fy[0] = y[1] - (y[0]-x[0])/b.r
+}
+
+func (b *rcBlock) JacNonlinear(t float64, x, y []float64, st Stamp) {
+	rc := b.r * b.c
+	st.A(0, 0, -1/rc)
+	st.B(0, 0, 1/rc)
+	st.B(0, 1, 0)
+	st.C(0, 0, 1/b.r)
+	st.D(0, 0, -1/b.r)
+	st.D(0, 1, 1)
+	b.stamped = false
+}
+
+// dragBlock is a nonlinear block with quadratic drag: dv/dt = -k*v*|v|,
+// with exact solution v(t) = v0/(1 + k*v0*t) for v0 > 0. Its Jacobian
+// changes every step, exercising the refresh/LLE path. It uses one
+// private terminal pair to stay square within its own equations.
+type dragBlock struct {
+	k, v0 float64
+	lastA float64
+}
+
+func (b *dragBlock) Name() string          { return "drag" }
+func (b *dragBlock) NumStates() int        { return 1 }
+func (b *dragBlock) NumEquations() int     { return 1 }
+func (b *dragBlock) Terminals() []string   { return []string{"drag.aux"} }
+func (b *dragBlock) InitState(x []float64) { x[0] = b.v0 }
+
+func (b *dragBlock) Linearise(t float64, x, y []float64, st Stamp) bool {
+	// Linearise f = -k v|v| about v: f =~ (-2k|v|)*v + k*v|v| (tangent).
+	a := -2 * b.k * math.Abs(x[0])
+	e := b.k * x[0] * math.Abs(x[0])
+	st.A(0, 0, a)
+	st.E(0, e)
+	st.B(0, 0, 0)
+	st.C(0, 0, 0)
+	st.D(0, 0, 1) // aux terminal pinned to zero
+	st.G(0, 0)
+	changed := a != b.lastA
+	b.lastA = a
+	return changed
+}
+
+func (b *dragBlock) EvalNonlinear(t float64, x, y, fx, fy []float64) {
+	fx[0] = -b.k * x[0] * math.Abs(x[0])
+	fy[0] = y[0]
+}
+
+func (b *dragBlock) JacNonlinear(t float64, x, y []float64, st Stamp) {
+	st.A(0, 0, -2*b.k*math.Abs(x[0]))
+	st.D(0, 0, 1)
+}
+
+func buildRC(v func(t float64) float64, r, c float64) (*System, *rcBlock) {
+	sys := NewSystem()
+	rc := &rcBlock{name: "rc", r: r, c: c}
+	sys.AddBlock(&srcBlock{name: "src", v: v})
+	sys.AddBlock(rc)
+	return sys, rc
+}
+
+func TestSystemBuildIndexing(t *testing.T) {
+	sys, _ := buildRC(func(float64) float64 { return 1 }, 1e3, 1e-6)
+	if err := sys.Build(); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if sys.NX() != 1 || sys.NY() != 2 {
+		t.Fatalf("NX=%d NY=%d, want 1, 2", sys.NX(), sys.NY())
+	}
+	if i := sys.MustTerminal("Vp"); i != 0 {
+		t.Fatalf("Vp index = %d", i)
+	}
+	if i := sys.MustTerminal("Ip"); i != 1 {
+		t.Fatalf("Ip index = %d", i)
+	}
+	if _, ok := sys.Terminal("nope"); ok {
+		t.Fatalf("unknown terminal should report !ok")
+	}
+	if off := sys.MustStateOffset("rc"); off != 0 {
+		t.Fatalf("rc state offset = %d", off)
+	}
+	if _, ok := sys.StateOffset("nope"); ok {
+		t.Fatalf("unknown block should report !ok")
+	}
+	names := sys.TerminalNames()
+	if len(names) != 2 || names[0] != "Vp" {
+		t.Fatalf("TerminalNames = %v", names)
+	}
+}
+
+func TestSystemBuildErrors(t *testing.T) {
+	if err := NewSystem().Build(); err == nil {
+		t.Fatalf("empty system should fail to build")
+	}
+	// Duplicate block names.
+	sys := NewSystem()
+	sys.AddBlock(&srcBlock{name: "s", v: func(float64) float64 { return 0 }})
+	sys.AddBlock(&srcBlock{name: "s", v: func(float64) float64 { return 0 }})
+	if err := sys.Build(); err == nil {
+		t.Fatalf("duplicate names should fail")
+	}
+	// Non-square: source alone references two terminals with one equation.
+	sys2 := NewSystem()
+	sys2.AddBlock(&srcBlock{name: "s", v: func(float64) float64 { return 0 }})
+	if err := sys2.Build(); err == nil {
+		t.Fatalf("non-square algebraic system should fail")
+	}
+}
+
+func TestEngineRCStepResponse(t *testing.T) {
+	r, c := 1e3, 1e-6 // tau = 1 ms
+	v0 := 5.0
+	sys, _ := buildRC(func(float64) float64 { return v0 }, r, c)
+	eng := NewEngine(sys)
+	eng.Ctl.HMax = 5e-5
+	var rec trace.Series
+	eng.Observe(func(tm float64, x, y []float64) {
+		rec.Append(tm, x[0])
+	})
+	if err := eng.Run(0, 5e-3); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Compare against the exact charging curve at several points.
+	for _, tm := range []float64{5e-4, 1e-3, 2e-3, 5e-3} {
+		want := v0 * (1 - math.Exp(-tm/(r*c)))
+		got := rec.At(tm)
+		if math.Abs(got-want) > 2e-3*v0 {
+			t.Fatalf("Vc(%v) = %v, want %v", tm, got, want)
+		}
+	}
+	if eng.Stats.Steps == 0 || eng.Stats.YSolves == 0 {
+		t.Fatalf("stats not recorded: %+v", eng.Stats)
+	}
+}
+
+func TestEngineTerminalVariablesConsistent(t *testing.T) {
+	// At every observed point, Ip must equal (Vp - Vc)/R: the eliminated
+	// non-state variables satisfy the algebraic constraints (paper Eq. 4).
+	r, c := 2e3, 5e-7
+	sys, _ := buildRC(func(tm float64) float64 { return 3 }, r, c)
+	eng := NewEngine(sys)
+	eng.Ctl.HMax = 5e-5
+	worst := 0.0
+	eng.Observe(func(tm float64, x, y []float64) {
+		ip := y[1]
+		want := (y[0] - x[0]) / r
+		if d := math.Abs(ip - want); d > worst {
+			worst = d
+		}
+	})
+	if err := eng.Run(0, 3e-3); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if worst > 1e-9 {
+		t.Fatalf("terminal relation violated by %v", worst)
+	}
+}
+
+func TestEngineSinusoidalSteadyState(t *testing.T) {
+	// RC low-pass driven at f << 1/(2*pi*RC) passes the signal through.
+	r, c := 100.0, 1e-6 // tau = 0.1 ms
+	f := 50.0
+	sys, _ := buildRC(func(tm float64) float64 { return math.Sin(2 * math.Pi * f * tm) }, r, c)
+	eng := NewEngine(sys)
+	eng.Ctl.HMax = 1e-4
+	var rec trace.Series
+	eng.Observe(func(tm float64, x, y []float64) { rec.Append(tm, x[0]) })
+	if err := eng.Run(0, 0.1); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// After transients, amplitude should be ~1/sqrt(1+(2*pi*f*tau)^2) ~ 0.9995.
+	ss := rec.Slice(0.06, 0.1)
+	_, hi := ss.MinMax()
+	if hi < 0.98 || hi > 1.01 {
+		t.Fatalf("steady-state peak = %v, want ~1", hi)
+	}
+}
+
+func TestEngineNonlinearDrag(t *testing.T) {
+	b := &dragBlock{k: 2, v0: 3}
+	sys := NewSystem()
+	sys.AddBlock(b)
+	eng := NewEngine(sys)
+	eng.Ctl.HMax = 1e-3
+	var rec trace.Series
+	eng.Observe(func(tm float64, x, y []float64) { rec.Append(tm, x[0]) })
+	if err := eng.Run(0, 1); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, tm := range []float64{0.1, 0.5, 1.0} {
+		want := b.v0 / (1 + b.k*b.v0*tm)
+		got := rec.At(tm)
+		if math.Abs(got-want) > 5e-3*want {
+			t.Fatalf("v(%v) = %v, want %v", tm, got, want)
+		}
+	}
+	if eng.Stats.Refreshes < 10 {
+		t.Fatalf("nonlinear run should refresh the linearisation often: %+v", eng.Stats)
+	}
+}
+
+// stepEvents switches the source voltage at fixed times.
+type stepEvents struct {
+	times []float64
+	src   *srcBlock
+	level *float64
+	fired int
+}
+
+func (ev *stepEvents) Next() float64 {
+	if ev.fired >= len(ev.times) {
+		return math.Inf(1)
+	}
+	return ev.times[ev.fired]
+}
+
+func (ev *stepEvents) Fire(now float64) bool {
+	changed := false
+	for ev.fired < len(ev.times) && ev.times[ev.fired] <= now+1e-12 {
+		*ev.level += 1
+		ev.fired++
+		changed = true
+	}
+	return changed
+}
+
+func TestEngineEventsDiscontinuity(t *testing.T) {
+	level := 1.0
+	src := &srcBlock{name: "src", v: func(float64) float64 { return level }}
+	rc := &rcBlock{name: "rc", r: 1e3, c: 1e-6}
+	sys := NewSystem()
+	sys.AddBlock(src)
+	sys.AddBlock(rc)
+	ev := &stepEvents{times: []float64{2e-3, 4e-3}, src: src, level: &level}
+	eng := NewEngine(sys)
+	eng.Events = ev
+	eng.Ctl.HMax = 1e-4
+	var rec trace.Series
+	eng.Observe(func(tm float64, x, y []float64) { rec.Append(tm, x[0]) })
+	if err := eng.Run(0, 8e-3); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ev.fired != 2 {
+		t.Fatalf("events fired = %d, want 2", ev.fired)
+	}
+	if eng.Stats.Restarts < 2 {
+		t.Fatalf("discontinuities should restart the history: %+v", eng.Stats)
+	}
+	// Final value should approach the final level 3 after several taus.
+	if _, v := rec.Last(); math.Abs(v-3) > 0.1 {
+		t.Fatalf("final Vc = %v, want ~3", v)
+	}
+	// Before the first event the target was 1.
+	if got := rec.At(1.9e-3); got > 1.0 {
+		t.Fatalf("pre-event Vc = %v, should be < 1", got)
+	}
+}
+
+func TestEngineRunValidation(t *testing.T) {
+	sys, _ := buildRC(func(float64) float64 { return 1 }, 1e3, 1e-6)
+	eng := NewEngine(sys)
+	if err := eng.Run(1, 1); err == nil {
+		t.Fatalf("empty span should error")
+	}
+	eng2 := NewEngine(sys)
+	eng2.Order = 9
+	if err := eng2.Run(0, 1e-3); err == nil {
+		t.Fatalf("bad order should error")
+	}
+}
+
+func TestEngineStabilityCapRespected(t *testing.T) {
+	// A fast RC (tau = 1 us) with a generous HMax: steps must still stay
+	// inside the stability bound, not the accuracy bound.
+	r, c := 10.0, 1e-7 // tau = 1 us
+	sys, _ := buildRC(func(float64) float64 { return 1 }, r, c)
+	eng := NewEngine(sys)
+	eng.Ctl.HMax = 1e-2 // far beyond stability
+	eng.Ctl.Rtol = 1    // effectively disable accuracy control
+	eng.Ctl.Atol = 1
+	if err := eng.Run(0, 2e-4); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// tau = 1 us: explicit stability needs h <= 2 us; mean step must obey.
+	if eng.Stats.HMean > 2.1e-6 {
+		t.Fatalf("mean step %v exceeds stability bound", eng.Stats.HMean)
+	}
+	// And the result must be sane (no blow-up): Vc in [0, 1].
+	x := eng.State()
+	if x[0] < 0 || x[0] > 1.0001 {
+		t.Fatalf("state blew past physical range: %v", x[0])
+	}
+}
+
+func TestEngineInvalidateForcesRefresh(t *testing.T) {
+	sys, _ := buildRC(func(float64) float64 { return 1 }, 1e3, 1e-6)
+	sys.MustBuild()
+	if !sys.Linearise(0, []float64{0}, []float64{0, 0}) {
+		t.Fatalf("first linearise should report change")
+	}
+	if sys.Linearise(0, []float64{0}, []float64{0, 0}) {
+		t.Fatalf("second linearise of a linear system should be unchanged")
+	}
+	sys.Invalidate()
+	if !sys.Linearise(0, []float64{0}, []float64{0, 0}) {
+		t.Fatalf("Invalidate should force a change report")
+	}
+}
+
+func TestEvalNonlinearMatchesLinearisationForLinearBlocks(t *testing.T) {
+	sys, _ := buildRC(func(float64) float64 { return 2 }, 1e3, 1e-6)
+	sys.MustBuild()
+	x := []float64{0.5}
+	y := []float64{2.0, 0.0015}
+	sys.Linearise(0, x, y)
+	fx := make([]float64, 1)
+	fy := make([]float64, 2)
+	sys.EvalNonlinear(0, x, y, fx, fy)
+	// Compare with Jxx*x + Jxy*y + Ex.
+	wantFx := sys.Jxx.At(0, 0)*x[0] + sys.Jxy.At(0, 0)*y[0] + sys.Jxy.At(0, 1)*y[1] + sys.Ex[0]
+	if math.Abs(fx[0]-wantFx) > 1e-12 {
+		t.Fatalf("fx = %v, want %v", fx[0], wantFx)
+	}
+	// fy rows: source eq then rc eq.
+	wantFy0 := y[0] - 2
+	if math.Abs(fy[0]-wantFy0) > 1e-12 {
+		t.Fatalf("fy[0] = %v, want %v", fy[0], wantFy0)
+	}
+	wantFy1 := y[1] - (y[0]-x[0])/1e3
+	if math.Abs(fy[1]-wantFy1) > 1e-12 {
+		t.Fatalf("fy[1] = %v, want %v", fy[1], wantFy1)
+	}
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// ladderBlock is a randomly generated passive RC ladder driven from its
+// terminal pair: states are the node voltages of an N-node chain with
+// per-node capacitance and series/shunt conductances. It is used for
+// property-based testing of the engine: any such network is passive, so
+// the simulated voltages must remain inside the source's range.
+type ladderBlock struct {
+	name    string
+	gSer    []float64 // len n: series conductance from previous node
+	gSh     []float64 // len n: shunt conductance to ground
+	c       []float64 // len n: node capacitance
+	stamped bool
+}
+
+func newLadder(name string, r *rand.Rand, n int) *ladderBlock {
+	b := &ladderBlock{name: name}
+	for i := 0; i < n; i++ {
+		b.gSer = append(b.gSer, 1e-4+r.Float64()*1e-2)
+		b.gSh = append(b.gSh, r.Float64()*1e-3)
+		b.c = append(b.c, 1e-6+r.Float64()*1e-4)
+	}
+	return b
+}
+
+func (b *ladderBlock) Name() string        { return b.name }
+func (b *ladderBlock) NumStates() int      { return len(b.c) }
+func (b *ladderBlock) NumEquations() int   { return 1 }
+func (b *ladderBlock) Terminals() []string { return []string{"Vp", "Ip"} }
+func (b *ladderBlock) InitState(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+func (b *ladderBlock) Linearise(t float64, x, y []float64, st Stamp) bool {
+	if b.stamped {
+		return false
+	}
+	n := len(b.c)
+	for i := 0; i < n; i++ {
+		// Node i: series from node i-1 (or the terminal), series to node
+		// i+1, shunt to ground.
+		var diag float64
+		if i == 0 {
+			st.B(0, 0, b.gSer[0]/b.c[0])
+			diag += b.gSer[0]
+		} else {
+			st.A(i, i-1, b.gSer[i]/b.c[i])
+			diag += b.gSer[i]
+		}
+		if i+1 < n {
+			st.A(i, i+1, b.gSer[i+1]/b.c[i])
+			diag += b.gSer[i+1]
+		}
+		diag += b.gSh[i]
+		st.A(i, i, -diag/b.c[i])
+	}
+	// Terminal relation: 0 = Ip - gSer[0]*(Vp - V0).
+	st.D(0, 0, -b.gSer[0])
+	st.D(0, 1, 1)
+	st.C(0, 0, b.gSer[0])
+	b.stamped = true
+	return true
+}
+
+func (b *ladderBlock) EvalNonlinear(t float64, x, y, fx, fy []float64) {
+	n := len(b.c)
+	for i := 0; i < n; i++ {
+		var sum float64
+		if i == 0 {
+			sum += b.gSer[0] * (y[0] - x[0])
+		} else {
+			sum += b.gSer[i] * (x[i-1] - x[i])
+		}
+		if i+1 < n {
+			sum += b.gSer[i+1] * (x[i+1] - x[i])
+		}
+		sum -= b.gSh[i] * x[i]
+		fx[i] = sum / b.c[i]
+	}
+	fy[0] = y[1] - b.gSer[0]*(y[0]-x[0])
+}
+
+func (b *ladderBlock) JacNonlinear(t float64, x, y []float64, st Stamp) {
+	b.stamped = false
+	b.Linearise(t, x, y, st)
+	b.stamped = false
+}
+
+// TestPropertyPassiveLadderBounded: for random passive RC ladders driven
+// by a bounded source, every node voltage stays within the source range
+// for the whole run — the physical passivity invariant the paper's
+// stability argument rests on.
+func TestPropertyPassiveLadderBounded(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw%6)
+		amp := 0.5 + 4*r.Float64()
+		freq := 20 + 200*r.Float64()
+		sys := NewSystem()
+		sys.AddBlock(&srcBlock{name: "src", v: func(tm float64) float64 {
+			return amp * math.Sin(2*math.Pi*freq*tm)
+		}})
+		sys.AddBlock(newLadder("lad", r, n))
+		eng := NewEngine(sys)
+		eng.Ctl.HMax = 2e-4
+		worst := 0.0
+		eng.Observe(func(tm float64, x, y []float64) {
+			for _, v := range x {
+				if a := math.Abs(v); a > worst {
+					worst = a
+				}
+			}
+		})
+		if err := eng.Run(0, 0.05); err != nil {
+			return false
+		}
+		return worst <= amp*1.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatalf("property failed: %v", err)
+	}
+}
+
+// TestPropertyTerminalRelationHolds: at every observed point the
+// eliminated terminal variables satisfy the block's algebraic relation
+// to solver precision, for random ladders.
+func TestPropertyTerminalRelationHolds(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw%5)
+		lad := newLadder("lad", r, n)
+		sys := NewSystem()
+		sys.AddBlock(&srcBlock{name: "src", v: func(tm float64) float64 {
+			return math.Sin(2 * math.Pi * 60 * tm)
+		}})
+		sys.AddBlock(lad)
+		eng := NewEngine(sys)
+		eng.Ctl.HMax = 2e-4
+		worst := 0.0
+		eng.Observe(func(tm float64, x, y []float64) {
+			res := y[1] - lad.gSer[0]*(y[0]-x[0])
+			if a := math.Abs(res); a > worst {
+				worst = a
+			}
+		})
+		if err := eng.Run(0, 0.03); err != nil {
+			return false
+		}
+		return worst < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatalf("property failed: %v", err)
+	}
+}
+
+// TestPropertyOrderConsistency: for random ladders, running the engine
+// at AB order 1 and order 4 must agree on the final state within the
+// accuracy tolerance scale — the order changes efficiency, not the
+// solution.
+func TestPropertyOrderConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(r.Intn(4))
+		mk := func() *System {
+			rr := rand.New(rand.NewSource(seed)) // same network both times
+			_ = rr.Int63()
+			sys := NewSystem()
+			sys.AddBlock(&srcBlock{name: "src", v: func(tm float64) float64 {
+				return math.Sin(2 * math.Pi * 50 * tm)
+			}})
+			sys.AddBlock(newLadder("lad", rand.New(rand.NewSource(seed+1)), n))
+			return sys
+		}
+		run := func(order int) ([]float64, error) {
+			eng := NewEngine(mk())
+			eng.Order = order
+			eng.Ctl.HMax = 1e-4
+			if err := eng.Run(0, 0.02); err != nil {
+				return nil, err
+			}
+			out := make([]float64, len(eng.State()))
+			copy(out, eng.State())
+			return out, nil
+		}
+		x1, err1 := run(1)
+		x4, err4 := run(4)
+		if err1 != nil || err4 != nil {
+			return false
+		}
+		for i := range x1 {
+			if math.Abs(x1[i]-x4[i]) > 1e-2*(1+math.Abs(x4[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatalf("property failed: %v", err)
+	}
+}
+
+// TestPropertyEngineMatchesAnalyticRC: single-pole RC driven by a step
+// has a closed form; random time constants must match it.
+func TestPropertyEngineMatchesAnalyticRC(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		res := 100 + 10000*r.Float64()
+		c := 1e-7 + 1e-5*r.Float64()
+		v0 := 0.5 + 5*r.Float64()
+		sys := NewSystem()
+		sys.AddBlock(&srcBlock{name: "src", v: func(float64) float64 { return v0 }})
+		sys.AddBlock(&rcBlock{name: "rc", r: res, c: c})
+		eng := NewEngine(sys)
+		tau := res * c
+		eng.Ctl.HMax = tau / 20
+		dur := 3 * tau
+		if err := eng.Run(0, dur); err != nil {
+			return false
+		}
+		want := v0 * (1 - math.Exp(-dur/tau))
+		return math.Abs(eng.State()[0]-want) < 5e-3*v0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatalf("property failed: %v", err)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt available for debugging edits

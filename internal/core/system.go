@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+
+	"harvsim/internal/la"
+)
+
+// System composes component blocks into the global linearised state-space
+// model of paper Eq. (2). Building the system computes the global state
+// and terminal-variable indexing; blocks connected to the same terminal
+// name share the variable, which is how the composite model of Section
+// III-E eliminates the inter-block terminals.
+type System struct {
+	blocks []Block
+
+	termNames []string
+	termIdx   map[string]int
+
+	xOff    []int   // per block: offset of its states in the global x
+	eqOff   []int   // per block: offset of its algebraic rows
+	termMap [][]int // per block: local terminal -> global terminal index
+
+	nx, ny int
+	built  bool
+
+	// Global linearisation storage (paper Eq. 2), stamped by blocks.
+	Jxx *la.Matrix // N x N
+	Jxy *la.Matrix // N x M
+	Jyx *la.Matrix // M x N
+	Jyy *la.Matrix // M x M
+	Ex  []float64  // N
+	Ey  []float64  // M
+
+	dirty bool // a parameter change invalidated the linearisation
+
+	// scratch for per-block local views
+	yLocal [][]float64
+}
+
+// NewSystem returns an empty system.
+func NewSystem() *System {
+	return &System{termIdx: make(map[string]int)}
+}
+
+// AddBlock appends a component block. Must be called before Build.
+func (s *System) AddBlock(b Block) {
+	if s.built {
+		panic("core: AddBlock after Build")
+	}
+	s.blocks = append(s.blocks, b)
+}
+
+// Build finalises the composition: assigns offsets, verifies that the
+// algebraic system is square (equations == terminal variables), and
+// allocates the global Jacobian storage.
+func (s *System) Build() error {
+	if s.built {
+		return nil
+	}
+	if len(s.blocks) == 0 {
+		return fmt.Errorf("core: system has no blocks")
+	}
+	names := make(map[string]bool)
+	s.xOff = make([]int, len(s.blocks))
+	s.eqOff = make([]int, len(s.blocks))
+	s.termMap = make([][]int, len(s.blocks))
+	s.yLocal = make([][]float64, len(s.blocks))
+	nx, neq := 0, 0
+	for i, b := range s.blocks {
+		if names[b.Name()] {
+			return fmt.Errorf("core: duplicate block name %q", b.Name())
+		}
+		names[b.Name()] = true
+		s.xOff[i] = nx
+		s.eqOff[i] = neq
+		nx += b.NumStates()
+		neq += b.NumEquations()
+		terms := b.Terminals()
+		s.termMap[i] = make([]int, len(terms))
+		s.yLocal[i] = make([]float64, len(terms))
+		for k, name := range terms {
+			idx, ok := s.termIdx[name]
+			if !ok {
+				idx = len(s.termNames)
+				s.termIdx[name] = idx
+				s.termNames = append(s.termNames, name)
+			}
+			s.termMap[i][k] = idx
+		}
+	}
+	s.nx = nx
+	s.ny = len(s.termNames)
+	if neq != s.ny {
+		return fmt.Errorf("core: algebraic system not square: %d equations for %d terminal variables",
+			neq, s.ny)
+	}
+	s.Jxx = la.NewMatrix(nx, nx)
+	s.Jxy = la.NewMatrix(nx, s.ny)
+	s.Jyx = la.NewMatrix(s.ny, nx)
+	s.Jyy = la.NewMatrix(s.ny, s.ny)
+	s.Ex = make([]float64, nx)
+	s.Ey = make([]float64, s.ny)
+	s.built = true
+	s.dirty = true
+	return nil
+}
+
+// MustBuild is Build that panics on error.
+func (s *System) MustBuild() {
+	if err := s.Build(); err != nil {
+		panic(err)
+	}
+}
+
+// NX returns the global state count N.
+func (s *System) NX() int { return s.nx }
+
+// NY returns the global terminal-variable count M.
+func (s *System) NY() int { return s.ny }
+
+// Blocks returns the composed blocks.
+func (s *System) Blocks() []Block { return s.blocks }
+
+// Terminal returns the global index of a terminal variable name,
+// building the system first if necessary.
+func (s *System) Terminal(name string) (int, bool) {
+	s.MustBuild()
+	i, ok := s.termIdx[name]
+	return i, ok
+}
+
+// MustTerminal is Terminal that panics when the name is unknown.
+func (s *System) MustTerminal(name string) int {
+	i, ok := s.Terminal(name)
+	if !ok {
+		panic(fmt.Sprintf("core: unknown terminal %q", name))
+	}
+	return i
+}
+
+// TerminalNames returns the terminal variable names in global order.
+func (s *System) TerminalNames() []string { return s.termNames }
+
+// StateOffset returns the offset of the named block's states in the
+// global state vector, building the system first if necessary.
+func (s *System) StateOffset(blockName string) (int, bool) {
+	s.MustBuild()
+	for i, b := range s.blocks {
+		if b.Name() == blockName {
+			return s.xOff[i], true
+		}
+	}
+	return 0, false
+}
+
+// MustStateOffset is StateOffset that panics when the block is unknown.
+func (s *System) MustStateOffset(blockName string) int {
+	off, ok := s.StateOffset(blockName)
+	if !ok {
+		panic(fmt.Sprintf("core: unknown block %q", blockName))
+	}
+	return off
+}
+
+// InitState writes the blocks' initial conditions into x (length NX).
+func (s *System) InitState(x []float64) {
+	if len(x) != s.nx {
+		panic("core: InitState length mismatch")
+	}
+	for i, b := range s.blocks {
+		b.InitState(x[s.xOff[i] : s.xOff[i]+b.NumStates()])
+	}
+}
+
+// Invalidate marks the current linearisation stale, e.g. after a digital
+// event changed a block parameter (load mode, tuning force). The next
+// Linearise call will report a change regardless of block deltas.
+func (s *System) Invalidate() { s.dirty = true }
+
+// gatherLocalY fills the per-block terminal value views from the global y.
+func (s *System) gatherLocalY(i int, y []float64) []float64 {
+	loc := s.yLocal[i]
+	for k, g := range s.termMap[i] {
+		loc[k] = y[g]
+	}
+	return loc
+}
+
+// Linearise refreshes the global linearised model at operating point
+// (t, x, y) by delegating to every block, and reports whether any
+// Jacobian entry changed (always true after Invalidate).
+func (s *System) Linearise(t float64, x, y []float64) (changed bool) {
+	if !s.built {
+		panic("core: Linearise before Build")
+	}
+	changed = s.dirty
+	for i, b := range s.blocks {
+		xl := x[s.xOff[i] : s.xOff[i]+b.NumStates()]
+		yl := s.gatherLocalY(i, y)
+		if b.Linearise(t, xl, yl, Stamp{sys: s, blk: i}) {
+			changed = true
+		}
+	}
+	s.dirty = false
+	return changed
+}
+
+// EvalNonlinear assembles the exact global residual functions
+// fx (length NX) and fy (length NY) at (t, x, y) from the blocks' device
+// equations. Used by the implicit baseline engines.
+func (s *System) EvalNonlinear(t float64, x, y, fx, fy []float64) {
+	if len(fx) != s.nx || len(fy) != s.ny || len(x) != s.nx || len(y) != s.ny {
+		panic("core: EvalNonlinear length mismatch")
+	}
+	for i, b := range s.blocks {
+		xl := x[s.xOff[i] : s.xOff[i]+b.NumStates()]
+		yl := s.gatherLocalY(i, y)
+		fxl := fx[s.xOff[i] : s.xOff[i]+b.NumStates()]
+		fyl := fy[s.eqOff[i] : s.eqOff[i]+b.NumEquations()]
+		b.EvalNonlinear(t, xl, yl, fxl, fyl)
+	}
+}
+
+// JacNonlinear stamps the exact global Jacobians at (t, x, y) into the
+// system's matrices (overwriting the PWL linearisation stamps — implicit
+// engines own the storage while they run).
+func (s *System) JacNonlinear(t float64, x, y []float64) {
+	for i, b := range s.blocks {
+		xl := x[s.xOff[i] : s.xOff[i]+b.NumStates()]
+		yl := s.gatherLocalY(i, y)
+		b.JacNonlinear(t, xl, yl, Stamp{sys: s, blk: i})
+	}
+	s.dirty = true // PWL engines must re-stamp afterwards
+}

@@ -1,0 +1,270 @@
+package digital
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.At(2, func(float64) bool { order = append(order, 2); return false })
+	k.At(1, func(float64) bool { order = append(order, 1); return false })
+	k.At(3, func(float64) bool { order = append(order, 3); return false })
+	if k.Next() != 1 {
+		t.Fatalf("Next = %v", k.Next())
+	}
+	k.Fire(2.5)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("fire order = %v", order)
+	}
+	if k.Next() != 3 {
+		t.Fatalf("remaining event at %v", k.Next())
+	}
+	k.Fire(3)
+	if k.Pending() != 0 || k.Fired() != 3 {
+		t.Fatalf("pending=%d fired=%d", k.Pending(), k.Fired())
+	}
+	if !math.IsInf(k.Next(), 1) {
+		t.Fatalf("empty queue Next should be +Inf")
+	}
+}
+
+func TestKernelFIFOForSimultaneous(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.At(1, func(float64) bool { order = append(order, i); return false })
+	}
+	k.Fire(1)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestKernelDeltaCycles(t *testing.T) {
+	// An action scheduling another action at the same time must have it
+	// fire within the same Fire call.
+	k := NewKernel()
+	var hit bool
+	k.At(1, func(now float64) bool {
+		k.At(now, func(float64) bool { hit = true; return false })
+		return false
+	})
+	k.Fire(1)
+	if !hit {
+		t.Fatalf("delta-cycle event did not fire")
+	}
+}
+
+func TestKernelChangedPropagation(t *testing.T) {
+	k := NewKernel()
+	k.At(1, func(float64) bool { return false })
+	k.At(1, func(float64) bool { return true })
+	if !k.Fire(1) {
+		t.Fatalf("Fire should report analogue change")
+	}
+}
+
+func TestKernelPastSchedulingClamped(t *testing.T) {
+	k := NewKernel()
+	k.Fire(5)
+	var at float64
+	k.At(1, func(now float64) bool { at = now; return false })
+	if k.Next() < 5 {
+		t.Fatalf("past event should clamp to now: %v", k.Next())
+	}
+	k.Fire(5)
+	if at != 5 {
+		t.Fatalf("clamped event fired at %v", at)
+	}
+}
+
+func TestZeroCrossMeterPureSine(t *testing.T) {
+	z := NewZeroCrossMeter(256)
+	f := 70.0
+	dt := 1e-4
+	for tm := 0.0; tm < 1.0; tm += dt {
+		z.Sample(tm, math.Sin(2*math.Pi*f*tm))
+	}
+	got := z.Measure(1.0, 0.5)
+	if math.Abs(got-f) > 0.2 {
+		t.Fatalf("measured %v Hz, want %v", got, f)
+	}
+}
+
+func TestZeroCrossMeterFrequencyStep(t *testing.T) {
+	z := NewZeroCrossMeter(512)
+	dt := 5e-5
+	// 64 Hz then 71 Hz after t=1.
+	phase := 0.0
+	for tm := 0.0; tm < 2.0; tm += dt {
+		f := 64.0
+		if tm >= 1 {
+			f = 71.0
+		}
+		phase += 2 * math.Pi * f * dt
+		z.Sample(tm, math.Sin(phase))
+	}
+	got := z.Measure(2.0, 0.5)
+	if math.Abs(got-71) > 0.3 {
+		t.Fatalf("post-step measurement = %v, want ~71", got)
+	}
+}
+
+func TestZeroCrossMeterInsufficientData(t *testing.T) {
+	z := NewZeroCrossMeter(16)
+	if !math.IsNaN(z.Measure(1, 1)) {
+		t.Fatalf("no samples should give NaN")
+	}
+	z.Sample(0, -1)
+	z.Sample(0.1, 1) // single crossing
+	if !math.IsNaN(z.Measure(0.2, 1)) {
+		t.Fatalf("single crossing should give NaN")
+	}
+}
+
+// mcuHarness wires an MCU to a scripted analogue stand-in.
+type mcuHarness struct {
+	k       *Kernel
+	mcu     *MCU
+	vc      float64
+	ambient float64
+	res     float64
+	mode    Mode
+	tunes   int
+	halts   int
+}
+
+func newMCUHarness(cfg MCUConfig) *mcuHarness {
+	cfg.Watchdog = 10
+	cfg.MeasureTime = 1
+	h := &mcuHarness{k: NewKernel(), vc: 3.0, ambient: 70, res: 70}
+	h.mcu = NewMCU(h.k, cfg)
+	h.mcu.ReadVc = func(float64) float64 { return h.vc }
+	h.mcu.AmbientHz = func(float64) float64 { return h.ambient }
+	h.mcu.ResonantHz = func(float64) float64 { return h.res }
+	h.mcu.SetMode = func(m Mode) bool { h.mode = m; return true }
+	h.mcu.TuneStep = func(t, target float64) (bool, bool) {
+		h.tunes++
+		// Approach the target by 0.5 Hz per tick.
+		if h.res < target {
+			h.res = math.Min(h.res+0.5, target)
+		} else {
+			h.res = math.Max(h.res-0.5, target)
+		}
+		return h.res == target, true
+	}
+	h.mcu.TuneHalt = func(float64) bool { h.halts++; return false }
+	return h
+}
+
+// runKernel advances the kernel until time end.
+func (h *mcuHarness) runKernel(end float64) {
+	for {
+		next := h.k.Next()
+		if math.IsInf(next, 1) || next > end {
+			return
+		}
+		h.k.Fire(next)
+	}
+}
+
+func TestMCUSleepsWhenMatched(t *testing.T) {
+	cfg := DefaultMCUConfig()
+	h := newMCUHarness(cfg)
+	h.mcu.Start(0)
+	h.runKernel(60)
+	if h.mcu.Stats.Wakes < 4 {
+		t.Fatalf("watchdog should wake repeatedly: %+v", h.mcu.Stats)
+	}
+	if h.mcu.Stats.Tunes != 0 {
+		t.Fatalf("matched frequency should not tune: %+v", h.mcu.Stats)
+	}
+	if h.mode != ModeSleep {
+		t.Fatalf("should end asleep, mode=%v", h.mode)
+	}
+}
+
+func TestMCUTunesOnMismatch(t *testing.T) {
+	cfg := DefaultMCUConfig()
+	h := newMCUHarness(cfg)
+	h.ambient = 73 // resonance starts at 70
+	h.mcu.Start(0)
+	h.runKernel(60)
+	if h.mcu.Stats.Tunes == 0 {
+		t.Fatalf("mismatch should trigger tuning: %+v", h.mcu.Stats)
+	}
+	if math.Abs(h.res-73) > 1e-9 {
+		t.Fatalf("resonance not driven to target: %v", h.res)
+	}
+	if h.mode != ModeSleep {
+		t.Fatalf("should sleep after tuning, mode=%v", h.mode)
+	}
+	// After retuning, later wakes must not re-tune.
+	tunesAfter := h.mcu.Stats.Tunes
+	h.runKernel(120)
+	if h.mcu.Stats.Tunes != tunesAfter {
+		t.Fatalf("re-tuned a matched system")
+	}
+}
+
+func TestMCUStaysAsleepBelowVMin(t *testing.T) {
+	cfg := DefaultMCUConfig()
+	h := newMCUHarness(cfg)
+	h.vc = 1.0
+	h.ambient = 75
+	h.mcu.Start(0)
+	h.runKernel(60)
+	if h.mcu.Stats.Measures != 0 || h.mcu.Stats.Tunes != 0 {
+		t.Fatalf("low voltage should prevent activity: %+v", h.mcu.Stats)
+	}
+	if h.mcu.Stats.SleptLowV < 4 {
+		t.Fatalf("low-voltage sleeps not counted: %+v", h.mcu.Stats)
+	}
+}
+
+func TestMCUAbortsTuningOnLowVoltage(t *testing.T) {
+	cfg := DefaultMCUConfig()
+	h := newMCUHarness(cfg)
+	h.ambient = 78
+	// Drain the supply during tuning.
+	drained := false
+	h.mcu.TuneStep = func(tm, target float64) (bool, bool) {
+		h.tunes++
+		if h.tunes > 3 && !drained {
+			h.vc = 1.5
+			drained = true
+		}
+		return false, true
+	}
+	h.mcu.Start(0)
+	h.runKernel(30)
+	if h.mcu.Stats.Aborts == 0 {
+		t.Fatalf("tuning should abort on low voltage: %+v", h.mcu.Stats)
+	}
+	if h.halts == 0 {
+		t.Fatalf("TuneHalt not invoked")
+	}
+	if h.mode != ModeSleep {
+		t.Fatalf("should sleep after abort")
+	}
+}
+
+func TestMCUSkipsTuningBelowVTune(t *testing.T) {
+	cfg := DefaultMCUConfig()
+	h := newMCUHarness(cfg)
+	h.vc = 2.4 // above VMin (2.2) but below VTune (2.6)
+	h.ambient = 75
+	h.mcu.Start(0)
+	h.runKernel(40)
+	if h.mcu.Stats.Measures == 0 {
+		t.Fatalf("should measure above VMin")
+	}
+	if h.mcu.Stats.Tunes != 0 {
+		t.Fatalf("should not tune below VTune: %+v", h.mcu.Stats)
+	}
+}

@@ -1,0 +1,78 @@
+package digital
+
+import "math"
+
+// ZeroCrossMeter estimates the ambient vibration frequency from sampled
+// acceleration, the way the validation rig's microcontroller does with
+// its accelerometer input: count positive-going zero crossings over a
+// measurement window. Samples are fed from an analogue-engine observer;
+// the MCU reads the estimate at the end of its measurement window.
+type ZeroCrossMeter struct {
+	capacity  int
+	crossings []float64 // recent up-crossing times, ring buffer
+	head      int
+	count     int
+	lastT     float64
+	lastV     float64
+	primed    bool
+}
+
+// NewZeroCrossMeter returns a meter remembering up to capacity recent
+// up-crossings (capacity ~ 4*f_max*window is plenty).
+func NewZeroCrossMeter(capacity int) *ZeroCrossMeter {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &ZeroCrossMeter{capacity: capacity, crossings: make([]float64, capacity)}
+}
+
+// Sample feeds one (t, value) pair; call from an engine observer.
+func (z *ZeroCrossMeter) Sample(t, v float64) {
+	if !z.primed {
+		z.lastT, z.lastV, z.primed = t, v, true
+		return
+	}
+	if t <= z.lastT {
+		z.lastV = v
+		return
+	}
+	if z.lastV <= 0 && v > 0 {
+		// Linear interpolation for the crossing instant.
+		frac := -z.lastV / (v - z.lastV)
+		tc := z.lastT + frac*(t-z.lastT)
+		z.crossings[z.head] = tc
+		z.head = (z.head + 1) % z.capacity
+		if z.count < z.capacity {
+			z.count++
+		}
+	}
+	z.lastT, z.lastV = t, v
+}
+
+// Crossings returns the number of stored up-crossings.
+func (z *ZeroCrossMeter) Crossings() int { return z.count }
+
+// Measure estimates the frequency from the up-crossings inside
+// [now-window, now]. Returns NaN when fewer than two crossings are in
+// the window.
+func (z *ZeroCrossMeter) Measure(now, window float64) float64 {
+	t0 := now - window
+	var first, last float64
+	n := 0
+	for i := 0; i < z.count; i++ {
+		idx := (z.head - 1 - i + 2*z.capacity) % z.capacity
+		tc := z.crossings[idx]
+		if tc < t0 || tc > now {
+			continue
+		}
+		if n == 0 {
+			last = tc
+		}
+		first = tc
+		n++
+	}
+	if n < 2 || last == first {
+		return math.NaN()
+	}
+	return float64(n-1) / (last - first)
+}

@@ -1,0 +1,116 @@
+// Package digital provides the event-driven digital simulation kernel
+// that co-simulates with the analogue engines (the role SystemC's digital
+// kernel plays in the paper), plus the microcontroller process
+// implementing the tuning flow chart of paper Fig. 7 and the supporting
+// frequency detector.
+//
+// Since the microcontroller is purely digital, there are no state
+// equations to model it (paper Section III-D): it is a process scheduled
+// on an event queue. The analogue engine never integrates across a
+// pending event time, and processes may change analogue block parameters
+// (load mode, tuning force), which the engine treats as a linearisation
+// discontinuity.
+package digital
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Action is a scheduled digital activity. Returning true reports that it
+// changed an analogue parameter (discontinuity).
+type Action func(now float64) (analogueChanged bool)
+
+// event is a queue entry.
+type event struct {
+	at  float64
+	seq int64 // FIFO tiebreak for simultaneous events
+	fn  Action
+}
+
+// eventHeap orders events by (time, insertion sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the digital event queue. It implements core.Events so it can
+// be attached to either analogue engine.
+type Kernel struct {
+	q     eventHeap
+	seq   int64
+	now   float64
+	fired int
+}
+
+// NewKernel returns an empty kernel.
+func NewKernel() *Kernel {
+	k := &Kernel{}
+	heap.Init(&k.q)
+	return k
+}
+
+// At schedules fn at absolute time t. Scheduling in the past (relative
+// to the last Fire) is clamped to "immediately at the next Fire".
+func (k *Kernel) At(t float64, fn Action) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.q, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn delay seconds after the current kernel time.
+func (k *Kernel) After(delay float64, fn Action) {
+	k.At(k.now+delay, fn)
+}
+
+// Now returns the kernel's current time (the time of the last Fire).
+func (k *Kernel) Now() float64 { return k.now }
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return k.q.Len() }
+
+// Fired returns the total number of executed events.
+func (k *Kernel) Fired() int { return k.fired }
+
+// Next implements core.Events.
+func (k *Kernel) Next() float64 {
+	if k.q.Len() == 0 {
+		return math.Inf(1)
+	}
+	return k.q[0].at
+}
+
+// Fire implements core.Events: executes every event due at or before
+// now, including events the executed actions schedule for <= now (delta
+// cycles).
+func (k *Kernel) Fire(now float64) bool {
+	changed := false
+	if now > k.now {
+		k.now = now
+	}
+	for k.q.Len() > 0 && k.q[0].at <= now+1e-12 {
+		e := heap.Pop(&k.q).(*event)
+		k.fired++
+		if e.fn(now) {
+			changed = true
+		}
+	}
+	return changed
+}

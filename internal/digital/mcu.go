@@ -1,0 +1,176 @@
+package digital
+
+import "math"
+
+// Mode mirrors the three operating modes of paper Eq. 16 that the
+// microcontroller drives the system through.
+type Mode int
+
+const (
+	// ModeSleep: microcontroller asleep, waiting on the watchdog timer.
+	ModeSleep Mode = iota
+	// ModeAwake: microcontroller awake, measuring.
+	ModeAwake
+	// ModeTuning: actuator moving the tuning magnet.
+	ModeTuning
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeAwake:
+		return "awake"
+	case ModeTuning:
+		return "tuning"
+	default:
+		return "sleep"
+	}
+}
+
+// MCUConfig sets the autonomous controller's thresholds and timing.
+type MCUConfig struct {
+	Watchdog    float64 // watchdog wake period [s]
+	MeasureTime float64 // frequency measurement window [s]
+	VMin        float64 // below this the MCU goes straight back to sleep [V]
+	VTune       float64 // minimum stored voltage to start tuning [V]
+	VStop       float64 // tuning aborts below this [V]
+	TolHz       float64 // acceptable |f_ambient - f_resonant| [Hz]
+	ActUpdate   float64 // tuning-force refresh interval while moving [s]
+}
+
+// DefaultMCUConfig returns the controller settings used by the
+// autonomous harvester scenarios.
+func DefaultMCUConfig() MCUConfig {
+	return MCUConfig{
+		Watchdog:    30,
+		MeasureTime: 0.1,
+		VMin:        2.2,
+		VTune:       2.6,
+		VStop:       2.0,
+		TolHz:       0.5,
+		ActUpdate:   0.25,
+	}
+}
+
+// MCUStats counts controller activity.
+type MCUStats struct {
+	Wakes     int
+	Measures  int
+	Tunes     int
+	TuneTicks int
+	Aborts    int
+	SleptLowV int
+}
+
+// MCU is the digital microcontroller process implementing the tuning
+// flow chart of paper Fig. 7: watchdog wake -> enough energy? ->
+// frequency match? -> tune (driving the actuator) -> sleep. It is wired
+// to the analogue side purely through callbacks so the digital kernel
+// stays independent of the block implementations.
+type MCU struct {
+	K   *Kernel
+	Cfg MCUConfig
+
+	// ReadVc samples the supercapacitor voltage.
+	ReadVc func(t float64) float64
+	// AmbientHz returns the ambient vibration frequency measured over
+	// the preceding measurement window.
+	AmbientHz func(t float64) float64
+	// ResonantHz returns the microgenerator's current resonant frequency
+	// (from the actuator-position calibration table).
+	ResonantHz func(t float64) float64
+	// SetMode switches the equivalent load (Eq. 16); returns whether an
+	// analogue parameter changed.
+	SetMode func(m Mode) bool
+	// TuneStep advances the tuning process toward targetHz; done reports
+	// arrival (or travel limit), changed any analogue update.
+	TuneStep func(t, targetHz float64) (done, changed bool)
+	// TuneHalt freezes the actuator (low-energy abort).
+	TuneHalt func(t float64) bool
+
+	Stats  MCUStats
+	target float64
+	mode   Mode
+}
+
+// NewMCU returns an MCU bound to kernel k. The caller wires the
+// callbacks before Start.
+func NewMCU(k *Kernel, cfg MCUConfig) *MCU {
+	return &MCU{K: k, Cfg: cfg, mode: ModeSleep}
+}
+
+// Mode returns the controller's current mode.
+func (m *MCU) Mode() Mode { return m.mode }
+
+// Start schedules the first watchdog wake-up after t0.
+func (m *MCU) Start(t0 float64) {
+	m.K.At(t0+m.Cfg.Watchdog, m.wake)
+}
+
+func (m *MCU) setMode(mode Mode) bool {
+	m.mode = mode
+	if m.SetMode == nil {
+		return false
+	}
+	return m.SetMode(mode)
+}
+
+// wake is the watchdog event: check stored energy, then start a
+// measurement or go back to sleep (Fig. 7, top).
+func (m *MCU) wake(now float64) bool {
+	m.Stats.Wakes++
+	if m.ReadVc(now) < m.Cfg.VMin {
+		m.Stats.SleptLowV++
+		m.K.After(m.Cfg.Watchdog, m.wake)
+		return false
+	}
+	changed := m.setMode(ModeAwake)
+	m.K.After(m.Cfg.MeasureTime, m.afterMeasure)
+	return changed
+}
+
+// afterMeasure compares the measured ambient frequency with the current
+// resonance and decides whether to tune (Fig. 7, middle).
+func (m *MCU) afterMeasure(now float64) bool {
+	m.Stats.Measures++
+	f := m.AmbientHz(now)
+	fr := m.ResonantHz(now)
+	if math.Abs(f-fr) <= m.Cfg.TolHz || m.ReadVc(now) < m.Cfg.VTune {
+		changed := m.setMode(ModeSleep)
+		m.K.After(m.Cfg.Watchdog, m.wake)
+		return changed
+	}
+	m.Stats.Tunes++
+	m.target = f
+	changed := m.setMode(ModeTuning)
+	m.K.After(m.Cfg.ActUpdate, m.tuneTick)
+	return changed
+}
+
+// tuneTick advances the actuator until the target is reached or the
+// stored energy runs low (Fig. 7, bottom loop).
+func (m *MCU) tuneTick(now float64) bool {
+	m.Stats.TuneTicks++
+	if m.ReadVc(now) < m.Cfg.VStop {
+		m.Stats.Aborts++
+		changed := false
+		if m.TuneHalt != nil && m.TuneHalt(now) {
+			changed = true
+		}
+		if m.setMode(ModeSleep) {
+			changed = true
+		}
+		m.K.After(m.Cfg.Watchdog, m.wake)
+		return changed
+	}
+	done, changed := m.TuneStep(now, m.target)
+	if done {
+		if m.setMode(ModeSleep) {
+			changed = true
+		}
+		m.K.After(m.Cfg.Watchdog, m.wake)
+		return changed
+	}
+	m.K.After(m.Cfg.ActUpdate, m.tuneTick)
+	return changed
+}

@@ -1,0 +1,198 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"harvsim/internal/harvester"
+)
+
+func TestTable1ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-engine run")
+	}
+	res, err := Table1(3)
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(res.Rows))
+	}
+	proposed := res.Rows[3].Run
+	for _, row := range res.Rows[:3] {
+		if sp := proposed.Speedup(row.Run); sp < 1.2 {
+			t.Errorf("%s should be slower than proposed: speedup %.2f", row.Simulator, sp)
+		}
+	}
+	out := res.String()
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "PSPICE") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+func TestTable2ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-engine scenario runs")
+	}
+	res, err := Table2(harvester.Quick)
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("want 2 scenarios, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Speedup < 2 {
+			t.Errorf("%s: proposed should clearly beat existing, speedup %.2f", row.Scenario, row.Speedup)
+		}
+		if row.VcRMSE > 0.05 {
+			t.Errorf("%s: engines disagree: RMSE %.3g V", row.Scenario, row.VcRMSE)
+		}
+	}
+	if !strings.Contains(res.String(), "Table II") {
+		t.Fatalf("render incomplete")
+	}
+}
+
+func TestFig8aPowerLevels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run")
+	}
+	res, err := Fig8a(harvester.Quick)
+	if err != nil {
+		t.Fatalf("Fig8a: %v", err)
+	}
+	// Calibration band around the paper's 116-118 uW.
+	if res.RMSBefore < 70e-6 || res.RMSBefore > 190e-6 {
+		t.Errorf("tuned-at-70 RMS = %v W, want ~118 uW", res.RMSBefore)
+	}
+	if res.RMSAfter < 70e-6 || res.RMSAfter > 190e-6 {
+		t.Errorf("retuned-at-71 RMS = %v W, want ~117 uW", res.RMSAfter)
+	}
+	// The dip while detuned is the figure's visual signature.
+	if res.RMSDetuned > 0.8*res.RMSBefore {
+		t.Errorf("no visible dip: detuned %v vs tuned %v", res.RMSDetuned, res.RMSBefore)
+	}
+	// Before/after parity (paper: 118 vs 117 uW).
+	ratio := res.RMSAfter / res.RMSBefore
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("before/after asymmetry too large: %v", ratio)
+	}
+	if !strings.Contains(res.String(), "Fig 8(a)") {
+		t.Fatalf("render incomplete")
+	}
+}
+
+func TestFig8bCloseCorrelation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario + twin runs")
+	}
+	res, err := Fig8b(harvester.Quick)
+	if err != nil {
+		t.Fatalf("Fig8b: %v", err)
+	}
+	// Close correlation, but not identical (the twin carries parasitics).
+	if res.Comparison.RMSE > 0.08 {
+		t.Errorf("correlation too loose: RMSE %v V", res.Comparison.RMSE)
+	}
+	if res.Comparison.RMSE == 0 {
+		t.Errorf("twin identical to simulation; parasitics missing")
+	}
+}
+
+func TestMeasurementTwinDiffersPhysically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("twin run")
+	}
+	sc := harvester.ChargeScenario(5)
+	sc.Cfg.InitialVc = 2.5
+	_, h, err := runTimed("base", sc, harvester.Proposed, 16)
+	if err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	twin, err := MeasurementTwin(sc, 16)
+	if err != nil {
+		t.Fatalf("twin: %v", err)
+	}
+	// The twin must sit slightly below the ideal simulation (leakage and
+	// higher losses) — at least by the end of the horizon.
+	_, vSim := h.VcTrace.Last()
+	_, vTwin := twin.Last()
+	if vTwin >= vSim {
+		t.Errorf("twin should lose energy to parasitics: twin %v vs sim %v", vTwin, vSim)
+	}
+}
+
+func TestEngineRunHelpers(t *testing.T) {
+	a := EngineRun{Label: "a", CPUTime: 10 * time.Second, SimTime: 100}
+	b := EngineRun{Label: "b", CPUTime: 1 * time.Second, SimTime: 10}
+	// Same per-sim-second cost: speedup 1.
+	if sp := a.Speedup(b); math.Abs(sp-1) > 1e-9 {
+		t.Fatalf("Speedup = %v, want 1", sp)
+	}
+	c := EngineRun{Label: "c", CPUTime: 1 * time.Second, SimTime: 100}
+	if sp := c.Speedup(a); math.Abs(sp-10) > 1e-9 {
+		t.Fatalf("Speedup = %v, want 10", sp)
+	}
+	if got := a.ExtrapolateTo(1000); got != 100*time.Second {
+		t.Fatalf("ExtrapolateTo = %v", got)
+	}
+	if FormatDuration(90*time.Minute) != "1.5h" {
+		t.Fatalf("FormatDuration hour form wrong")
+	}
+	if FormatDuration(90*time.Second) != "1.5min" {
+		t.Fatalf("FormatDuration minute form wrong")
+	}
+	if FormatDuration(1500*time.Millisecond) != "1.5s" {
+		t.Fatalf("FormatDuration second form wrong: %s", FormatDuration(1500*time.Millisecond))
+	}
+}
+
+func TestAblationStabilityDemonstratesBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stability sweep")
+	}
+	res, err := AblationStability(2)
+	if err != nil {
+		t.Fatalf("AblationStability: %v", err)
+	}
+	byFactor := map[string]bool{}
+	for _, row := range res.Rows {
+		byFactor[row.Setting] = row.Failed
+	}
+	if byFactor["0.9x stability cap"] {
+		t.Errorf("run inside the bound should be stable")
+	}
+	if !byFactor["4x stability cap"] {
+		t.Errorf("run far past the bound should diverge")
+	}
+}
+
+func TestAblationPWLSpeedFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("granularity sweep")
+	}
+	res, err := AblationPWL(2)
+	if err != nil {
+		t.Fatalf("AblationPWL: %v", err)
+	}
+	if len(res.Rows) < 4 {
+		t.Fatalf("too few rows")
+	}
+	// Paper claim: table size does not affect simulation speed. The
+	// lookup is O(1); the residual coupling in this implementation is the
+	// refresh frequency (finer tables change segment more often), which
+	// stays within a small constant band across a 1000x granularity
+	// range — far from the linear growth a non-tabular model would show.
+	minCPU, maxCPU := math.Inf(1), 0.0
+	for _, row := range res.Rows {
+		s := row.CPUTime.Seconds()
+		minCPU = math.Min(minCPU, s)
+		maxCPU = math.Max(maxCPU, s)
+	}
+	if maxCPU > 6*minCPU {
+		t.Errorf("CPU not flat across granularity: %v .. %v s", minCPU, maxCPU)
+	}
+}

@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"harvsim/internal/harvester"
+	"harvsim/internal/trace"
+)
+
+// Fig8aResult reproduces Fig. 8(a): the microgenerator output power
+// envelope across the 1 Hz tuning event, with the RMS power levels the
+// paper quotes (118 uW tuned at 70 Hz, 117 uW tuned at 71 Hz, against a
+// practical test value of 116 uW).
+type Fig8aResult struct {
+	Power      *trace.Series // windowed RMS of the instantaneous power
+	RMSBefore  float64       // tuned at 70 Hz, before the shift [W]
+	RMSDetuned float64       // after the shift, before retuning [W]
+	RMSAfter   float64       // retuned at 71 Hz [W]
+	ShiftT     float64
+	RetunedT   float64
+}
+
+// Fig8a runs Scenario 1 under the proposed engine and extracts the
+// power envelope.
+func Fig8a(f harvester.Fidelity) (Fig8aResult, error) {
+	sc := harvester.Scenario1(f)
+	_, h, err := runTimed("fig8a", sc, harvester.Proposed, 4)
+	if err != nil {
+		return Fig8aResult{}, err
+	}
+	res := Fig8aResult{ShiftT: sc.Shifts[0].T}
+	// Windowed mean of p(t) = Vm*Im over ~3.5 excitation periods; the
+	// paper's "RMS power" is Vrms*Irms, which equals the mean of p(t)
+	// for in-phase waveforms.
+	res.Power = h.PMultIn.WindowedMean(0.05, sc.Duration/400)
+	// Locate the retune completion from the resonance trace.
+	target := sc.Shifts[0].Hz
+	res.RetunedT = sc.Duration
+	for i, v := range h.FresTrace.Vals {
+		if math.Abs(v-target) < 0.2 {
+			res.RetunedT = h.FresTrace.Times[i]
+			break
+		}
+	}
+	res.RMSBefore = h.PMultIn.Slice(res.ShiftT*0.3, res.ShiftT*0.95).Mean()
+	res.RMSDetuned = h.PMultIn.Slice(res.ShiftT+1, math.Min(res.RetunedT-0.5, res.ShiftT+6)).Mean()
+	tail := sc.Duration - (sc.Duration-res.RetunedT)*0.5
+	res.RMSAfter = h.PMultIn.Slice(tail, sc.Duration).Mean()
+	return res, nil
+}
+
+// String renders the figure summary.
+func (r Fig8aResult) String() string {
+	return fmt.Sprintf(
+		"Fig 8(a) — microgenerator output power through the 1 Hz tuning event\n"+
+			"  RMS tuned @70 Hz:   %.1f uW   (paper: 118 uW simulated, 116 uW measured)\n"+
+			"  RMS detuned:        %.1f uW   (paper: visible dip)\n"+
+			"  RMS retuned @71 Hz: %.1f uW   (paper: 117 uW)\n"+
+			"  shift at t=%.3gs, retuned by t=%.3gs\n%s",
+		r.RMSBefore*1e6, r.RMSDetuned*1e6, r.RMSAfter*1e6, r.ShiftT, r.RetunedT,
+		trace.ASCIIPlot(r.Power, 72, 12))
+}
+
+// FigVcResult reproduces Figs. 8(b) and 9: the supercapacitor voltage,
+// simulated versus the measurement twin.
+type FigVcResult struct {
+	Name       string
+	Simulated  *trace.Series
+	Measured   *trace.Series
+	Comparison trace.Comparison
+}
+
+// Fig8b runs Scenario 1 and compares the simulated supercapacitor
+// voltage with the measurement substitute.
+func Fig8b(f harvester.Fidelity) (FigVcResult, error) {
+	return figVc("fig8b", harvester.Scenario1(f))
+}
+
+// Fig9 does the same for the 14 Hz Scenario 2.
+func Fig9(f harvester.Fidelity) (FigVcResult, error) {
+	return figVc("fig9", harvester.Scenario2(f))
+}
+
+func figVc(name string, sc harvester.Scenario) (FigVcResult, error) {
+	_, h, err := runTimed(name, sc, harvester.Proposed, 64)
+	if err != nil {
+		return FigVcResult{}, err
+	}
+	meas, err := MeasurementTwin(sc, 64)
+	if err != nil {
+		return FigVcResult{}, err
+	}
+	res := FigVcResult{
+		Name:      name,
+		Simulated: h.VcTrace,
+		Measured:  meas,
+	}
+	res.Comparison = trace.Compare(h.VcTrace, meas, 500)
+	return res, nil
+}
+
+// String renders the comparison.
+func (r FigVcResult) String() string {
+	return fmt.Sprintf(
+		"%s — supercapacitor voltage, simulation vs measurement twin\n"+
+			"  RMSE %.2g V, max deviation %.2g V at t=%.3gs (paper: close correlation\n"+
+			"  with differences attributed to leakage and parasitic loss)\n%s%s",
+		r.Name, r.Comparison.RMSE, r.Comparison.MaxAbs, r.Comparison.AtMax,
+		trace.ASCIIPlot(r.Simulated, 72, 10),
+		trace.ASCIIPlot(r.Measured, 72, 10))
+}

@@ -1,0 +1,228 @@
+package harvester
+
+import (
+	"math"
+	"testing"
+
+	"harvsim/internal/core"
+	"harvsim/internal/trace"
+)
+
+func TestEngineKindNames(t *testing.T) {
+	for _, k := range []EngineKind{Proposed, ExistingTrap, ExistingBDF2, ExistingBE} {
+		if k.String() == "" {
+			t.Fatalf("empty name for kind %d", int(k))
+		}
+	}
+	if EngineKind(99).String() == "" {
+		t.Fatalf("unknown kind should render")
+	}
+}
+
+func TestFidelityNames(t *testing.T) {
+	if Quick.String() != "quick" || PaperScale.String() != "paper-scale" {
+		t.Fatalf("fidelity names wrong")
+	}
+}
+
+func TestChargeScenarioAccumulates(t *testing.T) {
+	sc := ChargeScenario(30)
+	h, eng, err := RunScenario(sc, Proposed, 8)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	_ = eng
+	_, vEnd := h.VcTrace.Last()
+	if vEnd <= 1e-3 {
+		t.Fatalf("charging made no progress: %v", vEnd)
+	}
+	if h.Energy.Harvested <= 0 {
+		t.Fatalf("no energy harvested: %+v", h.Energy)
+	}
+	// Multiplier dissipates: delivered <= harvested.
+	if h.Energy.ToStore > h.Energy.Harvested+1e-9 {
+		t.Fatalf("store received more than harvested: %+v", h.Energy)
+	}
+	// Store bookkeeping: delivered energy covers the stored increase
+	// (plus branch losses, which are positive).
+	dStored := h.Energy.StoredT1 - h.Energy.StoredT0
+	if dStored <= 0 {
+		t.Fatalf("stored energy did not increase: %+v", h.Energy)
+	}
+	if h.Energy.ToStore < dStored-1e-6 {
+		t.Fatalf("energy books violated: delivered %v < stored %v", h.Energy.ToStore, dStored)
+	}
+}
+
+func TestScenario1AutonomousRetune(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system run")
+	}
+	sc := Scenario1(Quick)
+	h, _, err := RunScenario(sc, Proposed, 16)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if h.MCU.Stats.Tunes < 1 {
+		t.Fatalf("controller did not tune: %+v", h.MCU.Stats)
+	}
+	fres := h.Cfg.Microgen.TunedHz(h.Act.ForceAt(sc.Duration))
+	if math.Abs(fres-71) > h.Cfg.MCU.TolHz+0.2 {
+		t.Fatalf("final resonance = %v, want ~71", fres)
+	}
+	// The supercap must have carried the tuning burst: it dipped but
+	// stayed above the abort threshold minus margin.
+	lo, _ := h.VcTrace.MinMax()
+	if lo < h.Cfg.MCU.VStop-0.3 {
+		t.Fatalf("supercap collapsed during tuning: min %v", lo)
+	}
+	// Power recovery: RMS power after retune within the calibrated band.
+	rms := h.PMultIn.Slice(sc.Duration-30, sc.Duration).RMS()
+	if rms < 60e-6 || rms > 260e-6 {
+		t.Fatalf("post-tune power RMS = %v W, want ~1e-4", rms)
+	}
+}
+
+func TestScenario1PowerDipsWhileDetuned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system run")
+	}
+	// Without the controller, shifting 70 -> 71 Hz leaves the generator
+	// detuned and the delivered power visibly lower (the motivation for
+	// tuning, Fig. 8(a)).
+	sc := Scenario1(Quick)
+	sc.Cfg.Autonomous = false
+	h, _, err := RunScenario(sc, Proposed, 16)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	before := h.PMultIn.Slice(4, 9).Mean()
+	after := h.PMultIn.Slice(60, 120).Mean()
+	if after > 0.75*before {
+		t.Fatalf("detuned power %v should drop well below tuned %v", after, before)
+	}
+}
+
+func TestScenario2WideRetune(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system run")
+	}
+	sc := Scenario2(Quick)
+	h, _, err := RunScenario(sc, Proposed, 16)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if h.MCU.Stats.Tunes < 1 {
+		t.Fatalf("controller did not tune: %+v", h.MCU.Stats)
+	}
+	fres := h.Cfg.Microgen.TunedHz(h.Act.ForceAt(sc.Duration))
+	if math.Abs(fres-78) > 1.0 {
+		t.Fatalf("final resonance = %v, want ~78", fres)
+	}
+}
+
+func TestScenarioShiftValidation(t *testing.T) {
+	sc := Scenario1(Quick)
+	sc.Shifts = []FreqShift{{T: 1e9, Hz: 71}}
+	if _, _, err := RunScenario(sc, Proposed, 1); err == nil {
+		t.Fatalf("out-of-horizon shift should error")
+	}
+}
+
+func TestExplicitVsImplicitFullSystem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-engine run")
+	}
+	// Accuracy parity on the full system over a short horizon.
+	mk := func() Scenario {
+		sc := ChargeScenario(5)
+		sc.Cfg.InitialVc = 2.5
+		return sc
+	}
+	h1, _, err := RunScenario(mk(), Proposed, 4)
+	if err != nil {
+		t.Fatalf("proposed: %v", err)
+	}
+	h2, _, err := RunScenario(mk(), ExistingTrap, 4)
+	if err != nil {
+		t.Fatalf("existing: %v", err)
+	}
+	// Vc moves by well under a millivolt over this short horizon, so
+	// normalising by the reference span would be meaningless; compare the
+	// absolute RMSE against the ~2.5 V signal level instead.
+	cmp := trace.Compare(h1.VcTrace, h2.VcTrace, 200)
+	if cmp.RMSE > 2.5e-3 {
+		t.Fatalf("cross-engine Vc RMSE = %v V on a 2.5 V signal: %+v", cmp.RMSE, cmp)
+	}
+	// Compare delivered power trends too.
+	p1 := h1.PMultIn.Slice(2, 5).Mean()
+	p2 := h2.PMultIn.Slice(2, 5).Mean()
+	if p1 <= 0 || p2 <= 0 || math.Abs(p1-p2) > 0.15*math.Max(p1, p2) {
+		t.Fatalf("power means diverge: %v vs %v", p1, p2)
+	}
+}
+
+func TestInductiveCoilVariantWithImplicitEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-variant run")
+	}
+	// The paper's full Eq. 13 (coil inductance as a state) runs under the
+	// implicit baseline; at 70 Hz the waveforms should differ only
+	// marginally from the quasi-static coil.
+	mkCfg := func(lc float64) Scenario {
+		sc := ChargeScenario(3)
+		sc.Cfg.InitialVc = 2.5
+		sc.Cfg.Microgen.Lc = lc
+		return sc
+	}
+	hQS, _, err := RunScenario(mkCfg(0), ExistingTrap, 4)
+	if err != nil {
+		t.Fatalf("quasi-static: %v", err)
+	}
+	hL, _, err := RunScenario(mkCfg(0.3), ExistingTrap, 4)
+	if err != nil {
+		t.Fatalf("inductive: %v", err)
+	}
+	p1 := hQS.PMultIn.Slice(1, 3).Mean()
+	p2 := hL.PMultIn.Slice(1, 3).Mean()
+	if p1 <= 0 || p2 <= 0 {
+		t.Fatalf("no power: %v %v", p1, p2)
+	}
+	if math.Abs(p1-p2) > 0.35*math.Max(p1, p2) {
+		t.Fatalf("coil inductance changed power too much: %v vs %v", p1, p2)
+	}
+}
+
+func TestHarvesterProbesConsistent(t *testing.T) {
+	// Vc trace equals the V5 = Vc terminal relation at every sample.
+	sc := ChargeScenario(2)
+	sc.Cfg.InitialVc = 1.0
+	h := New(sc.Cfg)
+	eng := h.NewEngine(Proposed, 1)
+	var worst float64
+	mOff := h.Sys.MustStateOffset("mult")
+	vn := mOff + h.Cfg.Dickson.Stages - 1
+	eng.Observe(func(tm float64, x, y []float64) {
+		if d := math.Abs(y[h.idxVc] - x[vn]); d > worst {
+			worst = d
+		}
+	})
+	if err := eng.Run(0, 2); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if worst > 1e-9 {
+		t.Fatalf("Vc != V5 by %v", worst)
+	}
+}
+
+func TestDefaultConfigBuilds(t *testing.T) {
+	h := New(DefaultConfig())
+	if h.Sys.NX() != 10 || h.Sys.NY() != 4 {
+		t.Fatalf("composite dims = %d states, %d terminals", h.Sys.NX(), h.Sys.NY())
+	}
+	if h.MCU == nil || h.Kernel == nil {
+		t.Fatalf("autonomous harvester missing digital side")
+	}
+	var e core.Engine
+	_ = e // silence unused-import styling in case of edits
+}

@@ -1,0 +1,166 @@
+package harvester
+
+import "fmt"
+
+// FreqShift is a scheduled change of the ambient vibration frequency.
+type FreqShift struct {
+	T  float64 // time [s]
+	Hz float64 // new frequency [Hz]
+}
+
+// Scenario is one of the paper's evaluation runs: a configured harvester,
+// a sequence of ambient frequency shifts and a simulation horizon.
+type Scenario struct {
+	Name     string
+	Cfg      Config
+	Duration float64
+	Shifts   []FreqShift
+	Sweep    *SweepSpec // optional linear chirp (TrackingScenario)
+}
+
+// Fidelity selects between bench-scale and paper-scale scenario timing.
+// The physics is identical; Quick shortens the watchdog period, speeds
+// the actuator up and shrinks the horizon so a run finishes in seconds.
+// CPU-time *ratios* between engines are per-step properties and carry
+// over to the full-scale runs (see EXPERIMENTS.md).
+type Fidelity int
+
+const (
+	// Quick is the bench-scale variant.
+	Quick Fidelity = iota
+	// PaperScale reproduces the paper's multi-hour horizons.
+	PaperScale
+)
+
+// String names the fidelity.
+func (f Fidelity) String() string {
+	if f == PaperScale {
+		return "paper-scale"
+	}
+	return "quick"
+}
+
+// Scenario1 is the paper's narrow-range run: the ambient frequency
+// shifts from 70 to 71 Hz and the autonomous controller retunes the
+// generator by 1 Hz (Fig. 8, Table II row 1).
+func Scenario1(f Fidelity) Scenario {
+	cfg := DefaultConfig()
+	cfg.VibFreq = 70
+	cfg.InitialTuneHz = 70
+	cfg.InitialVc = 2.9
+	sc := Scenario{Name: "scenario1-1Hz", Cfg: cfg}
+	switch f {
+	case PaperScale:
+		sc.Cfg.MCU.Watchdog = 600
+		sc.Duration = 7200
+		sc.Shifts = []FreqShift{{T: 300, Hz: 71}}
+	default:
+		sc.Cfg.MCU.Watchdog = 20
+		sc.Duration = 120
+		sc.Shifts = []FreqShift{{T: 10, Hz: 71}}
+	}
+	return sc
+}
+
+// Scenario2 is the wide-range run: a 14 Hz shift spanning the design's
+// maximum tuning range, 64 to 78 Hz (Fig. 9, Table II row 2). At paper
+// scale the actuator travel costs more energy than the supercapacitor
+// holds, so the controller tunes in duty-cycled bursts separated by
+// recharge intervals — the behaviour that makes this the expensive
+// simulation case.
+func Scenario2(f Fidelity) Scenario {
+	cfg := DefaultConfig()
+	cfg.VibFreq = 64
+	cfg.InitialTuneHz = 64
+	sc := Scenario{Name: "scenario2-14Hz", Cfg: cfg}
+	switch f {
+	case PaperScale:
+		sc.Cfg.InitialVc = 2.9
+		sc.Cfg.MCU.Watchdog = 600
+		sc.Duration = 14400
+		sc.Shifts = []FreqShift{{T: 300, Hz: 78}}
+	default:
+		sc.Cfg.InitialVc = 3.3
+		sc.Cfg.MCU.Watchdog = 20
+		sc.Cfg.Actuator.Speed = 10e-3 // quick variant: faster actuator
+		sc.Duration = 180
+		sc.Shifts = []FreqShift{{T: 10, Hz: 78}}
+	}
+	return sc
+}
+
+// ChargeScenario is the non-tunable charge-up used by Table I: a fixed
+// 70 Hz excitation charging the supercapacitor from empty, no digital
+// activity.
+func ChargeScenario(duration float64) Scenario {
+	cfg := DefaultConfig()
+	cfg.Autonomous = false
+	cfg.InitialVc = 0
+	return Scenario{Name: "supercap-charging", Cfg: cfg, Duration: duration}
+}
+
+// TrackingScenario extends the paper's evaluation: instead of a single
+// step, the ambient frequency drifts slowly (a phase-continuous linear
+// chirp from f0 to fEnd over the middle of the horizon), and the
+// autonomous controller must re-tune repeatedly to track it — the
+// operating condition the paper's introduction motivates tunable
+// harvesters with. The chirp is scheduled directly on the vibration
+// source by RunScenario via the Sweep field.
+func TrackingScenario(duration, f0, fEnd float64) Scenario {
+	cfg := DefaultConfig()
+	cfg.VibFreq = f0
+	cfg.InitialTuneHz = f0
+	// Margins sized for repeated tuning bursts: the supercapacitor's
+	// series resistance sags the terminal voltage by ~0.25 V under the
+	// measurement load, so the energy thresholds sit well below the
+	// stored level or the controller would wrongly declare starvation.
+	cfg.InitialVc = 3.3
+	cfg.MCU.Watchdog = 15
+	cfg.MCU.MeasureTime = 0.05
+	cfg.MCU.VMin = 2.1
+	cfg.MCU.VTune = 2.3
+	// Quick-demo actuator (as in Scenario2(Quick)): at the rig's 1 mm/s a
+	// single retune costs more energy than the storage holds, which is
+	// the paper-scale duty-cycling behaviour — appropriate for multi-hour
+	// horizons, not a minutes-long tracking demonstration.
+	cfg.Actuator.Speed = 10e-3
+	sc := Scenario{Name: "frequency-tracking", Cfg: cfg, Duration: duration}
+	sc.Sweep = &SweepSpec{T0: duration * 0.15, Duration: duration * 0.6, FEnd: fEnd}
+	return sc
+}
+
+// SweepSpec schedules a linear ambient-frequency chirp.
+type SweepSpec struct {
+	T0       float64
+	Duration float64
+	FEnd     float64
+}
+
+// RunScenario assembles the harvester, schedules the frequency shifts on
+// the digital kernel and runs the chosen engine over the scenario
+// horizon. decimate bounds trace memory (1 = keep everything).
+func RunScenario(sc Scenario, kind EngineKind, decimate int) (*Harvester, Engine, error) {
+	h := New(sc.Cfg)
+	for _, shift := range sc.Shifts {
+		shift := shift
+		if shift.T >= sc.Duration {
+			return nil, nil, fmt.Errorf("harvester: shift at %g outside horizon %g", shift.T, sc.Duration)
+		}
+		h.Kernel.At(shift.T, func(now float64) bool {
+			h.Vib.SetFrequency(now, shift.Hz)
+			// The excitation's derivative changes discontinuously; restart
+			// the multistep history.
+			return true
+		})
+	}
+	if sw := sc.Sweep; sw != nil {
+		if sw.T0+sw.Duration > sc.Duration {
+			return nil, nil, fmt.Errorf("harvester: sweep extends past horizon %g", sc.Duration)
+		}
+		// Pre-programme the chirp; it is smooth (phase and frequency both
+		// continuous), so no event discontinuity is needed.
+		h.Vib.Sweep(sw.T0, sw.Duration, sw.FEnd)
+	}
+	eng, err := h.Run(kind, sc.Duration, decimate)
+	return h, eng, err
+}

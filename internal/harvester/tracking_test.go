@@ -1,0 +1,59 @@
+package harvester
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVibrationSweepInScenario(t *testing.T) {
+	sc := TrackingScenario(100, 66, 72)
+	h := New(sc.Cfg)
+	h.Vib.Sweep(15, 60, 72)
+	// Frequency profile: 66 before, ramping across, 72 after.
+	if f := h.Vib.Freq(10); math.Abs(f-66) > 1e-9 {
+		t.Fatalf("pre-sweep freq = %v", f)
+	}
+	if f := h.Vib.Freq(45); f <= 66 || f >= 72 {
+		t.Fatalf("mid-sweep freq = %v, want inside (66, 72)", f)
+	}
+	if f := h.Vib.Freq(90); math.Abs(f-72) > 1e-9 {
+		t.Fatalf("post-sweep freq = %v", f)
+	}
+	// Phase continuity across the chirp boundaries.
+	for _, tb := range []float64{15, 75} {
+		before := h.Vib.Accel(tb - 1e-9)
+		after := h.Vib.Accel(tb + 1e-9)
+		if math.Abs(before-after) > 1e-3 {
+			t.Fatalf("chirp discontinuity at %v: %v vs %v", tb, before, after)
+		}
+	}
+}
+
+func TestTrackingScenarioRetunesRepeatedly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system tracking run")
+	}
+	sc := TrackingScenario(150, 66, 72)
+	h, _, err := RunScenario(sc, Proposed, 32)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// A 6 Hz drift with a 0.5 Hz tolerance needs several distinct tuning
+	// runs to track.
+	if h.MCU.Stats.Tunes < 2 {
+		t.Fatalf("controller should re-tune repeatedly while tracking: %+v", h.MCU.Stats)
+	}
+	// The final resonance must have followed the drift most of the way.
+	fres := h.Cfg.Microgen.TunedHz(h.Act.ForceAt(sc.Duration))
+	if fres < 70 {
+		t.Fatalf("resonance did not track the drift: %v Hz (ambient ends at 72)", fres)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	sc := TrackingScenario(100, 66, 72)
+	sc.Sweep = &SweepSpec{T0: 90, Duration: 60, FEnd: 72}
+	if _, _, err := RunScenario(sc, Proposed, 32); err == nil {
+		t.Fatalf("sweep past horizon should error")
+	}
+}

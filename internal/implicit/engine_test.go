@@ -1,0 +1,331 @@
+package implicit
+
+import (
+	"math"
+	"testing"
+
+	"harvsim/internal/core"
+	"harvsim/internal/trace"
+)
+
+// Test blocks: an ideal source and a series-R shunt-C load, plus a
+// nonlinear diode-clamped capacitor to exercise the Newton path.
+
+type srcBlock struct {
+	name    string
+	v       func(t float64) float64
+	stamped bool
+}
+
+func (b *srcBlock) Name() string        { return b.name }
+func (b *srcBlock) NumStates() int      { return 0 }
+func (b *srcBlock) NumEquations() int   { return 1 }
+func (b *srcBlock) Terminals() []string { return []string{"Vp", "Ip"} }
+func (b *srcBlock) InitState([]float64) {}
+
+func (b *srcBlock) Linearise(t float64, x, y []float64, st core.Stamp) bool {
+	st.G(0, -b.v(t))
+	if b.stamped {
+		return false
+	}
+	st.D(0, 0, 1)
+	st.D(0, 1, 0)
+	b.stamped = true
+	return true
+}
+
+func (b *srcBlock) EvalNonlinear(t float64, x, y, fx, fy []float64) {
+	fy[0] = y[0] - b.v(t)
+}
+
+func (b *srcBlock) JacNonlinear(t float64, x, y []float64, st core.Stamp) {
+	st.D(0, 0, 1)
+	st.D(0, 1, 0)
+	b.stamped = false
+}
+
+type rcBlock struct {
+	name    string
+	r, c    float64
+	stamped bool
+}
+
+func (b *rcBlock) Name() string          { return b.name }
+func (b *rcBlock) NumStates() int        { return 1 }
+func (b *rcBlock) NumEquations() int     { return 1 }
+func (b *rcBlock) Terminals() []string   { return []string{"Vp", "Ip"} }
+func (b *rcBlock) InitState(x []float64) { x[0] = 0 }
+
+func (b *rcBlock) Linearise(t float64, x, y []float64, st core.Stamp) bool {
+	if b.stamped {
+		return false
+	}
+	rc := b.r * b.c
+	st.A(0, 0, -1/rc)
+	st.B(0, 0, 1/rc)
+	st.C(0, 0, 1/b.r)
+	st.D(0, 0, -1/b.r)
+	st.D(0, 1, 1)
+	b.stamped = true
+	return true
+}
+
+func (b *rcBlock) EvalNonlinear(t float64, x, y, fx, fy []float64) {
+	fx[0] = (y[0] - x[0]) / (b.r * b.c)
+	fy[0] = y[1] - (y[0]-x[0])/b.r
+}
+
+func (b *rcBlock) JacNonlinear(t float64, x, y []float64, st core.Stamp) {
+	rc := b.r * b.c
+	st.A(0, 0, -1/rc)
+	st.B(0, 0, 1/rc)
+	st.C(0, 0, 1/b.r)
+	st.D(0, 0, -1/b.r)
+	st.D(0, 1, 1)
+	b.stamped = false
+}
+
+// diodeRC: capacitor charged from the source through an exponential
+// diode: dVc/dt = Id/C, Id = Is*(exp((Vp-Vc)/Vt)-1); terminal relation
+// 0 = Ip - Id. A genuinely nonlinear block requiring Newton.
+type diodeRC struct {
+	name       string
+	c, is, vt  float64
+	lastExpArg float64
+}
+
+func (b *diodeRC) Name() string          { return b.name }
+func (b *diodeRC) NumStates() int        { return 1 }
+func (b *diodeRC) NumEquations() int     { return 1 }
+func (b *diodeRC) Terminals() []string   { return []string{"Vp", "Ip"} }
+func (b *diodeRC) InitState(x []float64) { x[0] = 0 }
+
+func (b *diodeRC) current(vd float64) float64 {
+	// Clip the exponent for robustness far from the solution.
+	arg := vd / b.vt
+	if arg > 60 {
+		arg = 60
+	}
+	return b.is * (math.Exp(arg) - 1)
+}
+
+func (b *diodeRC) conductance(vd float64) float64 {
+	arg := vd / b.vt
+	if arg > 60 {
+		arg = 60
+	}
+	return b.is * math.Exp(arg) / b.vt
+}
+
+func (b *diodeRC) Linearise(t float64, x, y []float64, st core.Stamp) bool {
+	vd := y[0] - x[0]
+	g := b.conductance(vd)
+	id := b.current(vd)
+	j := id - g*vd
+	st.A(0, 0, -g/b.c)
+	st.B(0, 0, g/b.c)
+	st.E(0, j/b.c)
+	st.C(0, 0, g)
+	st.D(0, 0, -g)
+	st.D(0, 1, 1)
+	st.G(0, -j)
+	changed := math.Abs(vd-b.lastExpArg) > 1e-3
+	if changed {
+		b.lastExpArg = vd
+	}
+	return changed
+}
+
+func (b *diodeRC) EvalNonlinear(t float64, x, y, fx, fy []float64) {
+	id := b.current(y[0] - x[0])
+	fx[0] = id / b.c
+	fy[0] = y[1] - id
+}
+
+func (b *diodeRC) JacNonlinear(t float64, x, y []float64, st core.Stamp) {
+	g := b.conductance(y[0] - x[0])
+	st.A(0, 0, -g/b.c)
+	st.B(0, 0, g/b.c)
+	st.C(0, 0, g)
+	st.D(0, 0, -g)
+	st.D(0, 1, 1)
+}
+
+func buildRCSys(v func(t float64) float64, r, c float64) *core.System {
+	sys := core.NewSystem()
+	sys.AddBlock(&srcBlock{name: "src", v: v})
+	sys.AddBlock(&rcBlock{name: "rc", r: r, c: c})
+	return sys
+}
+
+func TestMethodString(t *testing.T) {
+	if BackwardEuler.String() != "backward-euler" ||
+		Trapezoidal.String() != "trapezoidal" ||
+		BDF2.String() != "bdf2-gear" {
+		t.Fatalf("method names wrong")
+	}
+	if Method(99).String() == "" {
+		t.Fatalf("unknown method should still render")
+	}
+}
+
+func TestImplicitRCAllMethods(t *testing.T) {
+	r, c := 1e3, 1e-6
+	v0 := 5.0
+	for _, m := range []Method{BackwardEuler, Trapezoidal, BDF2} {
+		sys := buildRCSys(func(float64) float64 { return v0 }, r, c)
+		eng := NewEngine(sys, m)
+		eng.Ctl.HMax = 1e-4
+		var rec trace.Series
+		eng.Observe(func(tm float64, x, y []float64) { rec.Append(tm, x[0]) })
+		if err := eng.Run(0, 5e-3); err != nil {
+			t.Fatalf("%v Run: %v", m, err)
+		}
+		for _, tm := range []float64{1e-3, 3e-3, 5e-3} {
+			want := v0 * (1 - math.Exp(-tm/(r*c)))
+			got := rec.At(tm)
+			tol := 0.02 * v0
+			if m != BackwardEuler {
+				tol = 5e-3 * v0
+			}
+			if math.Abs(got-want) > tol {
+				t.Fatalf("%v: Vc(%v) = %v, want %v", m, tm, got, want)
+			}
+		}
+		if eng.Stats.Steps == 0 || eng.Stats.NewtonIters == 0 {
+			t.Fatalf("%v stats not recorded: %+v", m, eng.Stats)
+		}
+	}
+}
+
+func TestImplicitDiodeCharging(t *testing.T) {
+	// Diode-RC charging from a sine source: a peak rectifier. The
+	// capacitor voltage must approach the source peak minus a diode drop
+	// and never exceed the peak.
+	amp := 3.0
+	sys := core.NewSystem()
+	sys.AddBlock(&srcBlock{name: "src", v: func(tm float64) float64 {
+		return amp * math.Sin(2*math.Pi*50*tm)
+	}})
+	sys.AddBlock(&diodeRC{name: "d", c: 1e-5, is: 1e-9, vt: 26e-3})
+	eng := NewEngine(sys, Trapezoidal)
+	eng.Ctl.HMax = 2e-4
+	var rec trace.Series
+	eng.Observe(func(tm float64, x, y []float64) { rec.Append(tm, x[0]) })
+	if err := eng.Run(0, 0.2); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	_, vEnd := rec.Last()
+	if vEnd < amp-0.8 || vEnd > amp {
+		t.Fatalf("rectified voltage = %v, want within a diode drop of %v", vEnd, amp)
+	}
+	// Monotone non-decreasing (no discharge path).
+	for i := 1; i < rec.Len(); i++ {
+		if rec.Vals[i] < rec.Vals[i-1]-1e-6 {
+			t.Fatalf("capacitor discharged at %v", rec.Times[i])
+		}
+	}
+}
+
+func TestImplicitMatchesExplicitOnNonlinearSystem(t *testing.T) {
+	// The proposed explicit engine and the trapezoidal Newton baseline
+	// must agree on the diode rectifier within tolerance — the paper's
+	// "similar accuracy to a classical analogue solver".
+	amp := 2.0
+	mk := func() *core.System {
+		sys := core.NewSystem()
+		sys.AddBlock(&srcBlock{name: "src", v: func(tm float64) float64 {
+			return amp * math.Sin(2*math.Pi*50*tm)
+		}})
+		sys.AddBlock(&diodeRC{name: "d", c: 2e-5, is: 1e-9, vt: 26e-3})
+		return sys
+	}
+	var expl, impl trace.Series
+	e1 := core.NewEngine(mk())
+	e1.Ctl.HMax = 5e-5
+	e1.Observe(func(tm float64, x, y []float64) { expl.Append(tm, x[0]) })
+	if err := e1.Run(0, 0.1); err != nil {
+		t.Fatalf("explicit Run: %v", err)
+	}
+	e2 := NewEngine(mk(), Trapezoidal)
+	e2.Ctl.HMax = 5e-5
+	e2.Observe(func(tm float64, x, y []float64) { impl.Append(tm, x[0]) })
+	if err := e2.Run(0, 0.1); err != nil {
+		t.Fatalf("implicit Run: %v", err)
+	}
+	cmp := trace.Compare(&expl, &impl, 400)
+	if cmp.NRMSE > 0.02 {
+		t.Fatalf("explicit vs implicit NRMSE = %v, want < 2%%: %+v", cmp.NRMSE, cmp)
+	}
+}
+
+func TestImplicitEventsHandled(t *testing.T) {
+	level := 1.0
+	sys := core.NewSystem()
+	sys.AddBlock(&srcBlock{name: "src", v: func(float64) float64 { return level }})
+	sys.AddBlock(&rcBlock{name: "rc", r: 1e3, c: 1e-6})
+	ev := &oneEvent{at: 2e-3, action: func() { level = 2 }}
+	eng := NewEngine(sys, Trapezoidal)
+	eng.Events = ev
+	eng.Ctl.HMax = 1e-4
+	var rec trace.Series
+	eng.Observe(func(tm float64, x, y []float64) { rec.Append(tm, x[0]) })
+	if err := eng.Run(0, 8e-3); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ev.fired {
+		t.Fatalf("event did not fire")
+	}
+	if _, v := rec.Last(); math.Abs(v-2) > 0.05 {
+		t.Fatalf("final Vc = %v, want ~2", v)
+	}
+}
+
+type oneEvent struct {
+	at     float64
+	action func()
+	fired  bool
+}
+
+func (e *oneEvent) Next() float64 {
+	if e.fired {
+		return math.Inf(1)
+	}
+	return e.at
+}
+
+func (e *oneEvent) Fire(now float64) bool {
+	if !e.fired && e.at <= now+1e-12 {
+		e.fired = true
+		e.action()
+		return true
+	}
+	return false
+}
+
+func TestImplicitRunValidation(t *testing.T) {
+	sys := buildRCSys(func(float64) float64 { return 1 }, 1e3, 1e-6)
+	eng := NewEngine(sys, Trapezoidal)
+	if err := eng.Run(1, 0); err == nil {
+		t.Fatalf("reversed span should error")
+	}
+}
+
+func TestImplicitBDF2MoreAccurateThanBE(t *testing.T) {
+	r, c := 1e3, 1e-6
+	run := func(m Method) float64 {
+		sys := buildRCSys(func(float64) float64 { return 1 }, r, c)
+		eng := NewEngine(sys, m)
+		eng.Ctl.HMax = 2e-4
+		eng.Ctl.Rtol = 1e9 // force fixed large steps: isolate formula error
+		eng.Ctl.Atol = 1e9
+		if err := eng.Run(0, 3e-3); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		want := 1 - math.Exp(-3e-3/(r*c))
+		return math.Abs(eng.State()[0] - want)
+	}
+	if be, bdf := run(BackwardEuler), run(BDF2); bdf >= be {
+		t.Fatalf("BDF2 error %v should beat BE error %v at equal steps", bdf, be)
+	}
+}

@@ -1,0 +1,103 @@
+package la
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBalanceEqualisesNorms(t *testing.T) {
+	// LC-like pair: huge 1/C against tiny coupling; balancing should
+	// bring off-diagonals to the geometric mean.
+	a := FromRows([][]float64{
+		{-1200, -1},
+		{45000, -900},
+	})
+	b := Balance(a, 8)
+	// Off-diagonal magnitudes should both be ~sqrt(45000) ~ 212.
+	g := math.Sqrt(45000)
+	if math.Abs(math.Abs(b.At(0, 1))-g) > 0.2*g || math.Abs(math.Abs(b.At(1, 0))-g) > 0.2*g {
+		t.Fatalf("balanced off-diagonals = %v, %v, want ~%v", b.At(0, 1), b.At(1, 0), g)
+	}
+	// Diagonal untouched by similarity scaling.
+	if b.At(0, 0) != -1200 || b.At(1, 1) != -900 {
+		t.Fatalf("diagonal changed: %v", b)
+	}
+}
+
+func TestBalancePreservesSpectralRadius(t *testing.T) {
+	// Dominant eigenvalue is the isolated real mode at -30; the badly
+	// scaled 2x2 block contributes a complex pair with |lambda| ~ 3.2.
+	// (Power iteration only converges for real-dominant spectra, which
+	// is why the engine uses it solely as a fallback.)
+	a := FromRows([][]float64{
+		{-2, 1000, 0},
+		{-0.004, -3, 0},
+		{0, 0, -30},
+	})
+	rhoA := SpectralRadiusEstimate(a, 400)
+	b := Balance(a, 8)
+	rhoB := SpectralRadiusEstimate(b, 400)
+	if math.Abs(rhoA-30) > 0.5 {
+		t.Fatalf("rho(A) = %v, want ~30", rhoA)
+	}
+	if math.Abs(rhoA-rhoB) > 0.02*math.Max(rhoA, rhoB) {
+		t.Fatalf("balancing changed spectral radius: %v vs %v", rhoA, rhoB)
+	}
+}
+
+func TestBalanceNoopOnSymmetric(t *testing.T) {
+	a := FromRows([][]float64{{-2, 1}, {1, -3}})
+	b := Balance(a, 8)
+	if !b.Equalish(a, 1e-12) {
+		t.Fatalf("symmetric matrix should be unchanged:\n%v", b)
+	}
+}
+
+func TestStepLimitProfileMixedSystem(t *testing.T) {
+	// Row 0/1: lightly damped oscillator at omega=100 (non-dominant).
+	// Row 2: fast real mode at -5000 (dominant).
+	a := FromRows([][]float64{
+		{0, 100, 0},
+		{-100, -2, 0},
+		{0, 0, -5000},
+	})
+	hReal, rhoOsc, unstable := StepLimitProfile(a)
+	if unstable {
+		t.Fatalf("system should not be flagged unstable")
+	}
+	if math.Abs(hReal-2.0/5000) > 1e-12 {
+		t.Fatalf("hReal = %v, want %v", hReal, 2.0/5000)
+	}
+	// Gershgorin reach of the oscillator rows is ~100-102.
+	if rhoOsc < 100 || rhoOsc > 103 {
+		t.Fatalf("rhoOsc = %v, want ~100", rhoOsc)
+	}
+}
+
+func TestStepLimitProfilePureRC(t *testing.T) {
+	a := FromRows([][]float64{{-100, 10}, {5, -50}})
+	hReal, rhoOsc, unstable := StepLimitProfile(a)
+	if unstable || rhoOsc != 0 {
+		t.Fatalf("pure RC should have no oscillatory rows: rho=%v", rhoOsc)
+	}
+	want := 2.0 / 110
+	if math.Abs(hReal-want) > 1e-12 {
+		t.Fatalf("hReal = %v, want %v", hReal, want)
+	}
+}
+
+func TestStepLimitProfileUnstableRow(t *testing.T) {
+	a := FromRows([][]float64{{5, 1}, {0, -10}})
+	_, _, unstable := StepLimitProfile(a)
+	if !unstable {
+		t.Fatalf("positive dominant diagonal should be flagged")
+	}
+}
+
+func TestStepLimitProfileInertRows(t *testing.T) {
+	a := NewMatrix(3, 3)
+	hReal, rhoOsc, unstable := StepLimitProfile(a)
+	if !math.IsInf(hReal, 1) || rhoOsc != 0 || unstable {
+		t.Fatalf("zero matrix should impose no limits: %v %v %v", hReal, rhoOsc, unstable)
+	}
+}

@@ -1,0 +1,165 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGershgorinRealBound(t *testing.T) {
+	a := FromRows([][]float64{
+		{-4, 1, 0},
+		{0.5, -2, 0.5},
+		{0, 1, -10},
+	})
+	lo, hi := GershgorinRealBound(a)
+	if lo != -11 || hi != -1 {
+		t.Fatalf("bounds = [%v, %v], want [-11, -1]", lo, hi)
+	}
+}
+
+func TestDiagDominantStepLimitDiagonal(t *testing.T) {
+	// Pure diagonal A = diag(-a): FE stable iff h < 2/a; the limit should
+	// be exactly 2/a for the fastest mode.
+	a := FromRows([][]float64{{-10, 0}, {0, -2}})
+	h, ok := DiagDominantStepLimit(a)
+	if !ok {
+		t.Fatalf("expected a bound")
+	}
+	if math.Abs(h-0.2) > 1e-15 {
+		t.Fatalf("h = %v, want 0.2", h)
+	}
+}
+
+func TestDiagDominantStepLimitUnstableRow(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, -1}}) // positive eigenvalue
+	if _, ok := DiagDominantStepLimit(a); ok {
+		t.Fatalf("unstable system should have no bound")
+	}
+}
+
+func TestDiagDominantStepLimitInertRow(t *testing.T) {
+	// z' = v row in a mechanical system has zero diagonal but non-zero
+	// off-diagonal; such a row yields a finite limit only via other rows.
+	a := FromRows([][]float64{{0, 0}, {0, -4}})
+	h, ok := DiagDominantStepLimit(a)
+	if !ok || math.Abs(h-0.5) > 1e-15 {
+		t.Fatalf("h = %v ok=%v, want 0.5 true", h, ok)
+	}
+}
+
+func TestStepLimitImpliesSpectralRadius(t *testing.T) {
+	// Property (paper Eq. 7): at the diagonal-dominance step limit the
+	// spectral radius of I + hA is <= 1; slightly inside it it is < 1+eps.
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64, sizeRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		n := 2 + int(sizeRaw%8)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			var sum float64
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				v := r.NormFloat64() * 0.5
+				a.Set(i, j, v)
+				sum += math.Abs(v)
+			}
+			a.Set(i, i, -(sum + 0.1 + 2*r.Float64())) // passive-like
+		}
+		h, ok := DiagDominantStepLimit(a)
+		if !ok {
+			return false
+		}
+		m := NewMatrix(n, n)
+		PointTotalStepMatrix(m, a, 0.95*h)
+		rho := SpectralRadiusEstimate(m, 300)
+		return rho <= 1.0+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatalf("property failed: %v", err)
+	}
+}
+
+func TestIsDiagDominantStep(t *testing.T) {
+	a := FromRows([][]float64{{-10, 0}, {0, -2}})
+	if !IsDiagDominantStep(a, 0.19, 1e-12) {
+		t.Fatalf("h=0.19 should satisfy the criterion")
+	}
+	if IsDiagDominantStep(a, 0.21, 1e-12) {
+		t.Fatalf("h=0.21 should violate the criterion")
+	}
+}
+
+func TestSpectralRadiusEstimateKnown(t *testing.T) {
+	a := FromRows([][]float64{{0.5, 0}, {0, -0.25}})
+	rho := SpectralRadiusEstimate(a, 200)
+	if math.Abs(rho-0.5) > 1e-6 {
+		t.Fatalf("rho = %v, want 0.5", rho)
+	}
+}
+
+func TestSpectralRadiusEstimateZero(t *testing.T) {
+	if rho := SpectralRadiusEstimate(NewMatrix(3, 3), 50); rho != 0 {
+		t.Fatalf("rho of zero matrix = %v", rho)
+	}
+	if rho := SpectralRadiusEstimate(NewMatrix(0, 0), 10); rho != 0 {
+		t.Fatalf("rho of empty matrix = %v", rho)
+	}
+}
+
+func TestPointTotalStepMatrix(t *testing.T) {
+	a := FromRows([][]float64{{-2, 1}, {0, -4}})
+	m := NewMatrix(2, 2)
+	PointTotalStepMatrix(m, a, 0.1)
+	want := FromRows([][]float64{{0.8, 0.1}, {0, 0.6}})
+	if !m.Equalish(want, 1e-15) {
+		t.Fatalf("I+hA = %v, want %v", m, want)
+	}
+}
+
+func TestMinTimeConstant(t *testing.T) {
+	a := FromRows([][]float64{{-100, 0}, {0, -1}})
+	if tc := MinTimeConstant(a); math.Abs(tc-0.01) > 1e-15 {
+		t.Fatalf("tau_min = %v, want 0.01", tc)
+	}
+	if tc := MinTimeConstant(NewMatrix(2, 2)); !math.IsInf(tc, 1) {
+		t.Fatalf("tau_min of zero matrix = %v, want +Inf", tc)
+	}
+}
+
+// TestForwardEulerStabilityEndToEnd integrates xdot = A x with forward
+// Euler at a step just inside and just outside the diagonal-dominance
+// limit and checks decay vs blow-up. This is the stability story of the
+// paper's Section II in miniature.
+func TestForwardEulerStabilityEndToEnd(t *testing.T) {
+	a := FromRows([][]float64{
+		{-50, 10, 0},
+		{5, -80, 5},
+		{0, 20, -120},
+	})
+	hmax, ok := DiagDominantStepLimit(a)
+	if !ok {
+		t.Fatalf("expected bound")
+	}
+	run := func(h float64, steps int) (norm float64, blewUp bool) {
+		x := []float64{1, 1, 1}
+		dx := make([]float64, 3)
+		for i := 0; i < steps; i++ {
+			a.MulVec(dx, x)
+			Axpy(h, dx, x)
+			if !AllFinite(x) || NormInfVec(x) > 1e6 {
+				return math.Inf(1), true
+			}
+		}
+		return NormInfVec(x), false
+	}
+	if final, blewUp := run(0.9*hmax, 4000); blewUp || final > 1e-3 {
+		t.Fatalf("stable run did not decay: %v (blewUp=%v)", final, blewUp)
+	}
+	if _, blewUp := run(3.0*hmax, 4000); !blewUp {
+		t.Fatalf("unstable run did not grow")
+	}
+}

@@ -1,0 +1,165 @@
+package newton
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"harvsim/internal/la"
+)
+
+func TestSolveLinearSystem(t *testing.T) {
+	// F(u) = A u - b with known solution.
+	a := la.FromRows([][]float64{{3, 1}, {1, 2}})
+	b := []float64{9, 8}
+	f := func(u, dst []float64) {
+		a.MulVec(dst, u)
+		la.SubTo(dst, dst, b)
+	}
+	s := NewSolver(2, DefaultOptions())
+	u := []float64{0, 0}
+	if err := s.Solve(f, nil, u); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(u[0]-2) > 1e-8 || math.Abs(u[1]-3) > 1e-8 {
+		t.Fatalf("u = %v, want [2 3]", u)
+	}
+	if s.Stats.Iterations == 0 || s.Stats.LUFactors == 0 {
+		t.Fatalf("stats not recorded: %+v", s.Stats)
+	}
+}
+
+func TestSolveScalarNonlinear(t *testing.T) {
+	// u^2 = 2.
+	f := func(u, dst []float64) { dst[0] = u[0]*u[0] - 2 }
+	s := NewSolver(1, DefaultOptions())
+	u := []float64{1}
+	if err := s.Solve(f, nil, u); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(u[0]-math.Sqrt2) > 1e-8 {
+		t.Fatalf("u = %v, want sqrt(2)", u[0])
+	}
+}
+
+func TestSolveWithAnalyticJacobian(t *testing.T) {
+	f := func(u, dst []float64) {
+		dst[0] = math.Exp(u[0]) - 2
+		dst[1] = u[0] + u[1] - 1
+	}
+	jac := func(u []float64, dst *la.Matrix) {
+		dst.Set(0, 0, math.Exp(u[0]))
+		dst.Set(0, 1, 0)
+		dst.Set(1, 0, 1)
+		dst.Set(1, 1, 1)
+	}
+	s := NewSolver(2, DefaultOptions())
+	u := []float64{0, 0}
+	if err := s.Solve(f, jac, u); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(u[0]-math.Log(2)) > 1e-8 || math.Abs(u[1]-(1-math.Log(2))) > 1e-8 {
+		t.Fatalf("u = %v", u)
+	}
+	if s.Stats.FuncEvals > 20 {
+		t.Fatalf("analytic Jacobian should not need finite-difference evals: %+v", s.Stats)
+	}
+}
+
+func TestSolveDiodeLikeEquation(t *testing.T) {
+	// The stiff exponential that motivates damping: solve
+	// 1e-9*(exp(u/0.026)-1) + u/1000 - 0.01 = 0 from a poor start.
+	f := func(u, dst []float64) {
+		dst[0] = 1e-9*(math.Exp(u[0]/0.026)-1) + u[0]/1000 - 0.01
+	}
+	s := NewSolver(1, DefaultOptions())
+	u := []float64{0}
+	if err := s.Solve(f, nil, u); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	res := make([]float64, 1)
+	f(u, res)
+	if math.Abs(res[0]) > 1e-8 {
+		t.Fatalf("residual = %v at u = %v", res[0], u[0])
+	}
+}
+
+func TestSolveNoConvergence(t *testing.T) {
+	// F(u) = 1 + u^2 has no real root.
+	f := func(u, dst []float64) { dst[0] = 1 + u[0]*u[0] }
+	opts := DefaultOptions()
+	opts.MaxIter = 15
+	s := NewSolver(1, opts)
+	u := []float64{3}
+	err := s.Solve(f, nil, u)
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("want ErrNoConvergence, got %v", err)
+	}
+}
+
+func TestSolveSingularJacobian(t *testing.T) {
+	f := func(u, dst []float64) { dst[0], dst[1] = u[0]+u[1]-1, u[0]+u[1]-1 }
+	s := NewSolver(2, DefaultOptions())
+	u := []float64{5, 5}
+	if err := s.Solve(f, nil, u); err == nil {
+		t.Fatalf("singular Jacobian should error")
+	}
+}
+
+func TestSolveNonFiniteStart(t *testing.T) {
+	f := func(u, dst []float64) { dst[0] = math.Log(u[0]) }
+	s := NewSolver(1, DefaultOptions())
+	u := []float64{-1} // log(-1) = NaN
+	if err := s.Solve(f, nil, u); err == nil {
+		t.Fatalf("non-finite residual at start should error")
+	}
+}
+
+func TestNumJacMatchesAnalytic(t *testing.T) {
+	f := func(u, dst []float64) {
+		dst[0] = u[0]*u[0] + u[1]
+		dst[1] = math.Sin(u[0]) * u[1]
+	}
+	u := []float64{0.7, -1.2}
+	f0 := make([]float64, 2)
+	f(u, f0)
+	nj := NewNumJac(2)
+	jac := la.NewMatrix(2, 2)
+	nj.Eval(f, u, f0, jac)
+	want := la.FromRows([][]float64{
+		{2 * u[0], 1},
+		{math.Cos(u[0]) * u[1], math.Sin(u[0])},
+	})
+	if !jac.Equalish(want, 1e-5) {
+		t.Fatalf("numeric jacobian\n%v\nwant\n%v", jac, want)
+	}
+}
+
+func TestPropertyQuadraticRoots(t *testing.T) {
+	// Property: Newton from a start above the larger root of
+	// (u-a)(u-b) = 0 with a<b converges to b.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := r.NormFloat64()
+		b := a + 0.5 + r.Float64()*3
+		fn := func(u, dst []float64) { dst[0] = (u[0] - a) * (u[0] - b) }
+		s := NewSolver(1, DefaultOptions())
+		u := []float64{b + 1 + r.Float64()*5}
+		if err := s.Solve(fn, nil, u); err != nil {
+			return false
+		}
+		return math.Abs(u[0]-b) < 1e-6*(1+math.Abs(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("property failed: %v", err)
+	}
+}
+
+func TestOptionsDefaultsApplied(t *testing.T) {
+	s := NewSolver(1, Options{})
+	if s.Opts.MaxIter != 50 || s.Opts.Atol != 1e-9 || s.Opts.MaxHalvings != 8 {
+		t.Fatalf("defaults not applied: %+v", s.Opts)
+	}
+}

@@ -1,0 +1,257 @@
+package ode
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestABCoeffsUniformClassicalValues(t *testing.T) {
+	h := 0.1
+	// Order 1: {h}.
+	c1 := ABCoeffs(make([]float64, 1), []float64{0}, h)
+	if !almostEqual(c1[0], h, 1e-15) {
+		t.Fatalf("AB1 = %v", c1)
+	}
+	// Order 2 with uniform spacing: {3h/2, -h/2}.
+	c2 := ABCoeffs(make([]float64, 2), []float64{0, -h}, h)
+	if !almostEqual(c2[0], 1.5*h, 1e-14) || !almostEqual(c2[1], -0.5*h, 1e-14) {
+		t.Fatalf("AB2 = %v", c2)
+	}
+	// Order 3: h*{23/12, -16/12, 5/12}.
+	c3 := ABCoeffs(make([]float64, 3), []float64{0, -h, -2 * h}, h)
+	want3 := []float64{23.0 / 12, -16.0 / 12, 5.0 / 12}
+	for i := range want3 {
+		if !almostEqual(c3[i], want3[i]*h, 1e-13) {
+			t.Fatalf("AB3 = %v, want %v*h", c3, want3)
+		}
+	}
+	// Order 4: h*{55/24, -59/24, 37/24, -9/24}.
+	c4 := ABCoeffs(make([]float64, 4), []float64{0, -h, -2 * h, -3 * h}, h)
+	want4 := []float64{55.0 / 24, -59.0 / 24, 37.0 / 24, -9.0 / 24}
+	for i := range want4 {
+		if !almostEqual(c4[i], want4[i]*h, 1e-13) {
+			t.Fatalf("AB4 = %v, want %v*h", c4, want4)
+		}
+	}
+}
+
+func TestABCoeffsSumEqualsH(t *testing.T) {
+	// Property: the weights integrate the constant polynomial exactly, so
+	// they must sum to h for any (distinct, descending) history spacing.
+	f := func(seed int64, pRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := 1 + int(pRaw%4)
+		times := make([]float64, p)
+		tcur := 0.0
+		for i := 0; i < p; i++ {
+			times[i] = tcur
+			tcur -= 0.01 + r.Float64()
+		}
+		h := 0.01 + r.Float64()
+		c := ABCoeffs(make([]float64, p), times, h)
+		var sum float64
+		for _, v := range c {
+			sum += v
+		}
+		return almostEqual(sum, h, 1e-9*(1+h))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatalf("property failed: %v", err)
+	}
+}
+
+func TestABCoeffsExactOnPolynomials(t *testing.T) {
+	// Property: an order-p AB formula integrates f(t) = t^k exactly for
+	// k <= p-1, i.e. sum_i beta_i * t_i^k == ((tn+h)^{k+1} - tn^{k+1})/(k+1),
+	// even with non-uniform history spacing.
+	f := func(seed int64, pRaw, kRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := 1 + int(pRaw%4)
+		k := int(kRaw) % p // degree <= p-1
+		times := make([]float64, p)
+		tcur := 0.3 * r.Float64()
+		for i := 0; i < p; i++ {
+			times[i] = tcur
+			tcur -= 0.05 + 0.5*r.Float64()
+		}
+		h := 0.05 + 0.5*r.Float64()
+		c := ABCoeffs(make([]float64, p), times, h)
+		var got float64
+		for i, ti := range times {
+			got += c[i] * math.Pow(ti, float64(k))
+		}
+		tn := times[0]
+		want := (math.Pow(tn+h, float64(k+1)) - math.Pow(tn, float64(k+1))) / float64(k+1)
+		return almostEqual(got, want, 1e-8*(1+math.Abs(want)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatalf("property failed: %v", err)
+	}
+}
+
+func TestABCoeffsPanicsOnBadOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("want panic for order 5")
+		}
+	}()
+	ABCoeffs(make([]float64, 5), make([]float64, 5), 0.1)
+}
+
+func TestHistoryRing(t *testing.T) {
+	h := NewHistory(2, 3)
+	if h.Depth() != 0 {
+		t.Fatalf("new history not empty")
+	}
+	h.Push(1, []float64{10, 11})
+	h.Push(2, []float64{20, 21})
+	if h.Depth() != 2 {
+		t.Fatalf("depth = %d", h.Depth())
+	}
+	tm, f := h.Entry(0)
+	if tm != 2 || f[0] != 20 {
+		t.Fatalf("newest entry wrong: %v %v", tm, f)
+	}
+	tm, f = h.Entry(1)
+	if tm != 1 || f[1] != 11 {
+		t.Fatalf("older entry wrong: %v %v", tm, f)
+	}
+	h.Push(3, []float64{30, 31})
+	h.Push(4, []float64{40, 41}) // evicts t=1
+	if h.Depth() != 3 {
+		t.Fatalf("depth after wrap = %d", h.Depth())
+	}
+	times := h.Times(make([]float64, 3))
+	if times[0] != 4 || times[1] != 3 || times[2] != 2 {
+		t.Fatalf("times = %v", times)
+	}
+	h.Reset()
+	if h.Depth() != 0 {
+		t.Fatalf("reset did not clear history")
+	}
+}
+
+// decayRHS is xdot = -x with exact solution e^{-t}.
+func decayRHS(t float64, x, dst []float64) { dst[0] = -x[0] }
+
+func globalError(integ Integrator, h float64, steps int) float64 {
+	x := []float64{1}
+	xn := []float64{0}
+	tcur := 0.0
+	for i := 0; i < steps; i++ {
+		integ.Step(decayRHS, tcur, h, x, xn)
+		x[0] = xn[0]
+		tcur += h
+	}
+	return math.Abs(x[0] - math.Exp(-tcur))
+}
+
+func measuredOrder(make func() Integrator, warmupFree bool) float64 {
+	// Integrate to t=1 with two resolutions; order ~ log2(e1/e2).
+	h1, n1 := 1.0/64, 64
+	h2, n2 := 1.0/128, 128
+	e1 := globalError(make(), h1, n1)
+	e2 := globalError(make(), h2, n2)
+	return math.Log2(e1 / e2)
+}
+
+func TestIntegratorObservedOrders(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() Integrator
+		want float64
+		tol  float64
+	}{
+		{"fe", func() Integrator { return NewForwardEuler(1) }, 1, 0.25},
+		{"rk2", func() Integrator { return NewRK2(1) }, 2, 0.25},
+		{"rk4", func() Integrator { return NewRK4(1) }, 4, 0.35},
+		{"ab2", func() Integrator { return NewAdamsBashforth(1, 2) }, 2, 0.35},
+		{"ab3", func() Integrator { return NewAdamsBashforth(1, 3) }, 3, 0.45},
+		{"ab4", func() Integrator { return NewAdamsBashforth(1, 4) }, 4, 0.6},
+	}
+	for _, c := range cases {
+		got := measuredOrder(c.mk, true)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("%s observed order = %.2f, want ~%v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestABSelfStartsAndGrowsOrder(t *testing.T) {
+	ab := NewAdamsBashforth(1, 4)
+	if ab.CurrentOrder() != 1 {
+		t.Fatalf("fresh AB should start at order 1, got %d", ab.CurrentOrder())
+	}
+	x := []float64{1}
+	xn := []float64{0}
+	tcur := 0.0
+	for i := 0; i < 5; i++ {
+		ab.Step(decayRHS, tcur, 0.01, x, xn)
+		x[0] = xn[0]
+		tcur += 0.01
+	}
+	if ab.CurrentOrder() != 4 {
+		t.Fatalf("after 5 steps order = %d, want 4", ab.CurrentOrder())
+	}
+	ab.Reset()
+	if ab.CurrentOrder() != 1 {
+		t.Fatalf("Reset should drop back to order 1")
+	}
+}
+
+func TestABVariableStepAccuracy(t *testing.T) {
+	// Integrate the decay with deliberately alternating step sizes; the
+	// variable-step coefficients must keep the solution accurate.
+	ab := NewAdamsBashforth(1, 3)
+	x := []float64{1}
+	xn := []float64{0}
+	tcur := 0.0
+	hs := []float64{0.01, 0.013, 0.007, 0.011}
+	for i := 0; i < 400; i++ {
+		h := hs[i%len(hs)]
+		ab.Step(decayRHS, tcur, h, x, xn)
+		x[0] = xn[0]
+		tcur += h
+	}
+	if err := math.Abs(x[0] - math.Exp(-tcur)); err > 1e-6 {
+		t.Fatalf("variable-step AB3 error = %v at t=%v", err, tcur)
+	}
+}
+
+func TestIntegratorNamesAndOrders(t *testing.T) {
+	if NewForwardEuler(1).Name() == "" || NewForwardEuler(1).Order() != 1 {
+		t.Fatal("FE metadata")
+	}
+	if NewRK2(1).Order() != 2 || NewRK4(1).Order() != 4 {
+		t.Fatal("RK metadata")
+	}
+	ab := NewAdamsBashforth(2, 3)
+	if ab.Order() != 3 || ab.Name() != "adams-bashforth-3" {
+		t.Fatalf("AB metadata: %s %d", ab.Name(), ab.Order())
+	}
+}
+
+func TestOscillatorEnergyRK4(t *testing.T) {
+	// Undamped oscillator xdot = v, vdot = -x: RK4 should keep the energy
+	// drift tiny over many periods at modest step size.
+	osc := func(t float64, x, dst []float64) {
+		dst[0] = x[1]
+		dst[1] = -x[0]
+	}
+	rk := NewRK4(2)
+	x := []float64{1, 0}
+	xn := make([]float64, 2)
+	h := 2 * math.Pi / 200
+	for i := 0; i < 200*50; i++ { // 50 periods
+		rk.Step(osc, float64(i)*h, h, x, xn)
+		copy(x, xn)
+	}
+	energy := x[0]*x[0] + x[1]*x[1]
+	if math.Abs(energy-1) > 1e-4 {
+		t.Fatalf("energy drift = %v", energy-1)
+	}
+}

@@ -1,0 +1,96 @@
+package ode
+
+import "math"
+
+// Controller implements the combined step-size policy of the paper's
+// Section II: the step is bounded above by the stability limit derived
+// from diagonal dominance of the point total-step matrix (Eq. 7), and
+// within that limit it is adapted to the local truncation error estimate.
+// For strongly stiff systems the stability cap binds and no speed
+// advantage remains — exactly the limitation the paper states.
+type Controller struct {
+	Atol   float64 // absolute error tolerance per step
+	Rtol   float64 // relative error tolerance per step
+	Safety float64 // safety factor on the accuracy step (typ. 0.9)
+
+	MinFactor float64 // largest allowed step shrink per adjustment (typ. 0.2)
+	MaxFactor float64 // largest allowed step growth per adjustment (typ. 2.0)
+
+	HMin float64 // hard floor on the step
+	HMax float64 // hard ceiling on the step (e.g. waveform resolution)
+
+	StabilityMargin float64 // fraction of the stability limit to use (typ. 0.9)
+}
+
+// DefaultController returns the tolerances used by the harvester
+// simulations: mid-accuracy analogue tolerances comparable to a SPICE
+// reltol of 1e-3.
+func DefaultController() Controller {
+	return Controller{
+		Atol:            1e-6,
+		Rtol:            1e-3,
+		Safety:          0.9,
+		MinFactor:       0.2,
+		MaxFactor:       2.0,
+		HMin:            1e-9,
+		HMax:            1e-3,
+		StabilityMargin: 0.9,
+	}
+}
+
+// Clamp restricts h to [HMin, min(HMax, StabilityMargin*hStab)].
+func (c *Controller) Clamp(h, hStab float64) float64 {
+	hi := c.HMax
+	if s := c.StabilityMargin * hStab; s < hi {
+		hi = s
+	}
+	if h > hi {
+		h = hi
+	}
+	if h < c.HMin {
+		h = c.HMin
+	}
+	return h
+}
+
+// Decide returns whether a step with weighted error norm errNorm (<= 1
+// means within tolerance) is accepted, and the suggested next step size.
+// order is the order of the formula that produced the error estimate.
+// hStab is the current stability cap (+Inf if none).
+func (c *Controller) Decide(h, errNorm float64, order int, hStab float64) (accept bool, hNext float64) {
+	accept = errNorm <= 1 || math.IsNaN(errNorm) || h <= c.HMin*(1+1e-12)
+	var factor float64
+	switch {
+	case errNorm <= 0 || math.IsNaN(errNorm):
+		// No usable estimate (or a clean linear segment): grow cautiously.
+		factor = c.MaxFactor
+	default:
+		factor = c.Safety * math.Pow(errNorm, -1/float64(order+1))
+	}
+	if math.IsNaN(factor) || factor < c.MinFactor {
+		factor = c.MinFactor
+	}
+	if factor > c.MaxFactor {
+		factor = c.MaxFactor
+	}
+	hNext = c.Clamp(h*factor, hStab)
+	return accept, hNext
+}
+
+// ErrNorm computes the weighted RMS norm of the estimate est against the
+// reference state ref, such that a value of 1 sits exactly on tolerance.
+func (c *Controller) ErrNorm(est, ref []float64) float64 {
+	if len(est) != len(ref) {
+		panic("ode: ErrNorm length mismatch")
+	}
+	if len(est) == 0 {
+		return 0
+	}
+	var s float64
+	for i, e := range est {
+		w := c.Atol + c.Rtol*math.Abs(ref[i])
+		r := e / w
+		s += r * r
+	}
+	return math.Sqrt(s / float64(len(est)))
+}

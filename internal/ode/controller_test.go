@@ -1,0 +1,95 @@
+package ode
+
+import (
+	"math"
+	"testing"
+)
+
+func TestControllerClamp(t *testing.T) {
+	c := DefaultController()
+	c.HMin, c.HMax, c.StabilityMargin = 1e-6, 1e-3, 0.9
+	if got := c.Clamp(1, math.Inf(1)); got != 1e-3 {
+		t.Fatalf("Clamp to HMax: %v", got)
+	}
+	if got := c.Clamp(1e-9, math.Inf(1)); got != 1e-6 {
+		t.Fatalf("Clamp to HMin: %v", got)
+	}
+	if got := c.Clamp(1e-3, 1e-4); math.Abs(got-0.9e-4) > 1e-18 {
+		t.Fatalf("Clamp to stability: %v", got)
+	}
+}
+
+func TestControllerDecideAcceptAndGrow(t *testing.T) {
+	c := DefaultController()
+	c.HMax = 1
+	accept, hNext := c.Decide(0.01, 0.1, 2, math.Inf(1))
+	if !accept {
+		t.Fatalf("errNorm 0.1 should be accepted")
+	}
+	if hNext <= 0.01 {
+		t.Fatalf("small error should grow the step, got %v", hNext)
+	}
+	if hNext > 0.02+1e-12 {
+		t.Fatalf("growth should be bounded by MaxFactor: %v", hNext)
+	}
+}
+
+func TestControllerDecideRejectAndShrink(t *testing.T) {
+	c := DefaultController()
+	accept, hNext := c.Decide(1e-4, 50, 2, math.Inf(1))
+	if accept {
+		t.Fatalf("errNorm 50 should be rejected")
+	}
+	if hNext >= 1e-4 {
+		t.Fatalf("rejected step should shrink, got %v", hNext)
+	}
+	if hNext < 0.2*1e-4-1e-18 {
+		t.Fatalf("shrink should be bounded by MinFactor: %v", hNext)
+	}
+}
+
+func TestControllerAcceptsAtFloor(t *testing.T) {
+	c := DefaultController()
+	c.HMin = 1e-6
+	accept, _ := c.Decide(1e-6, 100, 2, math.Inf(1))
+	if !accept {
+		t.Fatalf("step at HMin must be accepted to guarantee progress")
+	}
+}
+
+func TestControllerZeroOrNaNError(t *testing.T) {
+	c := DefaultController()
+	accept, hNext := c.Decide(1e-5, 0, 3, math.Inf(1))
+	if !accept || hNext < 1e-5 {
+		t.Fatalf("zero error should accept and grow: %v %v", accept, hNext)
+	}
+	accept, hNext = c.Decide(1e-5, math.NaN(), 3, math.Inf(1))
+	if !accept || hNext <= 0 {
+		t.Fatalf("NaN error treated as no-estimate: %v %v", accept, hNext)
+	}
+}
+
+func TestControllerErrNorm(t *testing.T) {
+	c := Controller{Atol: 1, Rtol: 0}
+	if got := c.ErrNorm([]float64{3, 4}, []float64{0, 0}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("ErrNorm = %v", got)
+	}
+	if c.ErrNorm(nil, nil) != 0 {
+		t.Fatalf("empty ErrNorm should be 0")
+	}
+	c2 := Controller{Atol: 0, Rtol: 0.1}
+	// err 0.5 against ref 10 -> weight 1 -> norm 0.5.
+	if got := c2.ErrNorm([]float64{0.5}, []float64{10}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("relative ErrNorm = %v", got)
+	}
+}
+
+func TestControllerStabilityCapBindsGrowth(t *testing.T) {
+	c := DefaultController()
+	c.HMax = 1
+	// Tiny error wants to double the step, but stability cap holds it.
+	_, hNext := c.Decide(0.01, 1e-8, 4, 0.012)
+	if hNext > 0.9*0.012+1e-15 {
+		t.Fatalf("stability cap violated: %v", hNext)
+	}
+}

@@ -1,0 +1,119 @@
+// Package ode provides the explicit integration machinery used by the
+// linearised state-space engine: Forward Euler, Runge-Kutta, and the
+// variable-step Adams-Bashforth family the paper adopts (Eq. 5), together
+// with the f-history bookkeeping and a step-size controller combining
+// accuracy (local truncation error) and the stability cap supplied by the
+// diagonal-dominance analysis.
+//
+// All integrators here are explicit: each step is a feed-forward update
+// requiring only past derivative evaluations — no Newton-Raphson
+// iteration — which is the source of the paper's speedup.
+package ode
+
+// RHS evaluates the derivative dx/dt at (t, x) into dst. dst and x must
+// not alias.
+type RHS func(t float64, x, dst []float64)
+
+// Integrator advances an ODE system one step at a time.
+type Integrator interface {
+	// Name identifies the method (for reports).
+	Name() string
+	// Order returns the asymptotic order of accuracy.
+	Order() int
+	// Step advances the solution from (t, x) to t+h, writing into xNext.
+	// x and xNext must not alias.
+	Step(f RHS, t, h float64, x, xNext []float64)
+	// Reset discards any multistep history (e.g. after a discontinuity
+	// such as a digital mode change).
+	Reset()
+}
+
+// ForwardEuler is the first-order explicit Euler method.
+type ForwardEuler struct {
+	dx []float64
+}
+
+// NewForwardEuler returns a Forward Euler integrator for n states.
+func NewForwardEuler(n int) *ForwardEuler {
+	return &ForwardEuler{dx: make([]float64, n)}
+}
+
+func (fe *ForwardEuler) Name() string { return "forward-euler" }
+
+func (fe *ForwardEuler) Order() int { return 1 }
+
+func (fe *ForwardEuler) Reset() {}
+
+func (fe *ForwardEuler) Step(f RHS, t, h float64, x, xNext []float64) {
+	f(t, x, fe.dx)
+	for i := range x {
+		xNext[i] = x[i] + h*fe.dx[i]
+	}
+}
+
+// RK2 is the explicit midpoint method (second order).
+type RK2 struct {
+	k1, k2, tmp []float64
+}
+
+// NewRK2 returns a midpoint integrator for n states.
+func NewRK2(n int) *RK2 {
+	return &RK2{k1: make([]float64, n), k2: make([]float64, n), tmp: make([]float64, n)}
+}
+
+func (r *RK2) Name() string { return "rk2-midpoint" }
+
+func (r *RK2) Order() int { return 2 }
+
+func (r *RK2) Reset() {}
+
+func (r *RK2) Step(f RHS, t, h float64, x, xNext []float64) {
+	f(t, x, r.k1)
+	for i := range x {
+		r.tmp[i] = x[i] + 0.5*h*r.k1[i]
+	}
+	f(t+0.5*h, r.tmp, r.k2)
+	for i := range x {
+		xNext[i] = x[i] + h*r.k2[i]
+	}
+}
+
+// RK4 is the classical fourth-order Runge-Kutta method.
+type RK4 struct {
+	k1, k2, k3, k4, tmp []float64
+}
+
+// NewRK4 returns a classical RK4 integrator for n states.
+func NewRK4(n int) *RK4 {
+	return &RK4{
+		k1: make([]float64, n), k2: make([]float64, n),
+		k3: make([]float64, n), k4: make([]float64, n),
+		tmp: make([]float64, n),
+	}
+}
+
+func (r *RK4) Name() string { return "rk4-classic" }
+
+func (r *RK4) Order() int { return 4 }
+
+func (r *RK4) Reset() {}
+
+func (r *RK4) Step(f RHS, t, h float64, x, xNext []float64) {
+	f(t, x, r.k1)
+	for i := range x {
+		r.tmp[i] = x[i] + 0.5*h*r.k1[i]
+	}
+	f(t+0.5*h, r.tmp, r.k2)
+	for i := range x {
+		r.tmp[i] = x[i] + 0.5*h*r.k2[i]
+	}
+	f(t+0.5*h, r.tmp, r.k3)
+	for i := range x {
+		r.tmp[i] = x[i] + h*r.k3[i]
+	}
+	f(t+h, r.tmp, r.k4)
+	sixth := h / 6
+	for i := range x {
+		xNext[i] = x[i] + sixth*(r.k1[i]+2*r.k2[i]+2*r.k3[i]+r.k4[i])
+	}
+}

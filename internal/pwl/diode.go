@@ -1,0 +1,92 @@
+package pwl
+
+import "math"
+
+// Diode is the piecewise-linear companion model of a junction diode used
+// by the Dickson voltage multiplier block (paper Fig. 5(b)). The
+// underlying physical model is the Shockley equation
+//
+//	Id = Is·(exp(Vd/(n·Vt)) − 1)
+//
+// moderated by a series resistance Rs that bounds the on-conductance (a
+// physical effect of the contact/bulk resistance that also keeps the
+// companion conductance — and with it the smallest time constant seen by
+// the explicit integrator — bounded).
+type Diode struct {
+	Is  float64 // saturation current [A]
+	NVt float64 // emission coefficient times thermal voltage [V]
+	Rs  float64 // series resistance [Ohm]; > 0
+
+	table *Table
+}
+
+// DefaultDiode returns the parameters used by the harvester's multiplier:
+// a small-signal Schottky-like diode suited to µW-level rectification.
+func DefaultDiode(segments int) *Diode {
+	d := &Diode{Is: 25e-9, NVt: 38.7e-3, Rs: 25}
+	d.BuildTable(segments)
+	return d
+}
+
+// Current evaluates the exact (non-tabulated) diode current for terminal
+// voltage vd, solving the implicit series-resistance equation
+// Id = Is·(exp((Vd − Id·Rs)/NVt) − 1) by a few Newton steps. This is the
+// model the Newton-Raphson baseline engines evaluate directly.
+func (d *Diode) Current(vd float64) float64 {
+	if d.Rs <= 0 {
+		return d.Is * (math.Exp(vd/d.NVt) - 1)
+	}
+	// Newton on g(i) = Is*(exp((vd - i*Rs)/NVt) - 1) - i.
+	// Start from the resistor-limited estimate for forward bias, the raw
+	// exponential for reverse.
+	var i float64
+	if vd > 0 {
+		i = vd / (d.Rs + d.NVt/d.Is)
+	}
+	for iter := 0; iter < 60; iter++ {
+		e := math.Exp((vd - i*d.Rs) / d.NVt)
+		g := d.Is*(e-1) - i
+		dg := -d.Is*e*d.Rs/d.NVt - 1
+		di := g / dg
+		i -= di
+		if math.Abs(di) <= 1e-15*(1+math.Abs(i)) {
+			break
+		}
+	}
+	return i
+}
+
+// Conductance evaluates the exact differential conductance dId/dVd at vd
+// by implicit differentiation of the series-resistance equation.
+func (d *Diode) Conductance(vd float64) float64 {
+	i := d.Current(vd)
+	gj := d.Is * math.Exp((vd-i*d.Rs)/d.NVt) / d.NVt // junction conductance
+	if d.Rs <= 0 {
+		return gj
+	}
+	return gj / (1 + gj*d.Rs)
+}
+
+// BuildTable (re)builds the PWL companion table with the given number of
+// segments over a voltage window wide enough for the multiplier stages.
+func (d *Diode) BuildTable(segments int) {
+	if segments < 2 {
+		segments = 2
+	}
+	// The window covers deep reverse bias (stage stacking) through strong
+	// forward conduction. Outside the window the table extrapolates with
+	// the edge slopes, which for the high edge is the Rs-limited ~1/Rs
+	// slope — exactly the physical behaviour.
+	d.table = MustBuild(d.Current, -15.0, 1.5, segments)
+}
+
+// Table exposes the underlying companion table.
+func (d *Diode) Table() *Table { return d.table }
+
+// Companion returns the linearised pair (G, J) with Id ≈ G·Vd + J at the
+// operating point vd, plus the table segment index used (for LLE /
+// Jacobian-change detection).
+func (d *Diode) Companion(vd float64) (g, j float64, segment int) {
+	g, j = d.table.Lookup(vd)
+	return g, j, d.table.SegmentIndex(vd)
+}

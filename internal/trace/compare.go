@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Comparison quantifies the agreement of two waveforms on a common
+// uniform grid across the overlap of their spans.
+type Comparison struct {
+	N       int     // number of comparison points
+	RMSE    float64 // root mean square error
+	NRMSE   float64 // RMSE normalised by the reference peak-to-peak range
+	MaxAbs  float64 // maximum absolute deviation
+	AtMax   float64 // time of the maximum deviation
+	RefSpan float64 // reference peak-to-peak range used for NRMSE
+}
+
+// Compare evaluates a against ref at n uniform points over the overlap of
+// their time spans.
+func Compare(a, ref *Series, n int) Comparison {
+	var c Comparison
+	if a.Len() == 0 || ref.Len() == 0 || n < 2 {
+		c.RMSE, c.NRMSE, c.MaxAbs = math.NaN(), math.NaN(), math.NaN()
+		return c
+	}
+	t0 := math.Max(a.Times[0], ref.Times[0])
+	t1 := math.Min(a.Times[len(a.Times)-1], ref.Times[len(ref.Times)-1])
+	if !(t1 > t0) {
+		c.RMSE, c.NRMSE, c.MaxAbs = math.NaN(), math.NaN(), math.NaN()
+		return c
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	var sum float64
+	for i := 0; i < n; i++ {
+		t := t0 + (t1-t0)*float64(i)/float64(n-1)
+		va := a.At(t)
+		vr := ref.At(t)
+		d := va - vr
+		sum += d * d
+		if ad := math.Abs(d); ad > c.MaxAbs {
+			c.MaxAbs = ad
+			c.AtMax = t
+		}
+		if vr < lo {
+			lo = vr
+		}
+		if vr > hi {
+			hi = vr
+		}
+	}
+	c.N = n
+	c.RMSE = math.Sqrt(sum / float64(n))
+	c.RefSpan = hi - lo
+	if c.RefSpan > 0 {
+		c.NRMSE = c.RMSE / c.RefSpan
+	} else {
+		c.NRMSE = math.NaN()
+	}
+	return c
+}
+
+// WriteCSV writes one or more series sharing a header row to w. Series
+// are resampled onto the union grid of the first series; a column per
+// series. Returns the number of rows written.
+func WriteCSV(w io.Writer, series ...*Series) (int, error) {
+	if len(series) == 0 {
+		return 0, fmt.Errorf("trace: no series to write")
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(series)+1)
+	header = append(header, "t")
+	for _, s := range series {
+		name := s.Name
+		if name == "" {
+			name = "v"
+		}
+		header = append(header, name)
+	}
+	if err := cw.Write(header); err != nil {
+		return 0, err
+	}
+	base := series[0]
+	row := make([]string, len(series)+1)
+	rows := 0
+	for i, t := range base.Times {
+		row[0] = strconv.FormatFloat(t, 'g', 10, 64)
+		row[1] = strconv.FormatFloat(base.Vals[i], 'g', 10, 64)
+		for k := 1; k < len(series); k++ {
+			row[k+1] = strconv.FormatFloat(series[k].At(t), 'g', 10, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return rows, err
+		}
+		rows++
+	}
+	cw.Flush()
+	return rows, cw.Error()
+}
+
+// ASCIIPlot renders the series as a rough width x height character plot
+// for terminal inspection of waveform shape.
+func ASCIIPlot(s *Series, width, height int) string {
+	if s.Len() < 2 || width < 8 || height < 3 {
+		return "(insufficient data)"
+	}
+	lo, hi := s.MinMax()
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	t0 := s.Times[0]
+	t1 := s.Times[len(s.Times)-1]
+	for c := 0; c < width; c++ {
+		t := t0 + (t1-t0)*float64(c)/float64(width-1)
+		v := s.At(t)
+		r := int((hi - v) / (hi - lo) * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		grid[r][c] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [%.4g, %.4g] over t=[%.4g, %.4g]\n", s.Name, lo, hi, t0, t1)
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

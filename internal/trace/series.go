@@ -1,0 +1,234 @@
+// Package trace records, post-processes and compares simulation
+// waveforms: time series with decimation, windowed RMS measurement
+// (used for the microgenerator output-power figures), CSV export, crude
+// ASCII rendering for terminal inspection, and the comparison metrics
+// (RMSE/NRMSE/peak deviation) used to quantify simulation-vs-measurement
+// correlation in the paper's Figs. 8(b) and 9.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Series is a sampled waveform: strictly increasing times with values.
+type Series struct {
+	Name  string
+	Times []float64
+	Vals  []float64
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series {
+	return &Series{Name: name}
+}
+
+// Append adds a sample. Times must be non-decreasing; samples at a
+// duplicate time overwrite the previous value (events may legitimately
+// re-sample at an event instant).
+func (s *Series) Append(t, v float64) {
+	if n := len(s.Times); n > 0 {
+		last := s.Times[n-1]
+		if t < last {
+			panic(fmt.Sprintf("trace: non-monotonic time %g after %g in %q", t, last, s.Name))
+		}
+		if t == last {
+			s.Vals[n-1] = v
+			return
+		}
+	}
+	s.Times = append(s.Times, t)
+	s.Vals = append(s.Vals, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Times) }
+
+// At interpolates the series linearly at time t, clamping to the end
+// values outside the sampled range.
+func (s *Series) At(t float64) float64 {
+	n := len(s.Times)
+	if n == 0 {
+		return math.NaN()
+	}
+	if t <= s.Times[0] {
+		return s.Vals[0]
+	}
+	if t >= s.Times[n-1] {
+		return s.Vals[n-1]
+	}
+	// Binary search for the bracketing interval.
+	k := sort.SearchFloat64s(s.Times, t)
+	// s.Times[k-1] < t <= s.Times[k]
+	t0, t1 := s.Times[k-1], s.Times[k]
+	v0, v1 := s.Vals[k-1], s.Vals[k]
+	if t1 == t0 {
+		return v1
+	}
+	w := (t - t0) / (t1 - t0)
+	return v0 + w*(v1-v0)
+}
+
+// Last returns the final sample, or NaNs when empty.
+func (s *Series) Last() (t, v float64) {
+	n := len(s.Times)
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	return s.Times[n-1], s.Vals[n-1]
+}
+
+// MinMax returns the extrema of the values; NaNs when empty.
+func (s *Series) MinMax() (lo, hi float64) {
+	if len(s.Vals) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range s.Vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Slice returns a copy restricted to t in [t0, t1].
+func (s *Series) Slice(t0, t1 float64) *Series {
+	out := NewSeries(s.Name)
+	for i, t := range s.Times {
+		if t >= t0 && t <= t1 {
+			out.Times = append(out.Times, t)
+			out.Vals = append(out.Vals, s.Vals[i])
+		}
+	}
+	return out
+}
+
+// Resample returns the series sampled at n uniform points across its
+// span (linear interpolation).
+func (s *Series) Resample(n int) *Series {
+	out := NewSeries(s.Name)
+	if s.Len() == 0 || n < 2 {
+		return out
+	}
+	t0 := s.Times[0]
+	t1 := s.Times[len(s.Times)-1]
+	for i := 0; i < n; i++ {
+		t := t0 + (t1-t0)*float64(i)/float64(n-1)
+		out.Append(t, s.At(t))
+	}
+	return out
+}
+
+// RMS returns the root-mean-square of the waveform over its full span
+// computed with trapezoidal weighting (robust to non-uniform sampling).
+func (s *Series) RMS() float64 {
+	n := len(s.Times)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return math.Abs(s.Vals[0])
+	}
+	var acc, span float64
+	for i := 1; i < n; i++ {
+		dt := s.Times[i] - s.Times[i-1]
+		a, b := s.Vals[i-1], s.Vals[i]
+		acc += dt * (a*a + b*b) / 2
+		span += dt
+	}
+	if span == 0 {
+		return math.Abs(s.Vals[0])
+	}
+	return math.Sqrt(acc / span)
+}
+
+// Mean returns the trapezoidal time-average of the waveform.
+func (s *Series) Mean() float64 {
+	n := len(s.Times)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return s.Vals[0]
+	}
+	var acc, span float64
+	for i := 1; i < n; i++ {
+		dt := s.Times[i] - s.Times[i-1]
+		acc += dt * (s.Vals[i-1] + s.Vals[i]) / 2
+		span += dt
+	}
+	if span == 0 {
+		return s.Vals[0]
+	}
+	return acc / span
+}
+
+// WindowedRMS returns a new series whose value at each window centre is
+// the RMS of s over [t-window/2, t+window/2], sampled every stride. This
+// is how the paper's Fig. 8(a) "output power" envelope is produced from
+// the instantaneous p(t) = Vm*Im waveform.
+func (s *Series) WindowedRMS(window, stride float64) *Series {
+	out := NewSeries(s.Name + ".rms")
+	if s.Len() < 2 || window <= 0 || stride <= 0 {
+		return out
+	}
+	t0 := s.Times[0]
+	t1 := s.Times[len(s.Times)-1]
+	for c := t0 + window/2; c+window/2 <= t1+1e-12; c += stride {
+		w := s.Slice(c-window/2, c+window/2)
+		if w.Len() >= 2 {
+			out.Append(c, w.RMS())
+		}
+	}
+	return out
+}
+
+// WindowedMean returns a new series whose value at each window centre
+// is the time-average of s over [t-window/2, t+window/2], sampled every
+// stride — the envelope used for power waveforms, where the mean of the
+// instantaneous p(t) is the figure the paper reports as "RMS power"
+// (RMS voltage times RMS current for in-phase waveforms).
+func (s *Series) WindowedMean(window, stride float64) *Series {
+	out := NewSeries(s.Name + ".mean")
+	if s.Len() < 2 || window <= 0 || stride <= 0 {
+		return out
+	}
+	t0 := s.Times[0]
+	t1 := s.Times[len(s.Times)-1]
+	for c := t0 + window/2; c+window/2 <= t1+1e-12; c += stride {
+		w := s.Slice(c-window/2, c+window/2)
+		if w.Len() >= 2 {
+			out.Append(c, w.Mean())
+		}
+	}
+	return out
+}
+
+// Decimator keeps every keepEvery-th Append; use it to bound memory when
+// recording multi-hour simulations with microsecond steps.
+type Decimator struct {
+	S         *Series
+	KeepEvery int
+	count     int
+}
+
+// NewDecimator wraps s keeping one sample in keepEvery.
+func NewDecimator(s *Series, keepEvery int) *Decimator {
+	if keepEvery < 1 {
+		keepEvery = 1
+	}
+	return &Decimator{S: s, KeepEvery: keepEvery}
+}
+
+// Append forwards every keepEvery-th sample to the underlying series.
+func (d *Decimator) Append(t, v float64) {
+	if d.count%d.KeepEvery == 0 {
+		d.S.Append(t, v)
+	}
+	d.count++
+}

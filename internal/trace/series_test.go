@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sine(name string, f, amp, dur, dt float64) *Series {
+	s := NewSeries(name)
+	for t := 0.0; t <= dur; t += dt {
+		s.Append(t, amp*math.Sin(2*math.Pi*f*t))
+	}
+	return s
+}
+
+func TestAppendAndLen(t *testing.T) {
+	s := NewSeries("x")
+	s.Append(0, 1)
+	s.Append(1, 2)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Duplicate time overwrites.
+	s.Append(1, 5)
+	if s.Len() != 2 || s.Vals[1] != 5 {
+		t.Fatalf("duplicate-time overwrite failed: %v", s.Vals)
+	}
+}
+
+func TestAppendNonMonotonicPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	s := NewSeries("x")
+	s.Append(1, 0)
+	s.Append(0.5, 0)
+}
+
+func TestAtInterpolation(t *testing.T) {
+	s := NewSeries("x")
+	s.Append(0, 0)
+	s.Append(2, 4)
+	if got := s.At(1); math.Abs(got-2) > 1e-15 {
+		t.Fatalf("At(1) = %v", got)
+	}
+	if got := s.At(-1); got != 0 {
+		t.Fatalf("clamp low = %v", got)
+	}
+	if got := s.At(5); got != 4 {
+		t.Fatalf("clamp high = %v", got)
+	}
+	if !math.IsNaN(NewSeries("e").At(0)) {
+		t.Fatalf("empty At should be NaN")
+	}
+}
+
+func TestLastMinMax(t *testing.T) {
+	s := NewSeries("x")
+	s.Append(0, -3)
+	s.Append(1, 7)
+	s.Append(2, 2)
+	tm, v := s.Last()
+	if tm != 2 || v != 2 {
+		t.Fatalf("Last = %v %v", tm, v)
+	}
+	lo, hi := s.MinMax()
+	if lo != -3 || hi != 7 {
+		t.Fatalf("MinMax = %v %v", lo, hi)
+	}
+}
+
+func TestSliceAndResample(t *testing.T) {
+	s := sine("sin", 1, 1, 2, 0.01)
+	sl := s.Slice(0.5, 1.5)
+	if sl.Times[0] < 0.5 || sl.Times[len(sl.Times)-1] > 1.5 {
+		t.Fatalf("Slice bounds wrong")
+	}
+	rs := s.Resample(11)
+	if rs.Len() != 11 {
+		t.Fatalf("Resample len = %d", rs.Len())
+	}
+	if math.Abs(rs.Times[10]-2.0) > 0.011 {
+		t.Fatalf("Resample end = %v", rs.Times[10])
+	}
+}
+
+func TestRMSSine(t *testing.T) {
+	// RMS of a sine over whole periods is amp/sqrt(2).
+	s := sine("sin", 5, 2, 1.0, 1e-4)
+	want := 2 / math.Sqrt2
+	if got := s.RMS(); math.Abs(got-want) > 1e-3 {
+		t.Fatalf("RMS = %v, want %v", got, want)
+	}
+}
+
+func TestMeanConstantAndLinear(t *testing.T) {
+	s := NewSeries("c")
+	s.Append(0, 3)
+	s.Append(10, 3)
+	if got := s.Mean(); math.Abs(got-3) > 1e-15 {
+		t.Fatalf("Mean const = %v", got)
+	}
+	l := NewSeries("l")
+	l.Append(0, 0)
+	l.Append(1, 1)
+	if got := l.Mean(); math.Abs(got-0.5) > 1e-15 {
+		t.Fatalf("Mean ramp = %v", got)
+	}
+}
+
+func TestWindowedRMSTracksAmplitudeStep(t *testing.T) {
+	// Sine with amplitude 1 for t<1 and 2 for t>=1: windowed RMS should
+	// move from ~0.707 to ~1.414.
+	s := NewSeries("p")
+	for t := 0.0; t < 2; t += 1e-4 {
+		amp := 1.0
+		if t >= 1 {
+			amp = 2
+		}
+		s.Append(t, amp*math.Sin(2*math.Pi*50*t))
+	}
+	rms := s.WindowedRMS(0.1, 0.05)
+	if rms.Len() == 0 {
+		t.Fatalf("no RMS windows")
+	}
+	early := rms.At(0.3)
+	late := rms.At(1.7)
+	if math.Abs(early-1/math.Sqrt2) > 0.02 {
+		t.Fatalf("early RMS = %v", early)
+	}
+	if math.Abs(late-2/math.Sqrt2) > 0.04 {
+		t.Fatalf("late RMS = %v", late)
+	}
+}
+
+func TestPropertyRMSBoundedByPeak(t *testing.T) {
+	// Property: RMS <= max|v| for any waveform.
+	f := func(vals []float64) bool {
+		if len(vals) < 2 {
+			return true
+		}
+		s := NewSeries("q")
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			// bound magnitudes to avoid overflow in squares
+			if math.Abs(v) > 1e100 {
+				return true
+			}
+			s.Append(float64(i), v)
+		}
+		var peak float64
+		for _, v := range vals {
+			if a := math.Abs(v); a > peak {
+				peak = a
+			}
+		}
+		return s.RMS() <= peak+1e-9*(1+peak)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("property failed: %v", err)
+	}
+}
+
+func TestDecimator(t *testing.T) {
+	s := NewSeries("d")
+	d := NewDecimator(s, 10)
+	for i := 0; i < 100; i++ {
+		d.Append(float64(i), float64(i))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("decimated Len = %d, want 10", s.Len())
+	}
+	if s.Times[1] != 10 {
+		t.Fatalf("second kept sample at t=%v, want 10", s.Times[1])
+	}
+	// keepEvery < 1 clamps to 1.
+	s2 := NewSeries("d2")
+	d2 := NewDecimator(s2, 0)
+	d2.Append(0, 1)
+	d2.Append(1, 2)
+	if s2.Len() != 2 {
+		t.Fatalf("clamped decimator dropped samples")
+	}
+}
+
+func TestCompareIdenticalAndShifted(t *testing.T) {
+	a := sine("a", 2, 1, 3, 1e-3)
+	same := Compare(a, a, 500)
+	if same.RMSE > 1e-12 || same.MaxAbs > 1e-12 {
+		t.Fatalf("self comparison should be ~0: %+v", same)
+	}
+	b := NewSeries("b")
+	for i, tm := range a.Times {
+		b.Append(tm, a.Vals[i]+0.1)
+	}
+	off := Compare(b, a, 500)
+	if math.Abs(off.RMSE-0.1) > 1e-6 || math.Abs(off.MaxAbs-0.1) > 1e-6 {
+		t.Fatalf("offset comparison: %+v", off)
+	}
+	// NRMSE normalised by ref peak-to-peak = 2.
+	if math.Abs(off.NRMSE-0.05) > 1e-6 {
+		t.Fatalf("NRMSE = %v, want 0.05", off.NRMSE)
+	}
+}
+
+func TestCompareDegenerate(t *testing.T) {
+	empty := NewSeries("e")
+	c := Compare(empty, empty, 100)
+	if !math.IsNaN(c.RMSE) {
+		t.Fatalf("empty comparison should be NaN")
+	}
+	// Non-overlapping spans.
+	a := NewSeries("a")
+	a.Append(0, 1)
+	a.Append(1, 1)
+	b := NewSeries("b")
+	b.Append(5, 1)
+	b.Append(6, 1)
+	if c := Compare(a, b, 10); !math.IsNaN(c.RMSE) {
+		t.Fatalf("disjoint comparison should be NaN")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	a := NewSeries("va")
+	a.Append(0, 1)
+	a.Append(1, 2)
+	b := NewSeries("vb")
+	b.Append(0, 5)
+	b.Append(1, 6)
+	var sb strings.Builder
+	rows, err := WriteCSV(&sb, a, b)
+	if err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if rows != 2 {
+		t.Fatalf("rows = %d", rows)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "t,va,vb\n") {
+		t.Fatalf("header wrong: %q", out)
+	}
+	if !strings.Contains(out, "1,2,6") {
+		t.Fatalf("row content wrong: %q", out)
+	}
+	if _, err := WriteCSV(&sb); err == nil {
+		t.Fatalf("no series should error")
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	s := sine("w", 1, 1, 1, 0.001)
+	p := ASCIIPlot(s, 40, 10)
+	if !strings.Contains(p, "*") || !strings.Contains(p, "w") {
+		t.Fatalf("plot looks empty:\n%s", p)
+	}
+	if got := ASCIIPlot(NewSeries("e"), 40, 10); got != "(insufficient data)" {
+		t.Fatalf("empty plot = %q", got)
+	}
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WriteVCD exports one or more series as a Value Change Dump file with
+// real-valued variables, viewable in GTKWave and other EDA waveform
+// browsers. Time is quantised to the given timescale (e.g. 1e-6 for
+// microseconds); samples from all series are merged into one ordered
+// change stream.
+func WriteVCD(w io.Writer, timescale float64, series ...*Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("trace: no series to write")
+	}
+	if timescale <= 0 {
+		return fmt.Errorf("trace: invalid timescale %g", timescale)
+	}
+	unit, per := vcdUnit(timescale)
+
+	var b strings.Builder
+	b.WriteString("$date harvsim export $end\n")
+	b.WriteString("$version harvsim trace writer $end\n")
+	fmt.Fprintf(&b, "$timescale %d %s $end\n", per, unit)
+	b.WriteString("$scope module harvester $end\n")
+	ids := make([]string, len(series))
+	for i, s := range series {
+		ids[i] = vcdID(i)
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("sig%d", i)
+		}
+		name = strings.Map(func(r rune) rune {
+			switch r {
+			case ' ', '\t', '\n':
+				return '_'
+			}
+			return r
+		}, name)
+		fmt.Fprintf(&b, "$var real 64 %s %s $end\n", ids[i], name)
+	}
+	b.WriteString("$upscope $end\n$enddefinitions $end\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+
+	// Merge all change points in time order.
+	type change struct {
+		tick int64
+		sig  int
+		val  float64
+	}
+	var changes []change
+	for i, s := range series {
+		for k, t := range s.Times {
+			changes = append(changes, change{
+				tick: int64(math.Round(t / timescale)),
+				sig:  i,
+				val:  s.Vals[k],
+			})
+		}
+	}
+	sort.SliceStable(changes, func(a, b int) bool { return changes[a].tick < changes[b].tick })
+
+	lastTick := int64(-1)
+	last := make([]float64, len(series))
+	seen := make([]bool, len(series))
+	var out strings.Builder
+	for _, c := range changes {
+		if seen[c.sig] && last[c.sig] == c.val {
+			continue
+		}
+		if c.tick != lastTick {
+			fmt.Fprintf(&out, "#%d\n", c.tick)
+			lastTick = c.tick
+		}
+		fmt.Fprintf(&out, "r%g %s\n", c.val, ids[c.sig])
+		last[c.sig] = c.val
+		seen[c.sig] = true
+		if out.Len() > 1<<16 {
+			if _, err := io.WriteString(w, out.String()); err != nil {
+				return err
+			}
+			out.Reset()
+		}
+	}
+	_, err := io.WriteString(w, out.String())
+	return err
+}
+
+// vcdID generates the short identifier code for variable i.
+func vcdID(i int) string {
+	const alphabet = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	if i < len(alphabet) {
+		return string(alphabet[i])
+	}
+	return fmt.Sprintf("%c%c", alphabet[i%len(alphabet)], alphabet[i/len(alphabet)])
+}
+
+// vcdUnit picks the closest standard VCD timescale unit at or below the
+// requested scale.
+func vcdUnit(ts float64) (unit string, per int) {
+	type u struct {
+		name string
+		s    float64
+	}
+	units := []u{{"s", 1}, {"ms", 1e-3}, {"us", 1e-6}, {"ns", 1e-9}, {"ps", 1e-12}, {"fs", 1e-15}}
+	for _, cand := range units {
+		for _, mult := range []int{100, 10, 1} {
+			if ts >= cand.s*float64(mult) {
+				return cand.name, mult
+			}
+		}
+	}
+	return "fs", 1
+}

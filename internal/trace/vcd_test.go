@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteVCDBasic(t *testing.T) {
+	a := NewSeries("Vc")
+	a.Append(0, 1.0)
+	a.Append(1e-3, 1.5)
+	a.Append(2e-3, 1.5) // unchanged: must be suppressed
+	a.Append(3e-3, 2.0)
+	b := NewSeries("P mult")
+	b.Append(0, 0)
+	b.Append(2e-3, 5e-6)
+
+	var sb strings.Builder
+	if err := WriteVCD(&sb, 1e-6, a, b); err != nil {
+		t.Fatalf("WriteVCD: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1 us $end",
+		"$var real 64 ! Vc $end",
+		"$var real 64 \" P_mult $end", // space sanitised
+		"#0", "#1000", "#3000",
+		"r1 !", "r1.5 !", "r2 !",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The unchanged sample at #2000 for Vc must not emit a change.
+	if strings.Count(out, "r1.5 !") != 1 {
+		t.Fatalf("duplicate value emitted:\n%s", out)
+	}
+}
+
+func TestWriteVCDValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteVCD(&sb, 1e-6); err == nil {
+		t.Fatalf("no series should error")
+	}
+	s := NewSeries("x")
+	s.Append(0, 1)
+	if err := WriteVCD(&sb, 0, s); err == nil {
+		t.Fatalf("zero timescale should error")
+	}
+}
+
+func TestVCDUnitSelection(t *testing.T) {
+	cases := []struct {
+		ts   float64
+		unit string
+		per  int
+	}{
+		{1, "s", 1},
+		{1e-3, "ms", 1},
+		{1e-5, "us", 10},
+		{1e-6, "us", 1},
+		{2.5e-9, "ns", 1},
+	}
+	for _, c := range cases {
+		unit, per := vcdUnit(c.ts)
+		if unit != c.unit || per != c.per {
+			t.Fatalf("vcdUnit(%g) = %d %s, want %d %s", c.ts, per, unit, c.per, c.unit)
+		}
+	}
+}
+
+func TestVCDIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}
