@@ -1,17 +1,20 @@
 package harvsim
 
 // One benchmark per table and figure of the paper's evaluation, plus the
-// ablations from DESIGN.md. The benchmarks run bench-scale horizons
-// (physics identical to the paper-scale scenarios; CPU-time ratios are
-// per-step properties and carry over — see EXPERIMENTS.md). Regenerate
-// the full report with: go run ./cmd/benchtab
+// ablations and the batch-sweep throughput record (see DESIGN.md). The
+// benchmarks run bench-scale horizons (physics identical to the
+// paper-scale scenarios; CPU-time ratios are per-step properties and
+// carry over). Regenerate the full report with: go run ./cmd/benchtab
 //
 // Each benchmark logs the reproduced table/figure once so that
 // `go test -bench=. -benchmem` output doubles as the experiment record.
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
+	"harvsim/internal/batch"
 	"harvsim/internal/exp"
 	"harvsim/internal/harvester"
 )
@@ -183,6 +186,57 @@ func BenchmarkAblationAccuracy(b *testing.B) {
 		}
 	}
 	b.Log("\n" + res.String())
+}
+
+// batchSweepGrid is the 64-point design grid (8 coil resistances x 8
+// multiplier stage counts) the batch-throughput benchmarks run — the
+// parameter-sweep workload the batch layer exists for. Recorded serial
+// and pooled so the benchmark history tracks the parallel speedup from
+// PR 1 onward.
+func batchSweepGrid(duration float64) []batch.Job {
+	sc := harvester.ChargeScenario(duration)
+	sc.Cfg.InitialVc = 2.5
+	spec := batch.SweepSpec{
+		Base: batch.Job{Name: "grid", Scenario: sc, Engine: harvester.Proposed},
+		Axes: []batch.Axis{
+			batch.FloatAxis("rc", []float64{100, 180, 320, 560, 1000, 1800, 3200, 5600},
+				func(j *batch.Job, v float64) { j.Scenario.Cfg.Microgen.Rc = v }),
+			batch.IntAxis("stages", []int{3, 4, 5, 6, 7, 8, 9, 10},
+				func(j *batch.Job, v int) { j.Scenario.Cfg.Dickson.Stages = v }),
+		},
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		panic(err)
+	}
+	return jobs
+}
+
+func BenchmarkBatchSweep_Serial(b *testing.B) {
+	jobs := batchSweepGrid(0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := batch.RunSerial(jobs, batch.Options{})
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkBatchSweep_Pooled(b *testing.B) {
+	jobs := batchSweepGrid(0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := batch.Run(context.Background(), jobs, batch.Options{})
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 }
 
 // BenchmarkEngineStepRate isolates the proposed engine's raw step

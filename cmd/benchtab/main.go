@@ -1,10 +1,11 @@
 // Command benchtab regenerates every table and figure of the paper's
 // evaluation section on this machine and prints them in a form directly
-// comparable with the paper (see EXPERIMENTS.md for the recorded runs).
+// comparable with the paper (see DESIGN.md for the experiment list).
 //
-//	benchtab              # all experiments, bench-scale horizons
-//	benchtab -only table2 # one experiment
-//	benchtab -full        # paper-scale scenario horizons (slow!)
+//	benchtab                # all experiments, bench-scale horizons
+//	benchtab -only table2   # one experiment
+//	benchtab -only xengine  # cross-engine conformance tables
+//	benchtab -full          # paper-scale scenario horizons (slow!)
 //	benchtab -table1-sim 30
 package main
 
@@ -19,10 +20,12 @@ import (
 
 func main() {
 	var (
-		only      = flag.String("only", "", "run a single experiment: table1, table2, fig8a, fig8b, fig9, ablations")
+		only      = flag.String("only", "", "run a single experiment: table1, table2, fig8a, fig8b, fig9, ablations, xengine")
 		full      = flag.Bool("full", false, "paper-scale scenario horizons (hours of simulated time)")
 		table1Sim = flag.Float64("table1-sim", 10, "simulated charging span for Table I [s]")
 		ablSim    = flag.Float64("ablation-sim", 3, "simulated span for the ablations [s]")
+		xengSim   = flag.Float64("xengine-sim", 2, "simulated span for the cross-engine conformance charge [s]")
+		workers   = flag.Int("workers", 0, "batch worker-pool size for xengine (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -77,6 +80,21 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(res.String())
+	}
+	if want("xengine") {
+		// The agreement tables the benchmarks can't provide: the same
+		// workload under all four engines, run through the concurrent
+		// batch layer, with deviations against the proposed engine.
+		charge, err := exp.ConformanceCharge(*xengSim, *workers)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(charge.String())
+		sc1, err := exp.ConformanceScenario1(20, *workers)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(sc1.String())
 	}
 	if want("ablations") {
 		for _, run := range []func(float64) (exp.AblationResult, error){

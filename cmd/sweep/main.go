@@ -2,86 +2,87 @@
 // simulation: automated design exploration, where "the best topology and
 // optimal parameters of the energy harvester are obtained iteratively
 // using multiple simulations". It sweeps the voltage-multiplier design
-// (stage count and stage capacitance) and ranks configurations by the
-// power delivered into the partially charged storage element — a
-// workload that is only practical because each full-system simulation
-// takes a fraction of a second under the explicit engine.
+// (stage count and stage capacitance) through the concurrent batch
+// runner and ranks configurations by the power delivered into the
+// partially charged storage element — a workload that is practical
+// because each full-system simulation takes a fraction of a second under
+// the explicit engine, and that now scales across every core the machine
+// has.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"time"
 
-	"harvsim/internal/blocks"
-	"harvsim/internal/core"
+	"harvsim/internal/batch"
 	"harvsim/internal/harvester"
-	"harvsim/internal/trace"
 )
-
-type result struct {
-	stages int
-	cstage float64
-	power  float64 // mean power into the store [W]
-}
 
 func main() {
 	var (
-		simFor = flag.Float64("sim", 12, "simulated span per candidate [s]")
-		vc     = flag.Float64("vc", 2.5, "storage operating point [V]")
+		simFor  = flag.Float64("sim", 12, "simulated span per candidate [s]")
+		vc      = flag.Float64("vc", 2.5, "storage operating point [V]")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		topK    = flag.Int("top", 10, "ranked designs to print")
 	)
 	flag.Parse()
 
-	stages := []int{2, 3, 4, 5, 6, 7}
-	caps := []float64{10e-6, 22e-6, 47e-6}
-	fmt.Printf("design sweep: %d candidates, %.3g s simulated each\n",
-		len(stages)*len(caps), *simFor)
+	base := harvester.ChargeScenario(*simFor)
+	base.Cfg.InitialVc = *vc
+	spec := batch.SweepSpec{
+		Base: batch.Job{
+			Name:     "dickson",
+			Scenario: base,
+			Engine:   harvester.Proposed,
+		},
+		Axes: []batch.Axis{
+			batch.IntAxis("stages", []int{2, 3, 4, 5, 6, 7}, func(j *batch.Job, n int) {
+				j.Scenario.Cfg.Dickson.Stages = n
+			}),
+			batch.FloatAxis("cstage", []float64{10e-6, 22e-6, 47e-6}, func(j *batch.Job, c float64) {
+				j.Scenario.Cfg.Dickson.CStage = c
+			}),
+		},
+	}
+	// Rank by mean power into the store over the settled window. The
+	// metric closure is shared by every expanded job, so it derives
+	// everything from its per-job harvester argument.
+	spec.Base.Metric = func(h *harvester.Harvester, eng harvester.Engine) float64 {
+		return h.PStoreTrace.Slice(*simFor/3, *simFor).Mean()
+	}
+
+	opt := batch.Options{Workers: *workers}
+	fmt.Printf("design sweep: %d candidates, %.3g s simulated each, %d workers\n",
+		spec.Size(), *simFor, opt.EffectiveWorkers())
 	start := time.Now()
+	results, err := batch.Sweep(context.Background(), spec, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+	sum := batch.Summarize(results)
 
-	var results []result
-	for _, n := range stages {
-		for _, c := range caps {
-			cfg := harvester.DefaultConfig()
-			cfg.Autonomous = false
-			cfg.InitialVc = *vc
-			dp := blocks.DefaultDickson(cfg.PWLSegments)
-			dp.Stages = n
-			dp.CStage = c
-			cfg.Dickson = dp
-			h := harvester.New(cfg)
-			eng := core.NewEngine(h.Sys)
-			eng.Ctl.HMax = 2.5e-4
-			idxVc := h.Sys.MustTerminal("Vc")
-			idxIc := h.Sys.MustTerminal("Ic")
-			rec := trace.NewSeries("p")
-			eng.Observe(func(t float64, x, y []float64) {
-				if t > *simFor/3 {
-					rec.Append(t, y[idxVc]*y[idxIc])
-				}
-			})
-			if err := eng.Run(0, *simFor); err != nil {
-				fmt.Fprintf(os.Stderr, "candidate N=%d C=%.2g failed: %v\n", n, c, err)
-				continue
+	fmt.Printf("completed in %v wall (summed job time %v)\n\n",
+		wall.Round(time.Millisecond), sum.CPUTime.Round(time.Millisecond))
+	fmt.Printf("power into store at %.3g V (top %d):\n", *vc, *topK)
+	fmt.Print(batch.Table(batch.Top(results, *topK)))
+	fmt.Println()
+	fmt.Println(sum.String())
+	if sum.ArgMaxMetric >= 0 {
+		best := results[sum.ArgMaxMetric]
+		fmt.Printf("\nbest design: %s -> %.1f uW\n", best.Name, best.Metric*1e6)
+	}
+	if sum.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d candidates failed:\n", sum.Failed)
+		for _, r := range results {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "  %s: %v\n", r.Name, r.Err)
 			}
-			results = append(results, result{stages: n, cstage: c, power: rec.Mean()})
 		}
-	}
-	sort.Slice(results, func(i, j int) bool { return results[i].power > results[j].power })
-
-	fmt.Printf("completed in %v\n\n", time.Since(start).Round(time.Millisecond))
-	fmt.Printf("%-8s %-12s %s\n", "stages", "CStage", "P into store @ %.3gV")
-	fmt.Printf("%-8s %-12s (top 10)\n", "", "")
-	for i, r := range results {
-		if i >= 10 {
-			break
-		}
-		fmt.Printf("%-8d %-12.3g %8.1f uW\n", r.stages, r.cstage, r.power*1e6)
-	}
-	if len(results) > 0 {
-		best := results[0]
-		fmt.Printf("\nbest design: %d stages, CStage=%.3g F -> %.1f uW\n",
-			best.stages, best.cstage, best.power*1e6)
+		os.Exit(1)
 	}
 }

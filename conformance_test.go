@@ -1,0 +1,112 @@
+package harvsim
+
+// Cross-engine conformance suite: the same workloads under all four
+// engines, asserting the physics agrees. The CPU-time benchmarks only
+// measure speed, so without this suite any one engine could silently
+// drift (a sign error in a Jacobian stamp, a broken Newton tolerance)
+// and the "speedup at similar accuracy" claim would quietly become
+// meaningless.
+//
+// Tolerances are per engine, calibrated on the seed implementation:
+//
+//   - the trapezoidal baseline is non-dissipative and matches the
+//     proposed engine within a few percent on RMS power;
+//   - BDF2 (Gear) is mildly dissipative on the harvester's high-Q
+//     resonator; it runs under a tightened step cap and then also
+//     agrees within a few percent;
+//   - backward Euler's first-order numerical damping collapses the
+//     resonant response at any practical step, so for it only the
+//     storage voltage (an integral quantity) is asserted, plus the
+//     directional fact that dissipation can only lose power.
+//
+// Final supercap voltage agrees to sub-millivolt across all four.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// conformanceCase is one engine's tolerance row.
+type conformanceCase struct {
+	kind    EngineKind
+	hmax    float64 // step cap (tightened for the dissipative baselines)
+	vcTol   float64 // |final Vc - reference| bound [V]
+	powRtol float64 // relative RMS-power bound; 0 = damped-engine check only
+}
+
+func runConformance(t *testing.T, name string, sc Scenario, cases []conformanceCase) {
+	t.Helper()
+	jobs := make([]BatchJob, len(cases))
+	for i, c := range cases {
+		job := BatchJob{Name: fmt.Sprintf("%s/%v", name, c.kind), Scenario: sc.Clone(), Engine: c.kind, Decimate: 1}
+		job.Scenario.Cfg.Solver.HMax = c.hmax
+		jobs[i] = job
+	}
+	results := RunBatch(context.Background(), jobs, BatchOptions{})
+	ref := results[0]
+	if ref.Err != nil {
+		t.Fatalf("reference engine failed: %v", ref.Err)
+	}
+	if ref.RMSPower <= 0 || math.IsNaN(ref.RMSPower) {
+		t.Fatalf("reference produced degenerate power %v", ref.RMSPower)
+	}
+	for i, r := range results {
+		c := cases[i]
+		if r.Err != nil {
+			t.Errorf("%v failed: %v", c.kind, r.Err)
+			continue
+		}
+		if dvc := math.Abs(r.FinalVc - ref.FinalVc); dvc > c.vcTol {
+			t.Errorf("%v final Vc drifted: %v vs reference %v (|d|=%.3g > %.3g)",
+				c.kind, r.FinalVc, ref.FinalVc, dvc, c.vcTol)
+		}
+		if c.powRtol > 0 {
+			if rel := math.Abs(r.RMSPower-ref.RMSPower) / ref.RMSPower; rel > c.powRtol {
+				t.Errorf("%v RMS power drifted: %v vs reference %v (rel %.3g > %.3g)",
+					c.kind, r.RMSPower, ref.RMSPower, rel, c.powRtol)
+			}
+		} else if i > 0 {
+			// Dissipative engine: numerical damping only removes power.
+			if r.RMSPower <= 0 || r.RMSPower >= ref.RMSPower {
+				t.Errorf("%v RMS power %v outside (0, reference %v): dissipation check failed",
+					c.kind, r.RMSPower, ref.RMSPower)
+			}
+		}
+		t.Logf("%-34v finalVc=%.6f rmsP=%.4guW steps=%d", c.kind, r.FinalVc, r.RMSPower*1e6, r.Stats.Steps)
+	}
+}
+
+// TestConformanceCharge checks engine agreement on the non-autonomous
+// supercap charge from a partially charged working point (the operating
+// region where the multiplier's diode nonlinearity is fully exercised).
+func TestConformanceCharge(t *testing.T) {
+	sc := ChargeScenario(2)
+	sc.Cfg.InitialVc = 2.5
+	runConformance(t, "charge", sc, []conformanceCase{
+		{Proposed, 2.5e-4, 0, 0},
+		{ExistingTrap, 2.5e-4, 1e-3, 0.10},
+		{ExistingBDF2, 1e-4, 1e-3, 0.10},
+		{ExistingBE, 2.5e-4, 1e-3, 0},
+	})
+}
+
+// TestConformanceScenario1 checks engine agreement on a shortened
+// Scenario 1 retune: the autonomous path — digital kernel events, the
+// frequency meter, the tuning actuator and the mode-switched load — all
+// active under every engine.
+func TestConformanceScenario1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("autonomous conformance skipped in -short (seconds of implicit solving)")
+	}
+	sc := Scenario1(Quick)
+	sc.Duration = 20
+	sc.Shifts = []FreqShift{{T: 8, Hz: 71}}
+	runConformance(t, "scenario1", sc, []conformanceCase{
+		{Proposed, 2.5e-4, 0, 0},
+		{ExistingTrap, 2.5e-4, 2e-3, 0.15},
+		{ExistingBDF2, 1e-4, 2e-3, 0.15},
+		{ExistingBE, 2.5e-4, 2e-3, 0},
+	})
+}

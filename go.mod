@@ -1,0 +1,3 @@
+module harvsim
+
+go 1.24

@@ -1,0 +1,249 @@
+// Package batch runs many harvester scenarios concurrently across a
+// worker pool — the workload the paper's conclusion motivates ("the best
+// topology and optimal parameters of the energy harvester are obtained
+// iteratively using multiple simulations") scaled to all available
+// cores. Jobs are embarrassingly parallel: each worker assembles its own
+// harvester and engine from the job's value-typed Config, so no
+// simulation state is shared between goroutines (the only shared data
+// are read-only PWL tables). Results come back in job order regardless
+// of scheduling, which makes pooled runs bit-identical to serial ones.
+package batch
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"harvsim/internal/core"
+	"harvsim/internal/harvester"
+	"harvsim/internal/implicit"
+)
+
+// DefaultDecimate bounds per-job trace memory when a job does not choose
+// its own decimation: sweeps keep enough waveform for RMS-power metrics
+// without retaining every sub-millisecond step of every candidate.
+const DefaultDecimate = 64
+
+// Job is one scenario execution request.
+type Job struct {
+	Name     string
+	Scenario harvester.Scenario
+	Engine   harvester.EngineKind
+	Decimate int // trace decimation; 0 = DefaultDecimate, 1 = keep all
+
+	// Probe, when set, is called after the engine is built and before it
+	// runs — the hook for attaching extra observers (custom recorders,
+	// VCD writers). It runs on the worker goroutine. A Probe set on a
+	// sweep's Base is shared by every expanded job, so it must derive
+	// all per-job state from its (h, eng) arguments; capturing outside
+	// state is only safe when the closure is built per job.
+	Probe func(h *harvester.Harvester, eng harvester.Engine)
+
+	// Metric, when set, is evaluated after a successful run and stored
+	// in Result.Metric — the figure of merit sweeps rank by. When nil,
+	// Result.Metric is the settled-window RMS input power. The Base-
+	// sharing caveat on Probe applies here too.
+	Metric func(h *harvester.Harvester, eng harvester.Engine) float64
+}
+
+// EngineStats is the engine-kind-independent slice of the run counters
+// (the proposed and implicit engines keep different Stats structs).
+type EngineStats struct {
+	Steps       int
+	Rejected    int
+	EventsFired int
+	HMean       float64
+	SimTime     float64
+}
+
+// statsOf extracts the unified counters from either engine family.
+func statsOf(eng harvester.Engine) EngineStats {
+	switch e := eng.(type) {
+	case *core.Engine:
+		return EngineStats{
+			Steps:       e.Stats.Steps,
+			Rejected:    e.Stats.Rejected,
+			EventsFired: e.Stats.EventsFired,
+			HMean:       e.Stats.HMean,
+			SimTime:     e.Stats.SimTime,
+		}
+	case *implicit.Engine:
+		return EngineStats{
+			Steps:       e.Stats.Steps,
+			Rejected:    e.Stats.Rejected,
+			EventsFired: e.Stats.EventsFired,
+			HMean:       e.Stats.HMean,
+			SimTime:     e.Stats.SimTime,
+		}
+	default:
+		return EngineStats{}
+	}
+}
+
+// Result captures one job's outcome. Index matches the job's position in
+// the input slice; the results slice is always in input order.
+type Result struct {
+	Index   int
+	Name    string
+	Job     Job // the request this result answers (the argmax's configuration)
+	Err     error
+	Elapsed time.Duration
+
+	FinalVc    float64   // supercap terminal voltage at the horizon
+	FinalState []float64 // copy of the engine's state vector
+	RMSPower   float64   // RMS input power over the settled window [W]
+	MeanPower  float64   // mean input power over the settled window [W]
+	Metric     float64   // Job.Metric value, or RMSPower
+	Energy     harvester.Energy
+	Stats      EngineStats
+
+	// Harvester and Engine are retained only under Options.Keep — a
+	// thousand-job sweep must not pin a thousand trace sets.
+	Harvester *harvester.Harvester
+	Engine    harvester.Engine
+}
+
+// Options configures a batch run. The zero value is ready to use.
+type Options struct {
+	// Workers is the pool size; 0 means GOMAXPROCS.
+	Workers int
+	// Keep retains each job's Harvester and Engine in its Result (full
+	// traces, stats structs) instead of dropping them after metric
+	// extraction.
+	Keep bool
+	// SettleFrac is the fraction of the horizon discarded before the
+	// power metrics are computed (start-up transient); 0 means 1/3.
+	SettleFrac float64
+}
+
+// EffectiveWorkers resolves the pool size the options select: Workers
+// when positive, GOMAXPROCS otherwise. Exported so front-ends report
+// the same number the pool actually uses.
+func (o Options) EffectiveWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) settleFrac() float64 {
+	if o.SettleFrac > 0 && o.SettleFrac < 1 {
+		return o.SettleFrac
+	}
+	return 1.0 / 3.0
+}
+
+// Run executes the jobs across the worker pool and returns one Result
+// per job, in job order. Cancelling the context stops the pool between
+// jobs: jobs not yet started report ctx.Err(), jobs already running
+// finish normally (the engines are non-preemptible single sweeps).
+func Run(ctx context.Context, jobs []Job, opt Options) []Result {
+	results := make([]Result, len(jobs))
+	n := opt.EffectiveWorkers()
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	if n < 1 {
+		n = 1
+	}
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := range jobs {
+			// Check cancellation before offering the job: with an idle
+			// worker ready, the select below would otherwise pick its
+			// send case at random even on a done context.
+			if ctx.Err() == nil {
+				select {
+				case next <- i:
+					continue
+				case <-ctx.Done():
+				}
+			}
+			// Index i was never handed out, so the producer owns
+			// results[i:] exclusively — mark them cancelled.
+			for j := i; j < len(jobs); j++ {
+				results[j] = Result{Index: j, Name: jobName(jobs[j]), Job: jobs[j], Err: ctx.Err()}
+			}
+			return
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				// Each worker writes only its own index; the slots are
+				// disjoint, so no locking is needed.
+				results[i] = runOne(i, jobs[i], opt)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// RunSerial executes the jobs one after another on the calling
+// goroutine — the reference execution pooled runs must match
+// bit-for-bit, and the baseline the speedup benchmarks compare against.
+func RunSerial(jobs []Job, opt Options) []Result {
+	results := make([]Result, len(jobs))
+	for i, job := range jobs {
+		results[i] = runOne(i, job, opt)
+	}
+	return results
+}
+
+// jobName labels a job, falling back to its scenario's name.
+func jobName(job Job) string {
+	if job.Name != "" {
+		return job.Name
+	}
+	return job.Scenario.Name
+}
+
+// runOne assembles, runs and summarises a single job.
+func runOne(idx int, job Job, opt Options) Result {
+	res := Result{Index: idx, Name: jobName(job), Job: job}
+	start := time.Now()
+	h, err := harvester.Assemble(job.Scenario)
+	if err != nil {
+		res.Err = err
+		res.Elapsed = time.Since(start)
+		return res
+	}
+	dec := job.Decimate
+	if dec == 0 {
+		dec = DefaultDecimate
+	}
+	eng := h.NewEngine(job.Engine, dec)
+	if job.Probe != nil {
+		job.Probe(h, eng)
+	}
+	if err := h.RunEngine(eng, job.Scenario.Duration); err != nil {
+		res.Err = err
+		res.Elapsed = time.Since(start)
+		return res
+	}
+	res.Elapsed = time.Since(start)
+
+	_, res.FinalVc = h.VcTrace.Last()
+	res.FinalState = append([]float64(nil), eng.State()...)
+	settled := h.PMultIn.Slice(job.Scenario.Duration*opt.settleFrac(), job.Scenario.Duration)
+	res.RMSPower = settled.RMS()
+	res.MeanPower = settled.Mean()
+	if job.Metric != nil {
+		res.Metric = job.Metric(h, eng)
+	} else {
+		res.Metric = res.RMSPower
+	}
+	res.Energy = h.Energy
+	res.Stats = statsOf(eng)
+	if opt.Keep {
+		res.Harvester = h
+		res.Engine = eng
+	}
+	return res
+}

@@ -1,0 +1,110 @@
+package batch
+
+// Race-safety tests, designed to run under `go test -race`. The two
+// hazards a concurrent scenario runner must not have:
+//
+//  1. shared-Config aliasing — every job expanded from one base shares
+//     the base's pointer-valued Config fields (the Dickson diode and its
+//     PWL table). Those are read-only after construction; if any engine
+//     path ever writes through them, concurrent jobs race.
+//  2. observer capture — per-job Probe/Metric closures run on worker
+//     goroutines; state they capture must stay private to their job.
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"harvsim/internal/harvester"
+	"harvsim/internal/trace"
+)
+
+// TestSharedConfigRace fans 16 jobs expanded from a single base Config
+// across 8 workers. All jobs share the base's *pwl.Diode lookup table;
+// the race detector verifies no engine writes through it mid-run.
+func TestSharedConfigRace(t *testing.T) {
+	base := chargeJob(0.3)
+	if base.Scenario.Cfg.Dickson.Diode == nil {
+		t.Fatal("test premise broken: no shared diode table in the base config")
+	}
+	spec := SweepSpec{
+		Base: base,
+		Axes: []Axis{
+			FloatAxis("vc", []float64{2.3, 2.5, 2.7, 2.9},
+				func(j *Job, v float64) { j.Scenario.Cfg.InitialVc = v }),
+			IntAxis("order", []int{1, 2, 3, 4},
+				func(j *Job, v int) { j.Scenario.Cfg.Solver.ABOrder = v }),
+		},
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if jobs[i].Scenario.Cfg.Dickson.Diode != base.Scenario.Cfg.Dickson.Diode {
+			t.Fatal("test premise broken: expansion copied the diode table")
+		}
+	}
+	results := Run(context.Background(), jobs, Options{Workers: 8})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		if r.RMSPower <= 0 || math.IsNaN(r.RMSPower) {
+			t.Fatalf("%s: degenerate power %v", r.Name, r.RMSPower)
+		}
+	}
+	// Different initial voltages must yield different physics — if the
+	// jobs had silently shared mutable state, they would collapse onto
+	// one trajectory.
+	if results[0].FinalVc == results[12].FinalVc {
+		t.Fatalf("distinct configs produced identical final Vc %v", results[0].FinalVc)
+	}
+}
+
+// TestObserverCaptureRace gives every job a Probe that records into its
+// own trace and a Metric that reads it back, across enough workers that
+// any cross-job capture shows up under -race (and as cross-talk in the
+// per-job sample counts).
+func TestObserverCaptureRace(t *testing.T) {
+	const n = 12
+	jobs := make([]Job, n)
+	recs := make([]*trace.Series, n)
+	for i := range jobs {
+		i := i
+		job := chargeJob(0.2 + 0.05*float64(i%3))
+		recs[i] = trace.NewSeries("store-power")
+		rec := recs[i]
+		job.Probe = func(h *harvester.Harvester, eng harvester.Engine) {
+			idxVc := h.Sys.MustTerminal("Vc")
+			idxIc := h.Sys.MustTerminal("Ic")
+			eng.Observe(func(tm float64, x, y []float64) {
+				rec.Append(tm, y[idxVc]*y[idxIc])
+			})
+		}
+		job.Metric = func(h *harvester.Harvester, eng harvester.Engine) float64 {
+			return float64(rec.Len())
+		}
+		jobs[i] = job
+	}
+	results := Run(context.Background(), jobs, Options{Workers: n})
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if recs[i].Len() == 0 {
+			t.Fatalf("job %d probe never fired", i)
+		}
+		if int(r.Metric) != recs[i].Len() {
+			t.Fatalf("job %d metric saw %d samples, series has %d (cross-job capture?)",
+				i, int(r.Metric), recs[i].Len())
+		}
+		// The recorded horizon must match this job's own duration, not a
+		// sibling's.
+		lastT, _ := recs[i].Last()
+		if want := jobs[i].Scenario.Duration; math.Abs(lastT-want) > 1e-6 {
+			t.Fatalf("job %d recorded to t=%v, want %v (observer crossed jobs)",
+				i, lastT, want)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package batch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary aggregates a batch's results: error tally, wall-clock
+// accounting, and the metric/voltage extrema with the jobs that attained
+// them (the argmax table a design sweep exists to produce).
+type Summary struct {
+	Jobs   int
+	Failed int
+	// CPUTime is the summed per-job wall time. It equals the serial
+	// cost only when jobs did not contend for cores; under an
+	// oversubscribed pool it overstates it, so derive speedups from a
+	// real RunSerial baseline, not from this.
+	CPUTime time.Duration
+
+	MinMetric, MaxMetric       float64
+	ArgMinMetric, ArgMaxMetric int // indices into the results slice; -1 if none
+	MinVc, MaxVc               float64
+	TotalSteps                 int
+}
+
+// Summarize reduces a result slice.
+func Summarize(results []Result) Summary {
+	s := Summary{
+		Jobs:         len(results),
+		ArgMinMetric: -1, ArgMaxMetric: -1,
+		MinMetric: math.Inf(1), MaxMetric: math.Inf(-1),
+		MinVc: math.Inf(1), MaxVc: math.Inf(-1),
+	}
+	for i, r := range results {
+		s.CPUTime += r.Elapsed
+		if r.Err != nil {
+			s.Failed++
+			continue
+		}
+		s.TotalSteps += r.Stats.Steps
+		if r.Metric < s.MinMetric {
+			s.MinMetric, s.ArgMinMetric = r.Metric, i
+		}
+		if r.Metric > s.MaxMetric {
+			s.MaxMetric, s.ArgMaxMetric = r.Metric, i
+		}
+		if r.FinalVc < s.MinVc {
+			s.MinVc = r.FinalVc
+		}
+		if r.FinalVc > s.MaxVc {
+			s.MaxVc = r.FinalVc
+		}
+	}
+	return s
+}
+
+// String renders the aggregate block.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "jobs %d  failed %d  steps %d  summed job time %v\n",
+		s.Jobs, s.Failed, s.TotalSteps, s.CPUTime.Round(time.Millisecond))
+	if s.ArgMaxMetric >= 0 {
+		fmt.Fprintf(&b, "metric  min %.4g (#%d)  max %.4g (#%d)\n",
+			s.MinMetric, s.ArgMinMetric, s.MaxMetric, s.ArgMaxMetric)
+		fmt.Fprintf(&b, "final Vc  min %.4g V  max %.4g V", s.MinVc, s.MaxVc)
+	}
+	return b.String()
+}
+
+// Top returns the k successful results with the largest Metric, in
+// descending order (ties broken by job index, so the ranking is
+// deterministic).
+func Top(results []Result, k int) []Result {
+	ok := make([]Result, 0, len(results))
+	for _, r := range results {
+		if r.Err == nil {
+			ok = append(ok, r)
+		}
+	}
+	sort.SliceStable(ok, func(i, j int) bool {
+		if ok[i].Metric != ok[j].Metric {
+			return ok[i].Metric > ok[j].Metric
+		}
+		return ok[i].Index < ok[j].Index
+	})
+	if k < 0 {
+		k = 0
+	}
+	if k < len(ok) {
+		ok = ok[:k]
+	}
+	return ok
+}
+
+// Table renders ranked results as a fixed-width table: rank, job name,
+// metric, final Vc, steps, elapsed.
+func Table(results []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-48s %12s %10s %8s %10s\n",
+		"#", "job", "metric", "Vc [V]", "steps", "elapsed")
+	for i, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(&b, "%-4d %-48s ERROR: %v\n", i+1, r.Name, r.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-4d %-48s %12.5g %10.4f %8d %10s\n",
+			i+1, r.Name, r.Metric, r.FinalVc, r.Stats.Steps,
+			r.Elapsed.Round(time.Microsecond))
+	}
+	return b.String()
+}

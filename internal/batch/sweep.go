@@ -1,0 +1,133 @@
+package batch
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"harvsim/internal/harvester"
+)
+
+// Point is one setting of a sweep axis: a label for result naming and a
+// transform applied to the job. Apply functions receive a job whose
+// Scenario has already been deep-cloned from the base, so mutating value
+// fields of job.Scenario.Cfg is safe; pointer fields (the Dickson diode
+// table) must be replaced, never mutated in place, because they are
+// shared read-only across concurrent jobs.
+type Point struct {
+	Label string
+	Apply func(j *Job)
+}
+
+// Axis is a named list of points; a sweep is the cartesian product of
+// its axes.
+type Axis struct {
+	Name   string
+	Points []Point
+}
+
+// FloatAxis sweeps a float-valued knob.
+func FloatAxis(name string, values []float64, set func(j *Job, v float64)) Axis {
+	ax := Axis{Name: name}
+	for _, v := range values {
+		v := v
+		ax.Points = append(ax.Points, Point{
+			Label: strconv.FormatFloat(v, 'g', -1, 64),
+			Apply: func(j *Job) { set(j, v) },
+		})
+	}
+	return ax
+}
+
+// IntAxis sweeps an integer-valued knob.
+func IntAxis(name string, values []int, set func(j *Job, v int)) Axis {
+	ax := Axis{Name: name}
+	for _, v := range values {
+		v := v
+		ax.Points = append(ax.Points, Point{
+			Label: strconv.Itoa(v),
+			Apply: func(j *Job) { set(j, v) },
+		})
+	}
+	return ax
+}
+
+// EngineAxis sweeps the solver kind.
+func EngineAxis(kinds ...harvester.EngineKind) Axis {
+	ax := Axis{Name: "engine"}
+	for _, k := range kinds {
+		k := k
+		ax.Points = append(ax.Points, Point{
+			Label: k.String(),
+			Apply: func(j *Job) { j.Engine = k },
+		})
+	}
+	return ax
+}
+
+// SweepSpec declares a cartesian parameter sweep: every combination of
+// axis points applied to a copy of the base job, expanded in row-major
+// order (the last axis varies fastest).
+type SweepSpec struct {
+	Base Job
+	Axes []Axis
+}
+
+// Size returns the number of jobs the sweep expands to.
+func (s SweepSpec) Size() int {
+	n := 1
+	for _, ax := range s.Axes {
+		n *= len(ax.Points)
+	}
+	return n
+}
+
+// Jobs expands the sweep into its job list. Each job gets a deep-cloned
+// Scenario (no Shifts/Chirp aliasing with the base or its siblings) and
+// a name of the form "base[axis=label ...]".
+func (s SweepSpec) Jobs() ([]Job, error) {
+	for _, ax := range s.Axes {
+		if len(ax.Points) == 0 {
+			return nil, fmt.Errorf("batch: axis %q has no points", ax.Name)
+		}
+	}
+	jobs := make([]Job, 0, s.Size())
+	idx := make([]int, len(s.Axes))
+	base := jobName(s.Base)
+	for {
+		job := s.Base
+		job.Scenario = s.Base.Scenario.Clone()
+		var labels []string
+		for a, ax := range s.Axes {
+			pt := ax.Points[idx[a]]
+			pt.Apply(&job)
+			labels = append(labels, ax.Name+"="+pt.Label)
+		}
+		if len(labels) > 0 {
+			job.Name = base + "[" + strings.Join(labels, " ") + "]"
+		}
+		jobs = append(jobs, job)
+		// Odometer increment, last axis fastest.
+		a := len(idx) - 1
+		for ; a >= 0; a-- {
+			idx[a]++
+			if idx[a] < len(s.Axes[a].Points) {
+				break
+			}
+			idx[a] = 0
+		}
+		if a < 0 {
+			return jobs, nil
+		}
+	}
+}
+
+// Sweep expands the spec and runs it across the pool.
+func Sweep(ctx context.Context, spec SweepSpec, opt Options) ([]Result, error) {
+	jobs, err := spec.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	return Run(ctx, jobs, opt), nil
+}

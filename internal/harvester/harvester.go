@@ -39,6 +39,19 @@ type Config struct {
 	// it the system is a plain (non-tunable) harvester charging its
 	// storage.
 	Autonomous bool
+
+	// Solver carries optional numerical overrides; zero values select
+	// the calibrated defaults. Making these part of Config keeps every
+	// knob a batch sweep may vary in one declarative place.
+	Solver SolverConfig
+}
+
+// SolverConfig tunes the numerical engines beyond their defaults. The
+// zero value means "use the calibrated default" for every field.
+type SolverConfig struct {
+	HMax    float64 // step-size cap [s]; 0 = 2.5e-4
+	Rtol    float64 // relative local-error tolerance; 0 = controller default
+	ABOrder int     // proposed engine's Adams-Bashforth order (1..4); 0 = 4
 }
 
 // DefaultConfig returns the calibrated full-system configuration.
@@ -80,10 +93,11 @@ type Harvester struct {
 	arrival float64
 
 	// Traces recorded during Run.
-	VcTrace   *trace.Series // supercapacitor terminal voltage
-	PMultIn   *trace.Series // instantaneous power into the multiplier
-	ModeTrace *trace.Series // load mode as a step waveform
-	FresTrace *trace.Series // generator resonant frequency
+	VcTrace     *trace.Series // supercapacitor terminal voltage
+	PMultIn     *trace.Series // instantaneous power into the multiplier
+	PStoreTrace *trace.Series // instantaneous power into the supercap
+	ModeTrace   *trace.Series // load mode as a step waveform
+	FresTrace   *trace.Series // generator resonant frequency
 
 	// Energy accounting (trapezoidal integrals over the run).
 	Energy Energy
@@ -176,6 +190,7 @@ func New(cfg Config) *Harvester {
 
 	h.VcTrace = trace.NewSeries("Vc")
 	h.PMultIn = trace.NewSeries("Pmult")
+	h.PStoreTrace = trace.NewSeries("Pstore")
 	h.ModeTrace = trace.NewSeries("mode")
 	h.FresTrace = trace.NewSeries("fres")
 	return h
@@ -251,26 +266,36 @@ func (h *Harvester) lastVc() float64 {
 // kernel and the waveform probes. decimate keeps every n-th sample in
 // the traces (1 = keep all).
 func (h *Harvester) NewEngine(kind EngineKind, decimate int) Engine {
+	hmax := h.Cfg.Solver.HMax
+	if hmax <= 0 {
+		hmax = 2.5e-4
+	}
 	var eng Engine
 	switch kind {
 	case Proposed:
 		e := core.NewEngine(h.Sys)
-		e.Ctl.HMax = 2.5e-4
+		e.Ctl.HMax = hmax
+		if h.Cfg.Solver.Rtol > 0 {
+			e.Ctl.Rtol = h.Cfg.Solver.Rtol
+		}
+		if h.Cfg.Solver.ABOrder > 0 {
+			e.Order = h.Cfg.Solver.ABOrder
+		}
 		e.Events = h.Kernel
 		eng = e
-	case ExistingTrap:
-		e := implicit.NewEngine(h.Sys, implicit.Trapezoidal)
-		e.Ctl.HMax = 2.5e-4
-		e.Events = h.Kernel
-		eng = e
-	case ExistingBDF2:
-		e := implicit.NewEngine(h.Sys, implicit.BDF2)
-		e.Ctl.HMax = 2.5e-4
-		e.Events = h.Kernel
-		eng = e
-	case ExistingBE:
-		e := implicit.NewEngine(h.Sys, implicit.BackwardEuler)
-		e.Ctl.HMax = 2.5e-4
+	case ExistingTrap, ExistingBDF2, ExistingBE:
+		m := implicit.Trapezoidal
+		switch kind {
+		case ExistingBDF2:
+			m = implicit.BDF2
+		case ExistingBE:
+			m = implicit.BackwardEuler
+		}
+		e := implicit.NewEngine(h.Sys, m)
+		e.Ctl.HMax = hmax
+		if h.Cfg.Solver.Rtol > 0 {
+			e.Ctl.Rtol = h.Cfg.Solver.Rtol
+		}
 		e.Events = h.Kernel
 		eng = e
 	default:
@@ -288,6 +313,7 @@ func (h *Harvester) attachProbes(eng Engine, decimate int) {
 	}
 	vcDec := trace.NewDecimator(h.VcTrace, decimate)
 	pDec := trace.NewDecimator(h.PMultIn, decimate)
+	psDec := trace.NewDecimator(h.PStoreTrace, decimate)
 	fDec := trace.NewDecimator(h.FresTrace, decimate*4)
 	count := 0
 	eng.Observe(func(t float64, x, y []float64) {
@@ -310,6 +336,7 @@ func (h *Harvester) attachProbes(eng Engine, decimate int) {
 		// sample count; the MCU reads the latest value.
 		vcDec.Append(t, vc)
 		pDec.Append(t, pin)
+		psDec.Append(t, pstore)
 		if count%16 == 0 {
 			fDec.Append(t, h.Cfg.Microgen.TunedHz(h.Act.ForceAt(t)))
 		}
@@ -321,16 +348,24 @@ func (h *Harvester) attachProbes(eng Engine, decimate int) {
 // returns it (for stats inspection).
 func (h *Harvester) Run(kind EngineKind, duration float64, decimate int) (Engine, error) {
 	eng := h.NewEngine(kind, decimate)
+	return eng, h.RunEngine(eng, duration)
+}
+
+// RunEngine runs a previously built engine over [0, duration] with the
+// harvester's energy bookkeeping. Splitting construction from execution
+// lets callers (the batch runner, conformance harnesses) attach extra
+// observers or adjust engine settings between NewEngine and the run.
+func (h *Harvester) RunEngine(eng Engine, duration float64) error {
 	x0 := make([]float64, h.Sys.NX())
 	h.Sys.InitState(x0)
 	h.Energy.StoredT0 = h.Store.StoredEnergy(x0[h.scOff : h.scOff+3])
 	if err := eng.Run(0, duration); err != nil {
-		return eng, err
+		return err
 	}
 	x := eng.State()
 	h.Energy.StoredT1 = h.Store.StoredEnergy(x[h.scOff : h.scOff+3])
 	// Mode trace is reconstructed from kernel activity indirectly; record
 	// the final mode for completeness.
 	h.ModeTrace.Append(h.lastT, float64(h.Store.Mode()))
-	return eng, nil
+	return nil
 }

@@ -15,14 +15,29 @@ type Scenario struct {
 	Cfg      Config
 	Duration float64
 	Shifts   []FreqShift
-	Sweep    *SweepSpec // optional linear chirp (TrackingScenario)
+	Chirp    *ChirpSpec // optional linear chirp (TrackingScenario)
+}
+
+// Clone returns a deep copy of the scenario: mutating the copy's Shifts
+// or Chirp never aliases the original. The batch sweep expander relies
+// on this to derive many jobs from one shared base without data races.
+func (sc Scenario) Clone() Scenario {
+	out := sc
+	if len(sc.Shifts) > 0 {
+		out.Shifts = append([]FreqShift(nil), sc.Shifts...)
+	}
+	if sc.Chirp != nil {
+		ch := *sc.Chirp
+		out.Chirp = &ch
+	}
+	return out
 }
 
 // Fidelity selects between bench-scale and paper-scale scenario timing.
 // The physics is identical; Quick shortens the watchdog period, speeds
 // the actuator up and shrinks the horizon so a run finishes in seconds.
 // CPU-time *ratios* between engines are per-step properties and carry
-// over to the full-scale runs (see EXPERIMENTS.md).
+// over to the full-scale runs (see DESIGN.md).
 type Fidelity int
 
 const (
@@ -125,26 +140,27 @@ func TrackingScenario(duration, f0, fEnd float64) Scenario {
 	// horizons, not a minutes-long tracking demonstration.
 	cfg.Actuator.Speed = 10e-3
 	sc := Scenario{Name: "frequency-tracking", Cfg: cfg, Duration: duration}
-	sc.Sweep = &SweepSpec{T0: duration * 0.15, Duration: duration * 0.6, FEnd: fEnd}
+	sc.Chirp = &ChirpSpec{T0: duration * 0.15, Duration: duration * 0.6, FEnd: fEnd}
 	return sc
 }
 
-// SweepSpec schedules a linear ambient-frequency chirp.
-type SweepSpec struct {
+// ChirpSpec schedules a linear ambient-frequency chirp.
+type ChirpSpec struct {
 	T0       float64
 	Duration float64
 	FEnd     float64
 }
 
-// RunScenario assembles the harvester, schedules the frequency shifts on
-// the digital kernel and runs the chosen engine over the scenario
-// horizon. decimate bounds trace memory (1 = keep everything).
-func RunScenario(sc Scenario, kind EngineKind, decimate int) (*Harvester, Engine, error) {
+// Assemble builds the harvester for a scenario and schedules its
+// frequency shifts and chirp on the digital kernel, without running it.
+// Callers that need to attach extra probes or tweak the engine do so
+// between Assemble and RunEngine; RunScenario is the one-shot path.
+func Assemble(sc Scenario) (*Harvester, error) {
 	h := New(sc.Cfg)
 	for _, shift := range sc.Shifts {
 		shift := shift
 		if shift.T >= sc.Duration {
-			return nil, nil, fmt.Errorf("harvester: shift at %g outside horizon %g", shift.T, sc.Duration)
+			return nil, fmt.Errorf("harvester: shift at %g outside horizon %g", shift.T, sc.Duration)
 		}
 		h.Kernel.At(shift.T, func(now float64) bool {
 			h.Vib.SetFrequency(now, shift.Hz)
@@ -153,13 +169,24 @@ func RunScenario(sc Scenario, kind EngineKind, decimate int) (*Harvester, Engine
 			return true
 		})
 	}
-	if sw := sc.Sweep; sw != nil {
-		if sw.T0+sw.Duration > sc.Duration {
-			return nil, nil, fmt.Errorf("harvester: sweep extends past horizon %g", sc.Duration)
+	if ch := sc.Chirp; ch != nil {
+		if ch.T0+ch.Duration > sc.Duration {
+			return nil, fmt.Errorf("harvester: chirp extends past horizon %g", sc.Duration)
 		}
 		// Pre-programme the chirp; it is smooth (phase and frequency both
 		// continuous), so no event discontinuity is needed.
-		h.Vib.Sweep(sw.T0, sw.Duration, sw.FEnd)
+		h.Vib.Sweep(ch.T0, ch.Duration, ch.FEnd)
+	}
+	return h, nil
+}
+
+// RunScenario assembles the harvester, schedules the frequency shifts on
+// the digital kernel and runs the chosen engine over the scenario
+// horizon. decimate bounds trace memory (1 = keep everything).
+func RunScenario(sc Scenario, kind EngineKind, decimate int) (*Harvester, Engine, error) {
+	h, err := Assemble(sc)
+	if err != nil {
+		return nil, nil, err
 	}
 	eng, err := h.Run(kind, sc.Duration, decimate)
 	return h, eng, err

@@ -52,7 +52,7 @@ func TestTrackingScenarioRetunesRepeatedly(t *testing.T) {
 
 func TestSweepValidation(t *testing.T) {
 	sc := TrackingScenario(100, 66, 72)
-	sc.Sweep = &SweepSpec{T0: 90, Duration: 60, FEnd: 72}
+	sc.Chirp = &ChirpSpec{T0: 90, Duration: 60, FEnd: 72}
 	if _, _, err := RunScenario(sc, Proposed, 32); err == nil {
 		t.Fatalf("sweep past horizon should error")
 	}
