@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"harvsim/internal/batch"
+	"harvsim/internal/core"
 	"harvsim/internal/exp"
 	"harvsim/internal/harvester"
 )
@@ -237,6 +238,56 @@ func BenchmarkBatchSweep_Pooled(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+}
+
+// BenchmarkBatchSweep_PooledNoReuse is the PR 1 behaviour (fresh
+// Jacobian and engine storage per job) kept as the A/B reference for the
+// per-worker workspace-reuse path BenchmarkBatchSweep_Pooled now runs.
+func BenchmarkBatchSweep_PooledNoReuse(b *testing.B) {
+	jobs := batchSweepGrid(0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := batch.Run(context.Background(), jobs, batch.Options{NoWorkspaceReuse: true})
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+}
+
+// BenchmarkWarmStep measures one warm steady-state step of the proposed
+// engine — the unit of cost the paper's speedup lives in. Its allocs/op
+// baseline is zero, and the CI bench gate (cmd/benchgate vs
+// BENCH_2.json) pins it there: any allocation creeping into the hot
+// path fails the gate on every machine, independent of CPU speed.
+func BenchmarkWarmStep(b *testing.B) {
+	sc := harvester.ChargeScenario(1e9) // horizon far beyond any b.N
+	sc.Cfg.InitialVc = 2.5
+	h, err := harvester.Assemble(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, ok := h.NewEngine(harvester.Proposed, 1<<20).(*core.Engine)
+	if !ok {
+		b.Fatal("proposed engine is not a core.Engine")
+	}
+	if err := eng.Begin(0, sc.Duration); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := eng.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkEngineStepRate isolates the proposed engine's raw step

@@ -30,9 +30,28 @@ func main() {
 	)
 	flag.Parse()
 
-	fid := harvester.Quick
-	if *fidelity == "paper" {
+	// Validate flags up front: a bad value must produce a usage error and
+	// exit 2, not a panic (or a silent clamp) deep inside assembly.
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "harvsim: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *decimate < 1 {
+		usageErr("-decimate must be >= 1 (got %d)", *decimate)
+	}
+	if *duration < 0 {
+		usageErr("-duration must be >= 0 (got %g)", *duration)
+	}
+
+	var fid harvester.Fidelity
+	switch *fidelity {
+	case "quick":
+		fid = harvester.Quick
+	case "paper":
 		fid = harvester.PaperScale
+	default:
+		usageErr("unknown -fidelity %q (want quick or paper)", *fidelity)
 	}
 	var sc harvester.Scenario
 	switch *scenario {
@@ -53,8 +72,7 @@ func main() {
 		}
 		sc = harvester.TrackingScenario(d, 66, 72)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
-		os.Exit(2)
+		usageErr("unknown -scenario %q (want charge, s1, s2 or track)", *scenario)
 	}
 	if *duration > 0 {
 		sc.Duration = *duration
@@ -71,8 +89,7 @@ func main() {
 	case "be":
 		kind = harvester.ExistingBE
 	default:
-		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
-		os.Exit(2)
+		usageErr("unknown -engine %q (want proposed, trap, bdf2 or be)", *engine)
 	}
 
 	fmt.Printf("scenario %s (%s), engine %s, %.4g s simulated\n",

@@ -53,26 +53,51 @@ type EngineStats struct {
 	Steps       int
 	Rejected    int
 	EventsFired int
-	HMean       float64
-	SimTime     float64
+	// Refactors counts dense-matrix factorisations: Jyy elimination
+	// refreshes for the proposed engine, full Newton-Jacobian LU factors
+	// for the implicit baselines.
+	Refactors int
+	// Solves counts linear-system solves: terminal-variable eliminations
+	// (proposed) or Newton iterations (implicit).
+	Solves int
+	// StabilityRecomputes counts reduced-matrix stability analyses
+	// (proposed engine only).
+	StabilityRecomputes int
+	// Restarts counts multistep-history restarts at discontinuities
+	// (proposed engine only).
+	Restarts int
+	// Allocs/AllocBytes are heap allocations attributed to the run, when
+	// the engine measured them (core.Engine.MeasureAllocs).
+	Allocs     uint64
+	AllocBytes uint64
+	HMean      float64
+	SimTime    float64
 }
 
-// statsOf extracts the unified counters from either engine family.
-func statsOf(eng harvester.Engine) EngineStats {
+// StatsOf extracts the unified counters from either engine family.
+func StatsOf(eng harvester.Engine) EngineStats {
 	switch e := eng.(type) {
 	case *core.Engine:
 		return EngineStats{
-			Steps:       e.Stats.Steps,
-			Rejected:    e.Stats.Rejected,
-			EventsFired: e.Stats.EventsFired,
-			HMean:       e.Stats.HMean,
-			SimTime:     e.Stats.SimTime,
+			Steps:               e.Stats.Steps,
+			Rejected:            e.Stats.Rejected,
+			EventsFired:         e.Stats.EventsFired,
+			Refactors:           e.Stats.Refreshes,
+			Solves:              e.Stats.YSolves,
+			StabilityRecomputes: e.Stats.StabilityRecomputes,
+			Restarts:            e.Stats.Restarts,
+			Allocs:              e.Stats.Allocs,
+			AllocBytes:          e.Stats.AllocBytes,
+			HMean:               e.Stats.HMean,
+			SimTime:             e.Stats.SimTime,
 		}
 	case *implicit.Engine:
 		return EngineStats{
 			Steps:       e.Stats.Steps,
 			Rejected:    e.Stats.Rejected,
 			EventsFired: e.Stats.EventsFired,
+			Refactors:   e.Stats.LUFactors,
+			Solves:      e.Stats.NewtonIters,
 			HMean:       e.Stats.HMean,
 			SimTime:     e.Stats.SimTime,
 		}
@@ -115,6 +140,10 @@ type Options struct {
 	// SettleFrac is the fraction of the horizon discarded before the
 	// power metrics are computed (start-up transient); 0 means 1/3.
 	SettleFrac float64
+	// NoWorkspaceReuse disables the per-worker workspace pools, so every
+	// job allocates its Jacobian and engine storage afresh — the PR 1
+	// behaviour, kept for A/B benchmarking of the reuse path.
+	NoWorkspaceReuse bool
 }
 
 // EffectiveWorkers resolves the pool size the options select: Workers
@@ -174,10 +203,14 @@ func Run(ctx context.Context, jobs []Job, opt Options) []Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One workspace pool per worker: same-shape jobs on this
+			// worker rebuild state, not storage, and the pool never
+			// crosses a goroutine boundary (it is not locked).
+			pool := workerPool(opt)
 			for i := range next {
 				// Each worker writes only its own index; the slots are
 				// disjoint, so no locking is needed.
-				results[i] = runOne(i, jobs[i], opt)
+				results[i] = runOne(i, jobs[i], opt, pool)
 			}
 		}()
 	}
@@ -190,10 +223,20 @@ func Run(ctx context.Context, jobs []Job, opt Options) []Result {
 // bit-for-bit, and the baseline the speedup benchmarks compare against.
 func RunSerial(jobs []Job, opt Options) []Result {
 	results := make([]Result, len(jobs))
+	pool := workerPool(opt)
 	for i, job := range jobs {
-		results[i] = runOne(i, job, opt)
+		results[i] = runOne(i, job, opt, pool)
 	}
 	return results
+}
+
+// workerPool returns a fresh per-worker workspace pool, or nil when the
+// options disable reuse.
+func workerPool(opt Options) *core.WorkspacePool {
+	if opt.NoWorkspaceReuse {
+		return nil
+	}
+	return core.NewWorkspacePool()
 }
 
 // jobName labels a job, falling back to its scenario's name.
@@ -204,11 +247,14 @@ func jobName(job Job) string {
 	return job.Scenario.Name
 }
 
-// runOne assembles, runs and summarises a single job.
-func runOne(idx int, job Job, opt Options) Result {
+// runOne assembles, runs and summarises a single job. With a pool, the
+// harvester's Jacobian and engine storage comes from recycled same-shape
+// workspaces and is handed back after metric extraction (unless the
+// caller keeps the harvester), amortising assembly across a sweep.
+func runOne(idx int, job Job, opt Options, pool *core.WorkspacePool) Result {
 	res := Result{Index: idx, Name: jobName(job), Job: job}
 	start := time.Now()
-	h, err := harvester.Assemble(job.Scenario)
+	h, err := harvester.AssembleWith(job.Scenario, pool)
 	if err != nil {
 		res.Err = err
 		res.Elapsed = time.Since(start)
@@ -225,6 +271,7 @@ func runOne(idx int, job Job, opt Options) Result {
 	if err := h.RunEngine(eng, job.Scenario.Duration); err != nil {
 		res.Err = err
 		res.Elapsed = time.Since(start)
+		h.Release()
 		return res
 	}
 	res.Elapsed = time.Since(start)
@@ -240,10 +287,14 @@ func runOne(idx int, job Job, opt Options) Result {
 		res.Metric = res.RMSPower
 	}
 	res.Energy = h.Energy
-	res.Stats = statsOf(eng)
+	res.Stats = StatsOf(eng)
 	if opt.Keep {
 		res.Harvester = h
 		res.Engine = eng
+	} else {
+		// The result has copied everything it needs; the workspace goes
+		// back to the worker's pool for the next same-shape job.
+		h.Release()
 	}
 	return res
 }

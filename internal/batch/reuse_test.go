@@ -1,0 +1,63 @@
+package batch
+
+import "testing"
+
+// TestWorkspaceReuseBitIdentical pins the batch reuse path: a serial run
+// with per-worker workspace recycling (the default) must produce results
+// bit-identical to one that allocates fresh storage per job (the PR 1
+// behaviour, Options.NoWorkspaceReuse).
+func TestWorkspaceReuseBitIdentical(t *testing.T) {
+	base := chargeJob(0.4)
+	spec := SweepSpec{
+		Base: base,
+		Axes: []Axis{
+			FloatAxis("rc", []float64{200, 500, 1000, 2000}, func(j *Job, v float64) {
+				j.Scenario.Cfg.Microgen.Rc = v
+			}),
+		},
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused := RunSerial(jobs, Options{})
+	fresh := RunSerial(jobs, Options{NoWorkspaceReuse: true})
+	for i := range jobs {
+		r, f := reused[i], fresh[i]
+		if r.Err != nil || f.Err != nil {
+			t.Fatalf("job %d failed: reuse=%v fresh=%v", i, r.Err, f.Err)
+		}
+		if r.FinalVc != f.FinalVc || r.RMSPower != f.RMSPower || r.Stats.Steps != f.Stats.Steps {
+			t.Fatalf("job %d differs: Vc %v vs %v, P %v vs %v, steps %d vs %d",
+				i, r.FinalVc, f.FinalVc, r.RMSPower, f.RMSPower, r.Stats.Steps, f.Stats.Steps)
+		}
+		for k := range r.FinalState {
+			if r.FinalState[k] != f.FinalState[k] {
+				t.Fatalf("job %d state[%d] differs: %v vs %v", i, k, r.FinalState[k], f.FinalState[k])
+			}
+		}
+	}
+}
+
+// TestKeepRetainsWorkspace ensures Options.Keep results stay readable:
+// the kept harvester's workspace must NOT be recycled into a later job
+// of the same worker (its traces and state would be overwritten).
+func TestKeepRetainsWorkspace(t *testing.T) {
+	jobs := []Job{chargeJob(0.2), chargeJob(0.2), chargeJob(0.2)}
+	results := RunSerial(jobs, Options{Keep: true})
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.Harvester == nil || r.Engine == nil {
+			t.Fatalf("job %d: Keep did not retain harvester/engine", i)
+		}
+		// The engine's live state must still match the copied final state.
+		for k, v := range r.Engine.State() {
+			if r.FinalState[k] != v {
+				t.Fatalf("job %d: kept engine state was clobbered at [%d]: %v vs %v",
+					i, k, v, r.FinalState[k])
+			}
+		}
+	}
+}

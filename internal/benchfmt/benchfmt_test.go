@@ -1,0 +1,149 @@
+package benchfmt
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: harvsim
+cpu: Example CPU @ 2.00GHz
+BenchmarkTable1_Proposed-8   	      12	  95698357 ns/op	 1234567 B/op	   23456 allocs/op
+BenchmarkBatchSweep_Pooled-8 	       5	 210000000 ns/op	       8.000 workers	 9876543 B/op	   54321 allocs/op
+BenchmarkWarmStep-8          	 1000000	      1052 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	harvsim	12.3s
+`
+
+func TestParseGoBench(t *testing.T) {
+	rep, err := ParseGoBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Find("BenchmarkTable1_Proposed")
+	if b == nil {
+		t.Fatal("BenchmarkTable1_Proposed not found (proc suffix not stripped?)")
+	}
+	if b.Runs != 12 || b.NsPerOp != 95698357 || b.AllocsPerOp != 23456 || b.BytesPerOp != 1234567 {
+		t.Fatalf("bad parse: %+v", b)
+	}
+	p := rep.Find("BenchmarkBatchSweep_Pooled")
+	if p == nil || p.Metrics["workers"] != 8 {
+		t.Fatalf("custom metric lost: %+v", p)
+	}
+	w := rep.Find("BenchmarkWarmStep")
+	if w == nil || w.AllocsPerOp != 0 || w.NsPerOp != 1052 {
+		t.Fatalf("zero-alloc line mis-parsed: %+v", w)
+	}
+}
+
+func TestParseGoBenchMultiCount(t *testing.T) {
+	two := `BenchmarkX-4  10  200 ns/op  5 allocs/op
+BenchmarkX-4  12  150 ns/op  7 allocs/op
+`
+	rep, err := ParseGoBench(strings.NewReader(two))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rep.Find("BenchmarkX")
+	if b == nil || b.NsPerOp != 150 || b.AllocsPerOp != 5 || b.Runs != 22 {
+		t.Fatalf("multi-count merge wrong: %+v", b)
+	}
+}
+
+// TestParseGoBenchInterleaved merges duplicates that recur after other
+// benchmarks were first seen (concatenated runs), which forces the
+// benchmark slice to reallocate between the first sighting and the
+// merge — the merge must land in the live array, not a stale one.
+func TestParseGoBenchInterleaved(t *testing.T) {
+	var in strings.Builder
+	for run := 0; run < 2; run++ {
+		for _, name := range []string{"A", "B", "C", "D", "E"} {
+			ns := 100 * (run + 1)
+			fmt.Fprintf(&in, "Benchmark%s-2  1  %d ns/op  %d allocs/op\n", name, ns, 9-run)
+		}
+	}
+	rep, err := ParseGoBench(strings.NewReader(in.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 5 {
+		t.Fatalf("got %d benchmarks, want 5", len(rep.Benchmarks))
+	}
+	for _, b := range rep.Benchmarks {
+		if b.Runs != 2 || b.NsPerOp != 100 || b.AllocsPerOp != 8 {
+			t.Fatalf("merge lost on %s: %+v", b.Name, b)
+		}
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := NewReport()
+	base.Benchmarks = []Benchmark{
+		{Name: "A", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "B", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "Gone", NsPerOp: 50},
+	}
+	cur := NewReport()
+	cur.Benchmarks = []Benchmark{
+		{Name: "A", NsPerOp: 119, AllocsPerOp: 13}, // ns ok (+19%), allocs regressed (+30%)
+		{Name: "B", NsPerOp: 300, AllocsPerOp: 1},  // both regressed; zero-alloc pin broken
+	}
+	regs, missing := Compare(base, cur, 0.20)
+	if len(missing) != 1 || missing[0] != "Gone" {
+		t.Fatalf("missing = %v", missing)
+	}
+	var metrics []string
+	for _, r := range regs {
+		metrics = append(metrics, r.Name+"/"+r.Metric)
+		if r.Name == "B" && r.Metric == "allocs/op" && !math.IsInf(r.Ratio, 1) {
+			t.Fatalf("zero-alloc pin should report infinite ratio, got %v", r.Ratio)
+		}
+	}
+	want := []string{"A/allocs/op", "B/ns/op", "B/allocs/op"}
+	if len(metrics) != len(want) {
+		t.Fatalf("regressions %v, want %v", metrics, want)
+	}
+	for i := range want {
+		if metrics[i] != want[i] {
+			t.Fatalf("regressions %v, want %v", metrics, want)
+		}
+	}
+
+	// Within tolerance passes.
+	regs, missing = Compare(base, base, 0.20)
+	if len(regs) != 0 || len(missing) != 0 {
+		t.Fatalf("self-compare not clean: %v %v", regs, missing)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := NewReport()
+	rep.GoVersion = "go1.24.0"
+	rep.Benchmarks = []Benchmark{
+		{Name: "Z", NsPerOp: 3},
+		{Name: "A", NsPerOp: 1, Metrics: map[string]float64{"steps": 42}},
+	}
+	rep.Sort()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmarks[0].Name != "A" || got.Benchmarks[0].Metrics["steps"] != 42 {
+		t.Fatalf("round trip lost data: %+v", got.Benchmarks)
+	}
+	if got.Schema != Schema {
+		t.Fatalf("schema %q", got.Schema)
+	}
+}

@@ -71,6 +71,14 @@ func (v *Vibration) addSeg(t, f, rate float64) {
 	v.segs = append(v.segs, seg)
 }
 
+// Reset discards every scheduled frequency change and restarts the
+// source at constant frequency f0 from phase zero at t=0, keeping the
+// segment storage for reuse.
+func (v *Vibration) Reset(f0 float64) {
+	v.segs = v.segs[:1]
+	v.segs[0] = vibSeg{t0: 0, freq: f0}
+}
+
 // SetFrequency schedules a frequency change at time t (seconds, must not
 // precede previously scheduled changes). The phase remains continuous.
 func (v *Vibration) SetFrequency(t, f float64) {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"harvsim/internal/la"
 	"harvsim/internal/ode"
@@ -32,7 +33,7 @@ type Events interface {
 type Stats struct {
 	Steps               int     // accepted steps
 	Rejected            int     // rejected step attempts
-	Refreshes           int     // linearisation refreshes (Jacobian changes)
+	Refreshes           int     // linearisation refreshes (Jyy refactorisations)
 	YSolves             int     // terminal-variable elimination solves
 	EventsFired         int     // digital event batches fired
 	Restarts            int     // multistep history restarts (discontinuities)
@@ -41,6 +42,13 @@ type Stats struct {
 	HStabMin            float64 // tightest stability cap encountered
 	HMean               float64 // mean accepted step
 	SimTime             float64 // simulated span
+
+	// Allocs/AllocBytes are the process-wide heap allocation count and
+	// bytes attributed to the run, populated only when Engine.MeasureAllocs
+	// is set. They are exact for a run with no concurrent allocation (the
+	// serial benchtab path) and an upper bound otherwise.
+	Allocs     uint64
+	AllocBytes uint64
 }
 
 // Engine is the proposed linearised state-space simulator: explicit
@@ -70,9 +78,20 @@ type Engine struct {
 	// paper's Eq. 7 predicts.
 	StabilityFactor float64
 
+	// MeasureAllocs makes Run record the heap allocations attributed to
+	// the run in Stats.Allocs/AllocBytes (two runtime.ReadMemStats calls
+	// per Run — cheap for single runs, but process-wide, so leave it off
+	// inside concurrent batch workers).
+	MeasureAllocs bool
+
 	Stats Stats
 
-	// workspace
+	// ws owns all run storage. It is bound on first use — from the
+	// system's pooled workspace when one exists, freshly allocated
+	// otherwise — and reused by every subsequent Run of the same shape.
+	ws *Workspace
+
+	// Views into ws, bound by ensureWorkspace.
 	x, y, yRHS, f []float64
 	xNext, xLow   []float64
 	errv          []float64
@@ -84,13 +103,22 @@ type Engine struct {
 	hist          *ode.History
 	times         []float64
 	coefP, coefL  []float64
-	hStab         float64   // forward-Euler real-mode cap (diagnostic)
-	hRealFE       float64   // real-mode FE cap from the balanced analysis
-	rhoOsc        float64   // Gershgorin bound on oscillatory-mode |lambda|
-	driftAccum    float64   // accumulated Jacobian drift since last analysis
-	sinceStab     int       // refreshes since the last stability analysis
 	dScale        []float64 // cached balancing scales
-	scaleAge      int
+
+	hStab      float64 // forward-Euler real-mode cap (diagnostic)
+	hRealFE    float64 // real-mode FE cap from the balanced analysis
+	rhoOsc     float64 // Gershgorin bound on oscillatory-mode |lambda|
+	driftAccum float64 // accumulated Jacobian drift since last analysis
+	sinceStab  int     // refreshes since the last stability analysis
+	scaleAge   int
+
+	// March state, valid between Begin and Finish.
+	running     bool
+	t0, t, tEnd float64
+	h, hSum     float64
+	shrinkNext  float64
+	allocsBase  uint64
+	allocBytes0 uint64
 }
 
 // NewEngine returns an engine for the (built or unbuilt) system with
@@ -115,7 +143,12 @@ func (e *Engine) State() []float64 { return e.x }
 // view).
 func (e *Engine) Terminals() []float64 { return e.y }
 
-func (e *Engine) alloc() error {
+// ensureWorkspace binds the engine to run storage: the system's pooled
+// workspace when one exists, the engine's previous workspace when the
+// shape still matches, or a freshly allocated one. After the first call
+// nothing here allocates, which is what makes Run re-runnable and Reset
+// cheap.
+func (e *Engine) ensureWorkspace() error {
 	if err := e.Sys.Build(); err != nil {
 		return err
 	}
@@ -123,27 +156,37 @@ func (e *Engine) alloc() error {
 		return fmt.Errorf("core: AB order %d out of range [1,%d]", e.Order, ode.MaxABOrder)
 	}
 	nx, ny := e.Sys.NX(), e.Sys.NY()
-	e.x = make([]float64, nx)
-	e.y = make([]float64, ny)
-	e.yRHS = make([]float64, ny)
-	e.f = make([]float64, nx)
-	e.xNext = make([]float64, nx)
-	e.xLow = make([]float64, nx)
-	e.errv = make([]float64, nx)
-	e.luYY = la.NewLU(ny)
-	e.red = la.NewMatrix(nx, nx)
-	e.bal = la.NewMatrix(nx, nx)
-	e.kMat = la.NewMatrix(ny, nx)
-	e.jPrev[0] = la.NewMatrix(nx, nx)
-	e.jPrev[1] = la.NewMatrix(nx, ny)
-	e.jPrev[2] = la.NewMatrix(ny, nx)
-	e.jPrev[3] = la.NewMatrix(ny, ny)
-	e.hist = ode.NewHistory(nx, e.Order)
-	e.times = make([]float64, e.Order)
-	e.coefP = make([]float64, e.Order)
-	e.coefL = make([]float64, e.Order)
+	ws := e.Sys.Workspace()
+	if ws != nil && ws.owner != nil && ws.owner != e {
+		// Another engine already marches on the system's workspace; this
+		// one gets private storage rather than aliasing its state.
+		ws = nil
+	}
+	if ws == nil {
+		ws = e.ws
+	}
+	if ws == nil || !ws.Fits(nx, ny) {
+		ws = NewWorkspace(nx, ny)
+	}
+	ws.owner = e
+	if e.ws == ws && e.x != nil {
+		return nil
+	}
+	e.ws = ws
+	e.x, e.y, e.yRHS, e.f = ws.x, ws.y, ws.yRHS, ws.f
+	e.xNext, e.xLow, e.errv = ws.xNext, ws.xLow, ws.errv
+	e.luYY = ws.luYY
+	e.red, e.bal, e.kMat = ws.red, ws.bal, ws.kM
+	e.jPrev = ws.jPrev
+	e.hist = ws.hist
+	e.times, e.coefP, e.coefL = ws.times, ws.coefP, ws.coefL
+	e.dScale = ws.dScale
 	return nil
 }
+
+// Workspace returns the workspace backing the engine (nil before the
+// first Begin/Run when the system has no pooled workspace either).
+func (e *Engine) Workspace() *Workspace { return e.ws }
 
 // refresh refactors Jyy (needed for the next elimination solve) and, when
 // the Jacobian moved materially since the last stability analysis,
@@ -212,10 +255,6 @@ func (e *Engine) refreshStability() error {
 	// and oscillatory modes, bounded through the Gershgorin disc reach
 	// and the imaginary-axis extent of the Adams-Bashforth stability
 	// region.
-	if e.dScale == nil {
-		e.dScale = make([]float64, e.Sys.NX())
-		e.scaleAge = 1 << 30
-	}
 	// The balancing scales drift slowly; recompute them occasionally and
 	// re-apply the cached similarity in a single cheap pass otherwise.
 	if e.scaleAge >= 16 {
@@ -228,7 +267,7 @@ func (e *Engine) refreshStability() error {
 	if unstable {
 		// A locally non-passive dominant row: fall back to the spectral
 		// radius of the full reduced matrix (paper Eq. 7).
-		rho := la.SpectralRadiusEstimate(e.bal, 100)
+		rho := la.SpectralRadiusEstimateInto(e.bal, 100, e.ws.powX, e.ws.powY)
 		if rho > rhoOsc {
 			rhoOsc = rho
 		}
@@ -291,20 +330,35 @@ func (e *Engine) deriv() {
 	}
 }
 
-// Run marches the system from t0 to tEnd. Initial conditions come from
-// the blocks' InitState. Run may be called once per engine.
-func (e *Engine) Run(t0, tEnd float64) error {
+// Begin prepares a march over [t0, tEnd]: binds the workspace, resets
+// the run state, takes the blocks' initial conditions and establishes
+// the first consistent linearisation. After Begin the engine is stepped
+// with Step until done, then closed with Finish; Run does all three.
+func (e *Engine) Begin(t0, tEnd float64) error {
 	if tEnd <= t0 {
 		return fmt.Errorf("core: empty time span [%g, %g]", t0, tEnd)
 	}
-	if err := e.alloc(); err != nil {
+	if err := e.ensureWorkspace(); err != nil {
 		return err
 	}
 	e.Stats = Stats{HStabMin: math.Inf(1)}
+	if e.MeasureAllocs {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		e.allocsBase, e.allocBytes0 = m.Mallocs, m.TotalAlloc
+	}
+	// Reused storage carries the previous run's values; clear everything
+	// the first linearisation reads so a reused run is bit-identical to a
+	// fresh one.
+	la.ZeroVec(e.x)
+	la.ZeroVec(e.y)
+	e.hist.Reset()
+	e.driftAccum, e.sinceStab = 0, 0
+	e.scaleAge = 1 << 30 // force a balancing-scale recompute
 	e.Sys.InitState(e.x)
-	t := t0
+	e.t0, e.t, e.tEnd = t0, t0, tEnd
 
-	e.Sys.Linearise(t, e.x, e.y)
+	e.Sys.Linearise(e.t, e.x, e.y)
 	if _, err := e.refresh(true); err != nil {
 		return err
 	}
@@ -312,7 +366,7 @@ func (e *Engine) Run(t0, tEnd float64) error {
 		return err
 	}
 	if e.ResolveSegments {
-		if e.Sys.Linearise(t, e.x, e.y) {
+		if e.Sys.Linearise(e.t, e.x, e.y) {
 			if _, err := e.refresh(true); err != nil {
 				return err
 			}
@@ -322,101 +376,121 @@ func (e *Engine) Run(t0, tEnd float64) error {
 		}
 	}
 
-	h := e.Ctl.Clamp(math.Min(e.Ctl.HMax, (tEnd-t0)/10), e.stabCap())
-	var hSum float64
-	shrinkNext := 1.0
+	e.h = e.Ctl.Clamp(math.Min(e.Ctl.HMax, (tEnd-t0)/10), e.stabCap())
+	e.hSum = 0
+	e.shrinkNext = 1.0
+	e.running = true
+	return nil
+}
 
-	for t < tEnd {
-		// 1. Linearise at the current point (values known from the march)
-		// and refresh the elimination factorisation if anything changed.
-		if e.Sys.Linearise(t, e.x, e.y) {
-			rel, err := e.refresh(false)
-			if err != nil {
-				return err
-			}
-			if rel > e.LLETol {
-				shrinkNext = 0.5
-			}
+// Step advances the march by one accepted step (including any digital
+// events landed on) and reports whether the horizon has been reached.
+// After warm-up — once the traces and stability caches are sized — a
+// step performs zero heap allocations; testing.AllocsPerRun pins this.
+func (e *Engine) Step() (done bool, err error) {
+	if !e.running {
+		return false, fmt.Errorf("core: Step without Begin")
+	}
+	if e.t >= e.tEnd {
+		return true, nil
+	}
+	// 1. Linearise at the current point (values known from the march)
+	// and refresh the elimination factorisation if anything changed.
+	if e.Sys.Linearise(e.t, e.x, e.y) {
+		rel, err := e.refresh(false)
+		if err != nil {
+			return false, err
 		}
-		// 2. Eliminate the non-state variables (Eq. 4).
+		if rel > e.LLETol {
+			e.shrinkNext = 0.5
+		}
+	}
+	// 2. Eliminate the non-state variables (Eq. 4).
+	if err := e.solveY(); err != nil {
+		return false, err
+	}
+	if e.ResolveSegments && e.Sys.Linearise(e.t, e.x, e.y) {
+		if _, err := e.refresh(false); err != nil {
+			return false, err
+		}
 		if err := e.solveY(); err != nil {
-			return err
+			return false, err
 		}
-		if e.ResolveSegments && e.Sys.Linearise(t, e.x, e.y) {
-			if _, err := e.refresh(false); err != nil {
-				return err
-			}
-			if err := e.solveY(); err != nil {
-				return err
-			}
-		}
-		// 3. Observe the consistent point (t, x, y).
-		for _, o := range e.Observers {
-			o(t, e.x, e.y)
-		}
-		// 4. Derivative and history for the Adams-Bashforth formula.
-		e.deriv()
-		if !la.AllFinite(e.f) {
-			return fmt.Errorf("core: non-finite derivative at t=%g (diverged)", t)
-		}
-		e.hist.Push(t, e.f)
+	}
+	// 3. Observe the consistent point (t, x, y).
+	for _, o := range e.Observers {
+		o(e.t, e.x, e.y)
+	}
+	// 4. Derivative and history for the Adams-Bashforth formula.
+	e.deriv()
+	if !la.AllFinite(e.f) {
+		return false, fmt.Errorf("core: non-finite derivative at t=%g (diverged)", e.t)
+	}
+	e.hist.Push(e.t, e.f)
 
-		// 5. Choose the step: accuracy-suggested h, stability cap,
-		// event horizon, end of span.
-		h *= shrinkNext
-		shrinkNext = 1.0
-		h = e.Ctl.Clamp(h, e.stabCap())
-		horizon := tEnd
-		if e.Events != nil {
-			if te := e.Events.Next(); te > t && te < horizon {
-				horizon = te
-			}
+	// 5. Choose the step: accuracy-suggested h, stability cap,
+	// event horizon, end of span.
+	e.h *= e.shrinkNext
+	e.shrinkNext = 1.0
+	e.h = e.Ctl.Clamp(e.h, e.stabCap())
+	horizon := e.tEnd
+	if e.Events != nil {
+		if te := e.Events.Next(); te > e.t && te < horizon {
+			horizon = te
 		}
-		hCapped := h
-		if t+hCapped > horizon {
-			hCapped = horizon - t
-		}
-		if hCapped <= 0 {
-			hCapped = math.Min(e.Ctl.HMin, horizon-t)
-		}
+	}
+	hCapped := e.h
+	if e.t+hCapped > horizon {
+		hCapped = horizon - e.t
+	}
+	if hCapped <= 0 {
+		hCapped = math.Min(e.Ctl.HMin, horizon-e.t)
+	}
 
-		// 6. Explicit update (Eq. 5) with embedded lower-order error
-		// estimate; retry with a smaller step on tolerance failure.
-		for attempt := 0; ; attempt++ {
-			e.abUpdate(hCapped)
-			errNorm := e.Ctl.ErrNorm(e.errv, e.x)
-			accept, hNext := e.Ctl.Decide(hCapped, errNorm, e.abOrderUsed(), e.stabCap())
-			if accept || attempt >= 25 {
-				copy(e.x, e.xNext)
-				t += hCapped
-				e.Stats.Steps++
-				hSum += hCapped
-				h = hNext // horizon caps are transient; resume from the suggestion
-				break
-			}
-			e.Stats.Rejected++
-			hCapped = hNext
-			if t+hCapped > horizon {
-				hCapped = horizon - t
-			}
+	// 6. Explicit update (Eq. 5) with embedded lower-order error
+	// estimate; retry with a smaller step on tolerance failure.
+	for attempt := 0; ; attempt++ {
+		e.abUpdate(hCapped)
+		errNorm := e.Ctl.ErrNorm(e.errv, e.x)
+		accept, hNext := e.Ctl.Decide(hCapped, errNorm, e.abOrderUsed(), e.stabCap())
+		if accept || attempt >= 25 {
+			copy(e.x, e.xNext)
+			e.t += hCapped
+			e.Stats.Steps++
+			e.hSum += hCapped
+			e.h = hNext // horizon caps are transient; resume from the suggestion
+			break
 		}
-
-		// 7. Fire digital events when we land on the horizon.
-		if e.Events != nil && e.Events.Next() <= t+1e-12 {
-			e.Stats.EventsFired++
-			if e.Events.Fire(t) {
-				// Analogue discontinuity: restart the multistep history
-				// and force a refresh.
-				e.Sys.Invalidate()
-				e.hist.Reset()
-				e.Stats.Restarts++
-				h = e.Ctl.Clamp(math.Min(h, 0.25*e.hStab), e.stabCap())
-			}
+		e.Stats.Rejected++
+		hCapped = hNext
+		if e.t+hCapped > horizon {
+			hCapped = horizon - e.t
 		}
 	}
 
-	// Final consistent point at tEnd: linearise, eliminate, observe.
-	if e.Sys.Linearise(t, e.x, e.y) {
+	// 7. Fire digital events when we land on the horizon.
+	if e.Events != nil && e.Events.Next() <= e.t+1e-12 {
+		e.Stats.EventsFired++
+		if e.Events.Fire(e.t) {
+			// Analogue discontinuity: restart the multistep history
+			// and force a refresh.
+			e.Sys.Invalidate()
+			e.hist.Reset()
+			e.Stats.Restarts++
+			e.h = e.Ctl.Clamp(math.Min(e.h, 0.25*e.hStab), e.stabCap())
+		}
+	}
+	return e.t >= e.tEnd, nil
+}
+
+// Finish establishes the final consistent point at the horizon, fires
+// the observers on it and closes the run's statistics.
+func (e *Engine) Finish() error {
+	if !e.running {
+		return fmt.Errorf("core: Finish without Begin")
+	}
+	e.running = false
+	if e.Sys.Linearise(e.t, e.x, e.y) {
 		if _, err := e.refresh(false); err != nil {
 			return err
 		}
@@ -425,13 +499,60 @@ func (e *Engine) Run(t0, tEnd float64) error {
 		return err
 	}
 	for _, o := range e.Observers {
-		o(t, e.x, e.y)
+		o(e.t, e.x, e.y)
 	}
 	if e.Stats.Steps > 0 {
-		e.Stats.HMean = hSum / float64(e.Stats.Steps)
+		e.Stats.HMean = e.hSum / float64(e.Stats.Steps)
 	}
-	e.Stats.SimTime = tEnd - t0
+	e.Stats.SimTime = e.tEnd - e.t0
+	if e.MeasureAllocs {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		e.Stats.Allocs = m.Mallocs - e.allocsBase
+		e.Stats.AllocBytes = m.TotalAlloc - e.allocBytes0
+	}
 	return nil
+}
+
+// Run marches the system from t0 to tEnd. Initial conditions come from
+// the blocks' InitState. Run may be called repeatedly: each call reuses
+// the workspace bound on the first and restarts from the blocks' initial
+// conditions (see Reset for the full reuse protocol).
+func (e *Engine) Run(t0, tEnd float64) error {
+	if err := e.Begin(t0, tEnd); err != nil {
+		return err
+	}
+	for {
+		done, err := e.Step()
+		if err != nil {
+			return err
+		}
+		if done {
+			break
+		}
+	}
+	return e.Finish()
+}
+
+// Reset returns the engine to its pre-run state while keeping every
+// allocation: the workspace, history ring and stability caches stay
+// bound, ready for the next Run of the same system. It also discards the
+// blocks' cached linearisation stamps (System.ResetLinearisation) so the
+// rerun restamps from the fresh initial operating point and reproduces a
+// freshly assembled engine bit for bit. A Reset engine relinquishes its
+// claim on a system-owned workspace, so a successor engine built on the
+// same system (the Harvester.Reset + NewEngine flow) inherits the
+// storage instead of allocating its own.
+func (e *Engine) Reset() {
+	e.running = false
+	e.Stats = Stats{}
+	if e.hist != nil {
+		e.hist.Reset()
+	}
+	if e.ws != nil && e.ws.owner == e {
+		e.ws.owner = nil
+	}
+	e.Sys.ResetLinearisation()
 }
 
 // abUpdate computes the Adams-Bashforth update of the highest available
@@ -442,7 +563,13 @@ func (e *Engine) abUpdate(h float64) {
 	if p > e.Order {
 		p = e.Order
 	}
-	times := e.hist.Times(e.times[:p])
+	// The workspace ring holds up to MaxABOrder entries regardless of
+	// e.Order; take the newest p abscissae only.
+	for i := 0; i < p; i++ {
+		ti, _ := e.hist.Entry(i)
+		e.times[i] = ti
+	}
+	times := e.times[:p]
 	ode.ABCoeffs(e.coefP[:p], times, h)
 	copy(e.xNext, e.x)
 	for i := 0; i < p; i++ {

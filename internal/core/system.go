@@ -36,6 +36,13 @@ type System struct {
 
 	// scratch for per-block local views
 	yLocal [][]float64
+
+	// Optional workspace recycling: when pool is set before Build, the
+	// Jacobian/excitation storage (and the engine scratch of any Engine
+	// attached to this system) comes from a pooled Workspace instead of
+	// fresh allocations.
+	pool *WorkspacePool
+	ws   *Workspace
 }
 
 // NewSystem returns an empty system.
@@ -95,15 +102,59 @@ func (s *System) Build() error {
 		return fmt.Errorf("core: algebraic system not square: %d equations for %d terminal variables",
 			neq, s.ny)
 	}
-	s.Jxx = la.NewMatrix(nx, nx)
-	s.Jxy = la.NewMatrix(nx, s.ny)
-	s.Jyx = la.NewMatrix(s.ny, nx)
-	s.Jyy = la.NewMatrix(s.ny, s.ny)
-	s.Ex = make([]float64, nx)
-	s.Ey = make([]float64, s.ny)
+	if s.pool != nil {
+		// Recycled storage: zero it — blocks stamp only their own
+		// entries and rely on untouched entries being zero.
+		s.ws = s.pool.Get(nx, s.ny)
+		s.Jxx, s.Jxy, s.Jyx, s.Jyy = s.ws.jxx, s.ws.jxy, s.ws.jyx, s.ws.jyy
+		s.Ex, s.Ey = s.ws.ex, s.ws.ey
+		s.Jxx.Zero()
+		s.Jxy.Zero()
+		s.Jyx.Zero()
+		s.Jyy.Zero()
+		la.ZeroVec(s.Ex)
+		la.ZeroVec(s.Ey)
+	} else {
+		s.Jxx = la.NewMatrix(nx, nx)
+		s.Jxy = la.NewMatrix(nx, s.ny)
+		s.Jyx = la.NewMatrix(s.ny, nx)
+		s.Jyy = la.NewMatrix(s.ny, s.ny)
+		s.Ex = make([]float64, nx)
+		s.Ey = make([]float64, s.ny)
+	}
 	s.built = true
 	s.dirty = true
 	return nil
+}
+
+// UsePool directs Build to draw the linearisation storage (and the march
+// scratch of any Engine running on this system) from the pool's recycled
+// workspaces. Must be called before Build; a nil pool is a no-op.
+func (s *System) UsePool(p *WorkspacePool) {
+	if s.built {
+		panic("core: UsePool after Build")
+	}
+	s.pool = p
+}
+
+// Workspace returns the pooled workspace backing this system, or nil
+// when the system owns its storage.
+func (s *System) Workspace() *Workspace { return s.ws }
+
+// Release returns the system's workspace to the pool it came from. The
+// system and every engine bound to it must not be used afterwards: their
+// storage now belongs to the pool and will be handed to the next Get.
+// Release on a system without a pooled workspace is a no-op.
+func (s *System) Release() {
+	if s.ws == nil {
+		return
+	}
+	if s.pool != nil {
+		s.pool.Put(s.ws)
+	}
+	s.ws = nil
+	s.Jxx, s.Jxy, s.Jyx, s.Jyy = nil, nil, nil, nil
+	s.Ex, s.Ey = nil, nil
 }
 
 // MustBuild is Build that panics on error.
@@ -177,6 +228,30 @@ func (s *System) InitState(x []float64) {
 // event changed a block parameter (load mode, tuning force). The next
 // Linearise call will report a change regardless of block deltas.
 func (s *System) Invalidate() { s.dirty = true }
+
+// LineariseResetter is implemented by blocks whose Linearise caches
+// stamp state (last PWL segment, last tangent) to skip redundant
+// restamping. ResetLinearisation discards those caches so the next
+// Linearise stamps everything afresh, exactly as a newly constructed
+// block would.
+type LineariseResetter interface {
+	ResetLinearisation()
+}
+
+// ResetLinearisation invalidates the system AND every block's cached
+// stamp state. Reusing a system for a new run requires this rather than
+// plain Invalidate: blocks whose change-detection thresholds would
+// tolerate the previous run's final tangent must restamp from the fresh
+// initial operating point, or the reused run would differ in the last
+// bits from a freshly assembled one.
+func (s *System) ResetLinearisation() {
+	s.dirty = true
+	for _, b := range s.blocks {
+		if r, ok := b.(LineariseResetter); ok {
+			r.ResetLinearisation()
+		}
+	}
+}
 
 // gatherLocalY fills the per-block terminal value views from the global y.
 func (s *System) gatherLocalY(i int, y []float64) []float64 {

@@ -1,0 +1,39 @@
+package core
+
+import "testing"
+
+func TestWorkspacePoolRecycles(t *testing.T) {
+	p := NewWorkspacePool()
+	w1 := p.Get(8, 4)
+	if !w1.Fits(8, 4) || w1.NX() != 8 || w1.NY() != 4 {
+		t.Fatalf("workspace shape: %dx%d", w1.NX(), w1.NY())
+	}
+	p.Put(w1)
+	w2 := p.Get(8, 4)
+	if w2 != w1 {
+		t.Fatal("pool did not recycle the same-shape workspace")
+	}
+	// A different shape must not receive the recycled one.
+	p.Put(w2)
+	w3 := p.Get(9, 4)
+	if w3 == w1 {
+		t.Fatal("pool recycled a workspace across shapes")
+	}
+	if gets, hits := p.Stats(); gets != 3 || hits != 1 {
+		t.Fatalf("pool stats: gets=%d hits=%d, want 3/1", gets, hits)
+	}
+}
+
+// TestWorkspacePoolGetPutZeroAllocs pins the steady-state batch reuse
+// path: once a shape's workspace exists, the acquire/release cycle
+// between jobs performs zero heap allocations.
+func TestWorkspacePoolGetPutZeroAllocs(t *testing.T) {
+	p := NewWorkspacePool()
+	p.Put(p.Get(11, 4))
+	avg := testing.AllocsPerRun(200, func() {
+		p.Put(p.Get(11, 4))
+	})
+	if avg != 0 {
+		t.Fatalf("pool Get/Put allocates %.3f objects/cycle, want 0", avg)
+	}
+}

@@ -26,6 +26,15 @@ func NewZeroCrossMeter(capacity int) *ZeroCrossMeter {
 	return &ZeroCrossMeter{capacity: capacity, crossings: make([]float64, capacity)}
 }
 
+// Reset discards all remembered crossings and the priming sample,
+// returning the meter to its freshly constructed state without touching
+// the ring storage.
+func (z *ZeroCrossMeter) Reset() {
+	z.head, z.count = 0, 0
+	z.lastT, z.lastV = 0, 0
+	z.primed = false
+}
+
 // Sample feeds one (t, value) pair; call from an engine observer.
 func (z *ZeroCrossMeter) Sample(t, v float64) {
 	if !z.primed {

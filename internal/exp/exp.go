@@ -11,9 +11,9 @@ import (
 	"strings"
 	"time"
 
+	"harvsim/internal/batch"
 	"harvsim/internal/core"
 	"harvsim/internal/harvester"
-	"harvsim/internal/implicit"
 	"harvsim/internal/trace"
 )
 
@@ -24,6 +24,9 @@ type EngineRun struct {
 	Steps    int
 	SimTime  float64
 	HMeanSec float64
+	// Stats carries the full unified per-run counters (refactorisations,
+	// solves, allocations when measured) for the JSON report.
+	Stats batch.EngineStats
 }
 
 // Speedup returns how much faster this run is than other (by CPU time,
@@ -46,41 +49,32 @@ func (r EngineRun) ExtrapolateTo(simTime float64) time.Duration {
 	return time.Duration(float64(r.CPUTime) * simTime / r.SimTime)
 }
 
-// statsOf extracts step counts from either engine implementation.
-func statsOf(eng harvester.Engine) (steps int, hMean float64) {
-	switch e := eng.(type) {
-	case *core.Engine:
-		return e.Stats.Steps, e.Stats.HMean
-	case *implicit.Engine:
-		return e.Stats.Steps, e.Stats.HMean
-	default:
-		return 0, 0
-	}
-}
-
-// runTimed executes a scenario under one engine and captures timing.
+// runTimed executes a scenario under one engine and captures timing plus
+// the unified per-run counters (steps, refactorisations, solves, and —
+// for the proposed engine, which runs serially here — heap allocations).
 func runTimed(label string, sc harvester.Scenario, kind harvester.EngineKind, decimate int) (EngineRun, *harvester.Harvester, error) {
 	h := harvester.New(sc.Cfg)
-	for _, shift := range sc.Shifts {
-		shift := shift
-		h.Kernel.At(shift.T, func(now float64) bool {
-			h.Vib.SetFrequency(now, shift.Hz)
-			return true
-		})
+	if err := h.Schedule(sc); err != nil {
+		return EngineRun{}, nil, fmt.Errorf("exp: %s: %w", label, err)
+	}
+	eng := h.NewEngine(kind, decimate)
+	if ce, ok := eng.(*core.Engine); ok {
+		ce.MeasureAllocs = true
 	}
 	start := time.Now()
-	eng, err := h.Run(kind, sc.Duration, decimate)
+	err := h.RunEngine(eng, sc.Duration)
 	elapsed := time.Since(start)
 	if err != nil {
 		return EngineRun{}, nil, fmt.Errorf("exp: %s failed: %w", label, err)
 	}
-	steps, hMean := statsOf(eng)
+	stats := batch.StatsOf(eng)
 	return EngineRun{
 		Label:    label,
 		CPUTime:  elapsed,
-		Steps:    steps,
+		Steps:    stats.Steps,
 		SimTime:  sc.Duration,
-		HMeanSec: hMean,
+		HMeanSec: stats.HMean,
+		Stats:    stats,
 	}, h, nil
 }
 
@@ -103,13 +97,9 @@ func MeasurementTwin(sc harvester.Scenario, decimate int) (*trace.Series, error)
 	cfg.Dickson.Diode = &d
 	twin := sc
 	twin.Cfg = cfg
-	h := harvester.New(twin.Cfg)
-	for _, shift := range twin.Shifts {
-		shift := shift
-		h.Kernel.At(shift.T, func(now float64) bool {
-			h.Vib.SetFrequency(now, shift.Hz)
-			return true
-		})
+	h, err := harvester.Assemble(twin)
+	if err != nil {
+		return nil, err
 	}
 	if _, err := h.Run(harvester.Proposed, twin.Duration, decimate); err != nil {
 		return nil, err

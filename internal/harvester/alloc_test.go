@@ -1,0 +1,100 @@
+package harvester
+
+import (
+	"testing"
+
+	"harvsim/internal/core"
+	"harvsim/internal/trace"
+)
+
+// TestWarmStepZeroAllocs pins the allocation-free hot path: once the
+// engine is warm (workspace bound, stability caches built, trace
+// capacity reserved), an accepted simulation step — linearise,
+// eliminate, observe, Adams-Bashforth update, including the periodic
+// Jyy refactorisations and stability recomputes the march triggers —
+// performs zero heap allocations.
+func TestWarmStepZeroAllocs(t *testing.T) {
+	sc := ChargeScenario(1000) // horizon far beyond the steps taken here
+	sc.Cfg.InitialVc = 2.5     // working point: diode segments active
+	h, err := Assemble(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*trace.Series{h.VcTrace, h.PMultIn, h.PStoreTrace, h.FresTrace} {
+		s.Reserve(1 << 16)
+	}
+	eng, ok := h.NewEngine(Proposed, 1).(*core.Engine)
+	if !ok {
+		t.Fatal("proposed engine is not a core.Engine")
+	}
+	if err := eng.Begin(0, sc.Duration); err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: fill the AB history, settle the PWL segments and trigger
+	// the first stability analyses.
+	for i := 0; i < 2000; i++ {
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stepErr := error(nil)
+	avg := testing.AllocsPerRun(500, func() {
+		if _, err := eng.Step(); err != nil {
+			stepErr = err
+		}
+	})
+	if stepErr != nil {
+		t.Fatal(stepErr)
+	}
+	if avg != 0 {
+		t.Fatalf("warm steady-state step allocates %.3f objects/step, want 0", avg)
+	}
+	if eng.Stats.StabilityRecomputes < 2 {
+		t.Fatalf("test premise broken: only %d stability recomputes during warm march",
+			eng.Stats.StabilityRecomputes)
+	}
+}
+
+// TestWarmStepZeroAllocsAfterReset pins the batch reuse path's step
+// cost: an engine rebuilt on the same harvester after Reset steps
+// without allocating, because the workspace, history ring and trace
+// buffers all survive the Reset.
+func TestWarmStepZeroAllocsAfterReset(t *testing.T) {
+	sc := ChargeScenario(1000)
+	sc.Cfg.InitialVc = 2.5
+	h, err := Assemble(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*trace.Series{h.VcTrace, h.PMultIn, h.PStoreTrace, h.FresTrace} {
+		s.Reserve(1 << 16)
+	}
+	run := func() *core.Engine {
+		eng := h.NewEngine(Proposed, 1).(*core.Engine)
+		if err := eng.Begin(0, sc.Duration); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1500; i++ {
+			if _, err := eng.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return eng
+	}
+	first := run()
+	first.Reset()
+	h.Reset()
+	eng := run()
+	var stepErr error
+	avg := testing.AllocsPerRun(500, func() {
+		if _, err := eng.Step(); err != nil {
+			stepErr = err
+		}
+	})
+	if stepErr != nil {
+		t.Fatal(stepErr)
+	}
+	if avg != 0 {
+		t.Fatalf("warm step after Reset allocates %.3f objects/step, want 0", avg)
+	}
+}

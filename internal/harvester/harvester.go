@@ -153,11 +153,20 @@ func (k EngineKind) String() string {
 	}
 }
 
-// New assembles a harvester from cfg.
-func New(cfg Config) *Harvester {
+// New assembles a harvester from cfg with its own storage.
+func New(cfg Config) *Harvester { return NewWith(cfg, nil) }
+
+// NewWith assembles a harvester whose Jacobian and engine storage comes
+// from the pool's recycled workspaces (nil pool = own storage). Call
+// Release when done with the harvester to hand the workspace back; see
+// the batch runner for the sweep-amortisation this enables.
+func NewWith(cfg Config, pool *core.WorkspacePool) *Harvester {
 	h := &Harvester{Cfg: cfg}
 	h.Vib = blocks.NewVibration(cfg.VibAmplitude, cfg.VibFreq)
 	h.Sys = core.NewSystem()
+	if pool != nil {
+		h.Sys.UsePool(pool)
+	}
 	h.Gen = blocks.NewMicrogenerator("gen", cfg.Microgen, h.Vib)
 	h.Mult = blocks.NewDickson("mult", cfg.Dickson)
 	scp := cfg.Supercap
@@ -174,19 +183,7 @@ func New(cfg Config) *Harvester {
 	h.idxIc = h.Sys.MustTerminal("Ic")
 	h.scOff = h.Sys.MustStateOffset("store")
 
-	// Initial tuning: park the actuator at the gap matching the initial
-	// tuned frequency.
-	ft := cfg.Microgen.ForceForHz(cfg.InitialTuneHz)
-	h.Act = actuator.New(cfg.Actuator, 0)
-	h.Act.MoveTo(-1e9, h.Act.GapForForce(ft))
-	h.Act.Settle(0)
-	h.Gen.SetTuningForce(h.Act.ForceAt(0), 0)
-
-	h.Kernel = digital.NewKernel()
-	h.Meter = digital.NewZeroCrossMeter(1024)
-	if cfg.Autonomous {
-		h.wireMCU()
-	}
+	h.initDigital()
 
 	h.VcTrace = trace.NewSeries("Vc")
 	h.PMultIn = trace.NewSeries("Pmult")
@@ -195,6 +192,58 @@ func New(cfg Config) *Harvester {
 	h.FresTrace = trace.NewSeries("fres")
 	return h
 }
+
+// initDigital parks the actuator at the initial tuned frequency, builds
+// a fresh event kernel/meter and wires the MCU process — the part of
+// assembly that Reset repeats for a rerun.
+func (h *Harvester) initDigital() {
+	cfg := h.Cfg
+	ft := cfg.Microgen.ForceForHz(cfg.InitialTuneHz)
+	h.Act = actuator.New(cfg.Actuator, 0)
+	h.Act.MoveTo(-1e9, h.Act.GapForForce(ft))
+	h.Act.Settle(0)
+	h.Gen.SetTuningForce(h.Act.ForceAt(0), 0)
+
+	h.Kernel = digital.NewKernel()
+	if h.Meter == nil {
+		h.Meter = digital.NewZeroCrossMeter(1024)
+	} else {
+		h.Meter.Reset()
+	}
+	h.tuning = false
+	h.arrival = 0
+	if cfg.Autonomous {
+		h.wireMCU()
+	}
+}
+
+// Reset returns the harvester to its freshly assembled state while
+// keeping all storage: traces are cleared in place (capacity retained),
+// the vibration source, actuator, event kernel, MCU and frequency meter
+// restart, the load mode returns to sleep, the energy accounting zeroes,
+// and every block's cached linearisation stamps are discarded so the
+// next run restamps from the initial operating point. A Reset harvester
+// re-runs a scenario bit-identically to a freshly assembled one; callers
+// that used Schedule must Schedule again after Reset.
+func (h *Harvester) Reset() {
+	h.Vib.Reset(h.Cfg.VibFreq)
+	h.Store.SetMode(blocks.LoadSleep)
+	h.initDigital()
+	h.VcTrace.Clear()
+	h.PMultIn.Clear()
+	h.PStoreTrace.Clear()
+	h.ModeTrace.Clear()
+	h.FresTrace.Clear()
+	h.Energy = Energy{}
+	h.lastT, h.lastPIn, h.lastPLoad, h.lastPStore = 0, 0, 0, 0
+	h.haveLast = false
+	h.Sys.ResetLinearisation()
+}
+
+// Release hands the harvester's pooled workspace back to its pool (a
+// no-op for harvesters assembled without one). The harvester and any
+// engine built from it must not be used afterwards.
+func (h *Harvester) Release() { h.Sys.Release() }
 
 // wireMCU connects the microcontroller process to the analogue blocks,
 // actuator and sensors.

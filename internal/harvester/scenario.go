@@ -1,6 +1,10 @@
 package harvester
 
-import "fmt"
+import (
+	"fmt"
+
+	"harvsim/internal/core"
+)
 
 // FreqShift is a scheduled change of the ambient vibration frequency.
 type FreqShift struct {
@@ -156,11 +160,32 @@ type ChirpSpec struct {
 // Callers that need to attach extra probes or tweak the engine do so
 // between Assemble and RunEngine; RunScenario is the one-shot path.
 func Assemble(sc Scenario) (*Harvester, error) {
-	h := New(sc.Cfg)
+	return AssembleWith(sc, nil)
+}
+
+// AssembleWith is Assemble drawing the harvester's Jacobian and engine
+// storage from the pool's recycled workspaces (nil = own storage); see
+// NewWith.
+func AssembleWith(sc Scenario, pool *core.WorkspacePool) (*Harvester, error) {
+	h := NewWith(sc.Cfg, pool)
+	if err := h.Schedule(sc); err != nil {
+		// Hand the freshly acquired workspace straight back: a sweep with
+		// invalid jobs must not drain its worker's pool.
+		h.Release()
+		return nil, err
+	}
+	return h, nil
+}
+
+// Schedule programs the scenario's frequency shifts and chirp onto the
+// harvester's kernel and vibration source. It is called by Assemble and
+// must be repeated after a Reset (which discards the kernel's events and
+// the vibration profile).
+func (h *Harvester) Schedule(sc Scenario) error {
 	for _, shift := range sc.Shifts {
 		shift := shift
 		if shift.T >= sc.Duration {
-			return nil, fmt.Errorf("harvester: shift at %g outside horizon %g", shift.T, sc.Duration)
+			return fmt.Errorf("harvester: shift at %g outside horizon %g", shift.T, sc.Duration)
 		}
 		h.Kernel.At(shift.T, func(now float64) bool {
 			h.Vib.SetFrequency(now, shift.Hz)
@@ -171,13 +196,13 @@ func Assemble(sc Scenario) (*Harvester, error) {
 	}
 	if ch := sc.Chirp; ch != nil {
 		if ch.T0+ch.Duration > sc.Duration {
-			return nil, fmt.Errorf("harvester: chirp extends past horizon %g", sc.Duration)
+			return fmt.Errorf("harvester: chirp extends past horizon %g", sc.Duration)
 		}
 		// Pre-programme the chirp; it is smooth (phase and frequency both
 		// continuous), so no event discontinuity is needed.
 		h.Vib.Sweep(ch.T0, ch.Duration, ch.FEnd)
 	}
-	return h, nil
+	return nil
 }
 
 // RunScenario assembles the harvester, schedules the frequency shifts on

@@ -11,19 +11,31 @@ import (
 var ErrSingular = errors.New("la: matrix is singular")
 
 // LU holds an LU factorisation with partial pivoting: P*A = L*U. It is
-// reusable: Factor may be called repeatedly on matrices of the same size
-// without allocating.
+// reusable: Factor, Solve and SolveMatrix may be called repeatedly on
+// matrices of the same size without allocating — all scratch storage is
+// owned by the workspace, so the factorise/solve cycle inside a
+// simulation inner loop stays heap-free.
 type LU struct {
 	n    int
 	lu   *Matrix // combined L (unit lower) and U (upper)
 	piv  []int   // row permutation
 	sign int     // +1 or -1: parity of the permutation
 	ok   bool
+
+	tmp      []float64 // aliased-Solve permutation scratch
+	col, sol []float64 // SolveMatrix column scratch
 }
 
 // NewLU returns an LU workspace for n x n systems.
 func NewLU(n int) *LU {
-	return &LU{n: n, lu: NewMatrix(n, n), piv: make([]int, n)}
+	return &LU{
+		n:   n,
+		lu:  NewMatrix(n, n),
+		piv: make([]int, n),
+		tmp: make([]float64, n),
+		col: make([]float64, n),
+		sol: make([]float64, n),
+	}
 }
 
 // N returns the system size.
@@ -95,11 +107,10 @@ func (f *LU) Solve(x, b []float64) error {
 	lu := f.lu.Data
 	// Apply permutation: x = P*b.
 	if &x[0] == &b[0] {
-		tmp := make([]float64, n)
 		for i := 0; i < n; i++ {
-			tmp[i] = b[f.piv[i]]
+			f.tmp[i] = b[f.piv[i]]
 		}
-		copy(x, tmp)
+		copy(x, f.tmp)
 	} else {
 		for i := 0; i < n; i++ {
 			x[i] = b[f.piv[i]]
@@ -131,17 +142,15 @@ func (f *LU) SolveMatrix(x, b *Matrix) error {
 	if b.Rows != f.n || x.Rows != f.n || x.Cols != b.Cols {
 		panic("la: LU.SolveMatrix size mismatch")
 	}
-	col := make([]float64, f.n)
-	sol := make([]float64, f.n)
 	for j := 0; j < b.Cols; j++ {
 		for i := 0; i < f.n; i++ {
-			col[i] = b.At(i, j)
+			f.col[i] = b.At(i, j)
 		}
-		if err := f.Solve(sol, col); err != nil {
+		if err := f.Solve(f.sol, f.col); err != nil {
 			return err
 		}
 		for i := 0; i < f.n; i++ {
-			x.Set(i, j, sol[i])
+			x.Set(i, j, f.sol[i])
 		}
 	}
 	return nil

@@ -98,8 +98,20 @@ func SpectralRadiusEstimate(a *Matrix, iters int) float64 {
 	if n == 0 {
 		return 0
 	}
-	x := make([]float64, n)
-	y := make([]float64, n)
+	return SpectralRadiusEstimateInto(a, iters, make([]float64, n), make([]float64, n))
+}
+
+// SpectralRadiusEstimateInto is SpectralRadiusEstimate with caller-owned
+// iteration scratch x and y (each len a.Rows, contents overwritten), so
+// the simulation loop's stability analysis stays allocation-free.
+func SpectralRadiusEstimateInto(a *Matrix, iters int, x, y []float64) float64 {
+	n := a.Rows
+	if n == 0 {
+		return 0
+	}
+	if len(x) != n || len(y) != n {
+		panic("la: SpectralRadiusEstimateInto scratch length mismatch")
+	}
 	// Deterministic, non-symmetric start so we do not sit in an invariant
 	// subspace of common structured matrices.
 	for i := range x {

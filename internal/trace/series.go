@@ -45,6 +45,27 @@ func (s *Series) Append(t, v float64) {
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.Times) }
 
+// Reserve grows the series' backing arrays to hold at least n samples,
+// so a recording run appends without reallocating — the grow-once
+// protocol the allocation-free engine loop relies on.
+func (s *Series) Reserve(n int) {
+	if cap(s.Times) >= n {
+		return
+	}
+	times := make([]float64, len(s.Times), n)
+	vals := make([]float64, len(s.Vals), n)
+	copy(times, s.Times)
+	copy(vals, s.Vals)
+	s.Times, s.Vals = times, vals
+}
+
+// Clear empties the series in place, keeping the backing arrays: a
+// cleared series records a rerun of the same length without allocating.
+func (s *Series) Clear() {
+	s.Times = s.Times[:0]
+	s.Vals = s.Vals[:0]
+}
+
 // At interpolates the series linearly at time t, clamping to the end
 // values outside the sampled range.
 func (s *Series) At(t float64) float64 {
