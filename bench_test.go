@@ -104,6 +104,36 @@ func BenchmarkTable2_Scenario2_Proposed(b *testing.B) {
 	}
 }
 
+// benchDuffingNoiseScenario is the nonlinear/stochastic workload the
+// gated benchmark set tracks from PR 3 on: Duffing spring under seeded
+// band-limited noise — the configuration whose operating-point-driven
+// re-tangents make the proposed engine's refresh machinery the hot
+// path, unlike the linear scenarios where stamps are cached.
+func benchDuffingNoiseScenario(duration float64) harvester.Scenario {
+	sc := harvester.NoiseScenario(duration, 55, 85, 42)
+	sc.Cfg.VibNoise.RMS = 2
+	sc.Cfg.Microgen.K3 = harvester.DuffingK3Strong
+	return sc
+}
+
+func BenchmarkDuffingNoise_Proposed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchDuffingNoiseScenario(benchTable1Sim)
+		if _, _, err := harvester.RunScenario(sc, harvester.Proposed, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDuffingNoise_Existing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchDuffingNoiseScenario(benchTable1Sim)
+		if _, _, err := harvester.RunScenario(sc, harvester.ExistingTrap, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFig8a_PowerEnvelope(b *testing.B) {
 	var res exp.Fig8aResult
 	var err error

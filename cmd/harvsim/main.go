@@ -6,6 +6,8 @@
 //	harvsim -scenario s1 -engine proposed -out s1.csv
 //	harvsim -scenario charge -duration 120 -engine trap
 //	harvsim -scenario s2 -fidelity paper -decimate 512
+//	harvsim -scenario duffing -k3 1e9
+//	harvsim -scenario noise -noise-lo 55 -noise-hi 85 -noise-seed 7 -k3 1e9
 package main
 
 import (
@@ -19,7 +21,7 @@ import (
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "s1", "scenario: charge, s1 (1 Hz retune), s2 (14 Hz retune), track (chirp tracking)")
+		scenario = flag.String("scenario", "s1", "scenario: charge, s1 (1 Hz retune), s2 (14 Hz retune), track (chirp tracking), duffing (nonlinear spring), noise (stochastic wideband)")
 		engine   = flag.String("engine", "proposed", "engine: proposed, trap, bdf2, be")
 		fidelity = flag.String("fidelity", "quick", "scenario timing: quick, paper")
 		duration = flag.Float64("duration", 0, "override simulated span [s] (0 = scenario default)")
@@ -27,6 +29,12 @@ func main() {
 		out      = flag.String("out", "", "CSV output path (default: stdout summary only)")
 		vcd      = flag.String("vcd", "", "VCD waveform dump path (viewable in GTKWave)")
 		plot     = flag.Bool("plot", true, "print ASCII waveform plots")
+
+		k3       = flag.Float64("k3", 0, "cubic (Duffing) spring coefficient [N/m^3] applied to the chosen scenario (duffing scenario default: 1e9)")
+		noiseLo  = flag.Float64("noise-lo", 55, "noise scenario: band lower edge [Hz]")
+		noiseHi  = flag.Float64("noise-hi", 85, "noise scenario: band upper edge [Hz]")
+		noiseRMS = flag.Float64("noise-rms", 0.59, "noise scenario: RMS base acceleration [m/s^2]")
+		noiseSd  = flag.Uint64("noise-seed", 1, "noise scenario: realisation seed")
 	)
 	flag.Parse()
 
@@ -42,6 +50,12 @@ func main() {
 	}
 	if *duration < 0 {
 		usageErr("-duration must be >= 0 (got %g)", *duration)
+	}
+	if !(*noiseLo > 0 && *noiseHi > *noiseLo) {
+		usageErr("noise band [%g, %g] must satisfy 0 < lo < hi", *noiseLo, *noiseHi)
+	}
+	if *noiseRMS < 0 {
+		usageErr("-noise-rms must be >= 0 (got %g)", *noiseRMS)
 	}
 
 	var fid harvester.Fidelity
@@ -71,11 +85,33 @@ func main() {
 			d = 150
 		}
 		sc = harvester.TrackingScenario(d, 66, 72)
+	case "duffing":
+		d := *duration
+		if d == 0 {
+			d = 10
+		}
+		kk := *k3
+		if kk == 0 {
+			kk = harvester.DuffingK3Moderate
+		}
+		sc = harvester.DuffingScenario(d, kk)
+	case "noise":
+		d := *duration
+		if d == 0 {
+			d = 10
+		}
+		sc = harvester.NoiseScenario(d, *noiseLo, *noiseHi, *noiseSd)
+		sc.Cfg.VibNoise.RMS = *noiseRMS
 	default:
-		usageErr("unknown -scenario %q (want charge, s1, s2 or track)", *scenario)
+		usageErr("unknown -scenario %q (want charge, s1, s2, track, duffing or noise)", *scenario)
 	}
 	if *duration > 0 {
 		sc.Duration = *duration
+	}
+	// -k3 generalises beyond the duffing scenario: any workload can run
+	// with the nonlinear spring.
+	if *k3 != 0 {
+		sc.Cfg.Microgen.K3 = *k3
 	}
 
 	var kind harvester.EngineKind

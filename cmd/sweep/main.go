@@ -15,11 +15,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"harvsim/internal/batch"
 	"harvsim/internal/harvester"
 )
+
+// parseFloatList parses a comma-separated float list ("0,1e9,5e9").
+func parseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
 
 func main() {
 	var (
@@ -27,11 +46,18 @@ func main() {
 		vc      = flag.Float64("vc", 2.5, "storage operating point [V]")
 		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		topK    = flag.Int("top", 10, "ranked designs to print")
+		k3List  = flag.String("k3", "", "comma-separated cubic spring coefficients [N/m^3] to add as a Duffing sweep axis (e.g. 0,1e9,5e9)")
+		noiseSd = flag.Uint64("noise-seed", 0, "nonzero: replace the sinusoid with seeded band-limited noise (55-85 Hz, RMS 0.59 m/s^2)")
 	)
 	flag.Parse()
 
 	base := harvester.ChargeScenario(*simFor)
 	base.Cfg.InitialVc = *vc
+	if *noiseSd != 0 {
+		noisy := harvester.NoiseScenario(*simFor, 55, 85, *noiseSd)
+		noisy.Cfg.InitialVc = *vc
+		base = noisy
+	}
 	spec := batch.SweepSpec{
 		Base: batch.Job{
 			Name:     "dickson",
@@ -46,6 +72,20 @@ func main() {
 				j.Scenario.Cfg.Dickson.CStage = c
 			}),
 		},
+	}
+	if *k3List != "" {
+		k3s, err := parseFloatList(*k3List)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: -k3: %v\n", err)
+			os.Exit(2)
+		}
+		if len(k3s) == 0 {
+			fmt.Fprintf(os.Stderr, "sweep: -k3 %q holds no values\n", *k3List)
+			os.Exit(2)
+		}
+		spec.Axes = append(spec.Axes, batch.FloatAxis("k3", k3s, func(j *batch.Job, v float64) {
+			j.Scenario.Cfg.Microgen.K3 = v
+		}))
 	}
 	// Rank by mean power into the store over the settled window. The
 	// metric closure is shared by every expanded job, so it derives

@@ -1,0 +1,44 @@
+// Duffing example: the nonlinear-spring microgenerator under wideband
+// stochastic excitation — the workload class of the paper's generality
+// claim (Section V). A hardening cubic spring trades peak resonant
+// power for bandwidth, so under band-limited noise the comparison can
+// go either way; this example sweeps the cubic coefficient k3 through
+// the concurrent batch layer and reports how the delivered power moves,
+// with the realisation pinned by the scenario's seed (rerunning this
+// program reproduces the numbers bit for bit).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"harvsim"
+)
+
+func main() {
+	// Seeded band-limited noise, 55-85 Hz, spanning the generator's
+	// tuning range; storage at a partially charged operating point.
+	base := harvsim.NoiseScenario(8, 55, 85, 42)
+	base.Cfg.VibNoise.RMS = 2.0 // strong ambient drive
+
+	spec := harvsim.SweepSpec{
+		Base: harvsim.BatchJob{Name: "duffing", Scenario: base, Engine: harvsim.Proposed},
+		Axes: []harvsim.SweepAxis{
+			harvsim.FloatAxis("k3", []float64{0, 1e9, 3e9, 1e10},
+				func(j *harvsim.BatchJob, v float64) { j.Scenario.Cfg.Microgen.K3 = v }),
+		},
+	}
+	results, err := harvsim.Sweep(context.Background(), spec, harvsim.BatchOptions{})
+	if err != nil {
+		log.Fatalf("sweep failed: %v", err)
+	}
+	fmt.Println("cubic stiffness vs harvested power (seeded noise, 8 s):")
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		fmt.Printf("  %-28s RMS %7.2f uW  (steps %d, Jyy refactors %d)\n",
+			r.Name, r.RMSPower*1e6, r.Stats.Steps, r.Stats.Refactors)
+	}
+}

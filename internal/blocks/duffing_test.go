@@ -1,0 +1,182 @@
+package blocks
+
+import (
+	"math"
+	"testing"
+
+	"harvsim/internal/core"
+	"harvsim/internal/implicit"
+	"harvsim/internal/trace"
+)
+
+// TestDuffingTangentStamp checks the piecewise linearisation of the
+// cubic spring directly against the closed form: the stamped state
+// entry must be the tangent stiffness -(keff + 3*K3*z^2)/M at the
+// stamping displacement, and the excitation row must carry the affine
+// remainder +2*K3*z^3/M so the linear model and the exact cubic agree
+// in value AND slope at the stamping point.
+func TestDuffingTangentStamp(t *testing.T) {
+	p := DefaultMicrogen()
+	p.K3 = 2e9
+	vib := NewVibration(0, 64) // no excitation: isolate the spring terms
+	sys := core.NewSystem()
+	gen := NewMicrogenerator("gen", p, vib)
+	sys.AddBlock(gen)
+	sys.AddBlock(NewResistor("load", "Vm", "Im", 3000))
+	sys.MustBuild()
+
+	x := make([]float64, sys.NX())
+	y := make([]float64, sys.NY())
+	z := 2.5e-4
+	x[0] = z
+	if !sys.Linearise(0, x, y) {
+		t.Fatal("first Linearise reported no change")
+	}
+	wantA := -(p.Ks + 3*p.K3*z*z) / p.M // untuned: keff = Ks at ft = 0
+	if got := sys.Jxx.At(1, 0); math.Abs(got-wantA) > math.Abs(wantA)*1e-12 {
+		t.Fatalf("tangent stamp A(1,0) = %g, want %g", got, wantA)
+	}
+	wantE := 2 * p.K3 * z * z * z / p.M
+	if got := sys.Ex[1]; math.Abs(got-wantE) > math.Abs(wantE)*1e-12 {
+		t.Fatalf("affine remainder Ex[1] = %g, want %g", got, wantE)
+	}
+	// The tangent line must reproduce the exact cubic restoring force at
+	// the stamping point: A*z + E == -(Ks*z + K3*z^3)/M.
+	lin := sys.Jxx.At(1, 0)*z + sys.Ex[1]
+	exact := -(p.Ks*z + p.K3*z*z*z) / p.M
+	if math.Abs(lin-exact) > math.Abs(exact)*1e-12 {
+		t.Fatalf("tangent line %g does not interpolate exact force %g", lin, exact)
+	}
+
+	// Within the retangent tolerance nothing restamps; far outside it the
+	// tangent refreshes at the new displacement.
+	x[0] = z * (1 + 1e-4)
+	if sys.Linearise(0, x, y) {
+		t.Fatal("negligible displacement drift forced a restamp")
+	}
+	x[0] = 4 * z
+	if !sys.Linearise(0, x, y) {
+		t.Fatal("large displacement drift did not restamp the tangent")
+	}
+	wantA = -(p.Ks + 3*p.K3*x[0]*x[0]) / p.M
+	if got := sys.Jxx.At(1, 0); math.Abs(got-wantA) > math.Abs(wantA)*1e-12 {
+		t.Fatalf("retangented A(1,0) = %g, want %g", got, wantA)
+	}
+}
+
+// TestDuffingExactResiduals checks EvalNonlinear/JacNonlinear carry the
+// exact cubic for the implicit baselines.
+func TestDuffingExactResiduals(t *testing.T) {
+	p := DefaultMicrogen()
+	p.K3 = -5e8 // softening sign must flow through too
+	vib := NewVibration(0, 64)
+	gen := NewMicrogenerator("gen", p, vib)
+	x := []float64{3e-4, 0.01}
+	y := []float64{0.5, 1e-4}
+	fx := make([]float64, 2)
+	fy := make([]float64, 1)
+	gen.EvalNonlinear(0, x, y, fx, fy)
+	z, zd, im := x[0], x[1], y[1]
+	want := (-(p.Ks*z + p.K3*z*z*z) - p.Cp*zd - p.Phi*im) / p.M
+	if math.Abs(fx[1]-want) > math.Abs(want)*1e-12 {
+		t.Fatalf("EvalNonlinear fx[1] = %g, want %g", fx[1], want)
+	}
+}
+
+// TestDuffingHardeningDetunes pins the physics: a strongly hardening
+// spring shifts the effective resonance away from a drive at the linear
+// resonant frequency, collapsing the delivered power relative to the
+// linear device.
+func TestDuffingHardeningDetunes(t *testing.T) {
+	run := func(k3 float64) float64 {
+		p := DefaultMicrogen()
+		p.K3 = k3
+		vib := NewVibration(0.59, 64)
+		sys := core.NewSystem()
+		sys.AddBlock(NewMicrogenerator("gen", p, vib))
+		sys.AddBlock(NewResistor("load", "Vm", "Im", 3000))
+		eng := core.NewEngine(sys)
+		eng.Ctl.HMax = 2e-4
+		var pw trace.Series
+		eng.Observe(func(tm float64, x, y []float64) {
+			if tm > 2 {
+				pw.Append(tm, y[0]*y[1])
+			}
+		})
+		if err := eng.Run(0, 4); err != nil {
+			t.Fatalf("k3=%g: %v", k3, err)
+		}
+		return pw.Mean()
+	}
+	linear := run(0)
+	hard := run(1e10)
+	if hard <= 0 || linear < 3*hard {
+		t.Fatalf("hardening should detune the resonant drive: P(0)=%g, P(1e10)=%g",
+			linear, hard)
+	}
+}
+
+// TestDuffingRefreshCountsDiverge pins the claim that the cubic spring
+// is the first workload whose Jacobian-refresh counts are driven by the
+// operating point: on a gen+load system (no PWL diodes to mask it) the
+// linear device stamps once, while the Duffing device re-tangents
+// throughout the march.
+func TestDuffingRefreshCountsDiverge(t *testing.T) {
+	run := func(k3 float64) int {
+		p := DefaultMicrogen()
+		p.K3 = k3
+		vib := NewVibration(0.59, 64)
+		sys := core.NewSystem()
+		sys.AddBlock(NewMicrogenerator("gen", p, vib))
+		sys.AddBlock(NewResistor("load", "Vm", "Im", 3000))
+		eng := core.NewEngine(sys)
+		eng.Ctl.HMax = 2e-4
+		if err := eng.Run(0, 2); err != nil {
+			t.Fatalf("k3=%g: %v", k3, err)
+		}
+		return eng.Stats.Refreshes
+	}
+	lin := run(0)
+	duff := run(1e9)
+	if lin > 4 {
+		t.Fatalf("linear gen+load refreshed %d times, want a handful at most", lin)
+	}
+	if duff < 20*lin {
+		t.Fatalf("Duffing refreshes (%d) should dwarf linear refreshes (%d)", duff, lin)
+	}
+}
+
+// TestDuffingExplicitMatchesImplicit checks the piecewise-tangent
+// explicit march against the exact-Newton trapezoidal baseline on the
+// nonlinear gen+load system: the local linearisation with the
+// duffingRetanTol granularity must track the exact cubic dynamics.
+func TestDuffingExplicitMatchesImplicit(t *testing.T) {
+	mk := func() *core.System {
+		p := DefaultMicrogen()
+		p.K3 = 2e9
+		vib := NewVibration(0.59, 64)
+		sys := core.NewSystem()
+		sys.AddBlock(NewMicrogenerator("gen", p, vib))
+		sys.AddBlock(NewResistor("load", "Vm", "Im", 3000))
+		return sys
+	}
+	var ex, im trace.Series
+	sysE := mk()
+	e1 := core.NewEngine(sysE)
+	e1.Ctl.HMax = 1e-4
+	e1.Observe(func(tm float64, x, y []float64) { ex.Append(tm, x[0]) })
+	if err := e1.Run(0, 2); err != nil {
+		t.Fatalf("explicit: %v", err)
+	}
+	sysI := mk()
+	e2 := implicit.NewEngine(sysI, implicit.Trapezoidal)
+	e2.Ctl.HMax = 1e-4
+	e2.Observe(func(tm float64, x, y []float64) { im.Append(tm, x[0]) })
+	if err := e2.Run(0, 2); err != nil {
+		t.Fatalf("implicit: %v", err)
+	}
+	cmp := trace.Compare(&ex, &im, 400)
+	if cmp.NRMSE > 0.05 {
+		t.Fatalf("cross-engine NRMSE = %v (max %v at t=%v)", cmp.NRMSE, cmp.MaxAbs, cmp.AtMax)
+	}
+}

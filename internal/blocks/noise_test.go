@@ -1,0 +1,137 @@
+package blocks
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNoiseDeterminism pins the seeding contract: equal specs produce
+// bit-identical realisations on independently constructed sources, and
+// distinct seeds produce different ones.
+func TestNoiseDeterminism(t *testing.T) {
+	spec := NoiseSpec{RMS: 0.8, FLo: 55, FHi: 85, Seed: 42}
+	a := NewVibration(0.59, 70)
+	a.ConfigureNoise(spec)
+	b := NewVibration(0.59, 70)
+	b.ConfigureNoise(spec)
+	diffSeed := NewVibration(0.59, 70)
+	diffSeed.ConfigureNoise(NoiseSpec{RMS: 0.8, FLo: 55, FHi: 85, Seed: 43})
+
+	var sawDiff bool
+	for i := 0; i <= 1000; i++ {
+		tm := float64(i) * 1.7e-3
+		if av, bv := a.Accel(tm), b.Accel(tm); av != bv {
+			t.Fatalf("same spec diverged at t=%g: %v vs %v", tm, av, bv)
+		}
+		if a.Accel(tm) != diffSeed.Accel(tm) {
+			sawDiff = true
+		}
+	}
+	if !sawDiff {
+		t.Fatal("different seeds produced an identical realisation")
+	}
+}
+
+// TestNoiseRMSCalibration checks the spectral synthesis delivers the
+// requested RMS acceleration (long-window sample statistic).
+func TestNoiseRMSCalibration(t *testing.T) {
+	v := NewVibration(0, 70) // sinusoid disabled: pure noise
+	v.ConfigureNoise(NoiseSpec{RMS: 1.3, FLo: 40, FHi: 90, Seed: 7})
+	var sum float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		a := v.Accel(float64(i) * 5e-5) // 10 s window, 20 kHz sampling
+		sum += a * a
+	}
+	rms := math.Sqrt(sum / float64(n))
+	if math.Abs(rms-1.3) > 0.15*1.3 {
+		t.Fatalf("sampled RMS = %g, want 1.3 +- 15%%", rms)
+	}
+}
+
+// TestNoiseResetClearsStochasticState pins the Reset contract fix: a
+// Reset source must fall back to the pure deterministic sinusoid, and a
+// re-applied equal spec must reproduce the pre-Reset realisation bit
+// for bit.
+func TestNoiseResetClearsStochasticState(t *testing.T) {
+	spec := NoiseSpec{RMS: 0.8, FLo: 55, FHi: 85, Seed: 42}
+	v := NewVibration(0.59, 70)
+	v.ConfigureNoise(spec)
+	before := make([]float64, 200)
+	for i := range before {
+		before[i] = v.Accel(float64(i) * 2.3e-3)
+	}
+
+	v.Reset(70)
+	if v.Noise().Enabled() {
+		t.Fatal("Reset left the noise spec configured")
+	}
+	ref := NewVibration(0.59, 70)
+	for i := 0; i < 200; i++ {
+		tm := float64(i) * 2.3e-3
+		if got, want := v.Accel(tm), ref.Accel(tm); got != want {
+			t.Fatalf("Reset source still carries noise at t=%g: %v vs pure sine %v",
+				tm, got, want)
+		}
+	}
+
+	v.ConfigureNoise(spec)
+	for i := range before {
+		tm := float64(i) * 2.3e-3
+		if got := v.Accel(tm); got != before[i] {
+			t.Fatalf("re-applied spec diverged at t=%g: %v vs %v", tm, got, before[i])
+		}
+	}
+}
+
+// TestNoiseReconfigureDoesNotAllocate pins the warm Reset/Configure
+// cycle used by harvester reuse: after the first configuration the tone
+// storage is recycled.
+func TestNoiseReconfigureDoesNotAllocate(t *testing.T) {
+	spec := NoiseSpec{RMS: 0.8, FLo: 55, FHi: 85, Seed: 42}
+	v := NewVibration(0.59, 70)
+	v.ConfigureNoise(spec)
+	avg := testing.AllocsPerRun(200, func() {
+		v.Reset(70)
+		v.ConfigureNoise(spec)
+	})
+	if avg != 0 {
+		t.Fatalf("warm Reset+ConfigureNoise allocates %.2f objects, want 0", avg)
+	}
+}
+
+// TestNoiseInvalidBandPanics pins the contract-violation policy.
+func TestNoiseInvalidBandPanics(t *testing.T) {
+	for _, spec := range []NoiseSpec{
+		{RMS: 1, FLo: 0, FHi: 50},
+		{RMS: 1, FLo: 60, FHi: 50},
+		{RMS: math.NaN(), FLo: 40, FHi: 50},
+		{RMS: 1, FLo: 40, FHi: math.Inf(1)},
+		{RMS: 1, FLo: 40, FHi: 50, Tones: MaxNoiseTones + 1},
+		{RMS: 1, FLo: 40, FHi: 50, Tones: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("spec %+v did not panic", spec)
+				}
+			}()
+			NewVibration(0, 70).ConfigureNoise(spec)
+		}()
+	}
+}
+
+// TestNoiseDisabledSpecIsNoOp: a zero spec leaves the sinusoid exactly
+// as before (the linear scenarios must be bit-unaffected by the new
+// machinery).
+func TestNoiseDisabledSpecIsNoOp(t *testing.T) {
+	v := NewVibration(0.59, 70)
+	v.ConfigureNoise(NoiseSpec{})
+	ref := NewVibration(0.59, 70)
+	for i := 0; i < 100; i++ {
+		tm := float64(i) * 3.1e-3
+		if v.Accel(tm) != ref.Accel(tm) {
+			t.Fatalf("disabled noise changed the sinusoid at t=%g", tm)
+		}
+	}
+}

@@ -7,8 +7,14 @@ package blocks
 // previous run's final tangent — within tolerance, but not bit-identical
 // to a freshly assembled system. See core.System.ResetLinearisation.
 
-// ResetLinearisation implements core.LineariseResetter.
-func (g *Microgenerator) ResetLinearisation() { g.dirty, g.stamped = true, false }
+// ResetLinearisation implements core.LineariseResetter. The cached
+// Duffing tangent point zLin is discarded too: a reused run must stamp
+// its first cubic tangent at the fresh initial displacement, not at the
+// previous run's final one.
+func (g *Microgenerator) ResetLinearisation() {
+	g.dirty, g.stamped = true, false
+	g.zLin = 0
+}
 
 // ResetLinearisation implements core.LineariseResetter.
 func (d *Dickson) ResetLinearisation() {

@@ -1,0 +1,56 @@
+package blocks
+
+// Deterministic pseudo-random stream for the stochastic excitation mode.
+// The realisation of a band-limited noise profile must be a pure
+// function of its NoiseSpec (seed, band, tone count): scenarios are
+// value-typed and re-assembled freely — by the batch workers, by
+// Reset/rerun reuse, by result caching — and every assembly must
+// reproduce the same excitation bit for bit. math/rand is deliberately
+// not used: its stream is not covered by the Go 1 compatibility promise
+// across seeding modes, while xoshiro256** below is a fixed published
+// algorithm (Blackman & Vigna) whose output is stable by construction.
+
+// splitmix64 is the recommended seeder for xoshiro: it expands one
+// 64-bit seed into well-distributed stream state, so nearby seeds (0, 1,
+// 2, ...) still yield decorrelated realisations.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// xoshiro256 is the xoshiro256** generator.
+type xoshiro256 struct{ s [4]uint64 }
+
+// newXoshiro256 seeds the generator from a single word via splitmix64.
+func newXoshiro256(seed uint64) *xoshiro256 {
+	sm := splitmix64(seed)
+	var x xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.next()
+	}
+	return &x
+}
+
+func rotl64(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+func (x *xoshiro256) uint64() uint64 {
+	r := rotl64(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl64(x.s[3], 45)
+	return r
+}
+
+// float64 returns a uniform value in [0, 1) with 53 significant bits.
+func (x *xoshiro256) float64() float64 {
+	return float64(x.uint64()>>11) / (1 << 53)
+}

@@ -19,13 +19,86 @@ import (
 	"math"
 )
 
-// Vibration models the ambient mechanical excitation: a sinusoidal base
-// acceleration whose frequency changes stepwise but whose phase is
-// continuous across changes (an abrupt phase jump would inject spurious
-// wide-band energy into the resonator).
+// Vibration models the ambient mechanical excitation as the sum of two
+// independent components that may each be zero:
+//
+//   - a deterministic sinusoid whose frequency changes stepwise or chirps
+//     but whose phase is continuous across changes (an abrupt phase jump
+//     would inject spurious wide-band energy into the resonator), and
+//   - an optional band-limited stochastic component (ConfigureNoise) for
+//     realistic wideband ambient vibration.
 type Vibration struct {
-	Amplitude float64 // peak base acceleration [m/s^2]
+	Amplitude float64 // peak base acceleration of the sinusoid [m/s^2]
 	segs      []vibSeg
+
+	noise NoiseSpec   // zero value = no stochastic component
+	tones []noiseTone // realisation of noise, derived from the spec
+}
+
+// NoiseSpec declares a band-limited stochastic excitation: stationary
+// Gaussian-like noise of the given RMS acceleration with its power
+// spread over [FLo, FHi]. The realisation is synthesised by the spectral
+// representation method — Tones sinusoids with frequencies jittered
+// uniformly inside equal sub-bands and independent uniform phases — so
+// the acceleration stays an analytic function of time that the
+// variable-step engines can evaluate at any t without carrying filter
+// state.
+//
+// Seeding contract: the realisation is a pure function of the spec
+// (Seed, FLo, FHi, Tones, and nothing else). Equal specs produce
+// bit-identical excitations on every assembly, across serial, pooled
+// and Reset-reused runs; distinct seeds produce independent
+// realisations. The generator is a fixed algorithm (xoshiro256** seeded
+// via splitmix64), not math/rand, so the stream never shifts under a
+// toolchain upgrade.
+type NoiseSpec struct {
+	RMS   float64 // RMS base acceleration [m/s^2]; 0 disables the component
+	FLo   float64 // band lower edge [Hz]
+	FHi   float64 // band upper edge [Hz]
+	Tones int     // spectral lines; 0 = DefaultNoiseTones
+	Seed  uint64  // realisation seed
+}
+
+// DefaultNoiseTones is the tone count a zero NoiseSpec.Tones selects:
+// enough lines that no individual tone dominates the band, few enough
+// that an Accel evaluation stays a sub-microsecond loop.
+const DefaultNoiseTones = 48
+
+// MaxNoiseTones bounds the realisation size: Accel is evaluated several
+// times per engine step, so the tone count is a per-step cost knob, not
+// a place for unbounded input to allocate gigabytes.
+const MaxNoiseTones = 4096
+
+// Enabled reports whether the spec requests a stochastic component.
+func (n NoiseSpec) Enabled() bool { return n.RMS != 0 }
+
+// Validate reports whether an enabled spec is synthesisable: ordered
+// positive finite band, finite RMS, tone count within [0, MaxNoiseTones]
+// (0 selects the default). It is THE definition of spec validity —
+// ConfigureNoise panics exactly when it errs, and the harvester's
+// Config.Validate wraps it so a bad batch-sweep axis value fails its
+// job rather than its worker.
+func (n NoiseSpec) Validate() error {
+	if !n.Enabled() {
+		return nil
+	}
+	if !(n.FLo > 0 && n.FHi > n.FLo) || math.IsInf(n.FHi, 0) ||
+		math.IsNaN(n.RMS) || math.IsInf(n.RMS, 0) {
+		return fmt.Errorf("blocks: invalid noise band [%g, %g] Hz (rms %g)",
+			n.FLo, n.FHi, n.RMS)
+	}
+	if n.Tones < 0 || n.Tones > MaxNoiseTones {
+		return fmt.Errorf("blocks: noise tone count %d outside [0, %d]",
+			n.Tones, MaxNoiseTones)
+	}
+	return nil
+}
+
+// noiseTone is one spectral line of the realisation.
+type noiseTone struct {
+	w   float64 // angular frequency [rad/s]
+	phi float64 // phase [rad]
+	amp float64 // amplitude [m/s^2]
 }
 
 type vibSeg struct {
@@ -71,13 +144,54 @@ func (v *Vibration) addSeg(t, f, rate float64) {
 	v.segs = append(v.segs, seg)
 }
 
-// Reset discards every scheduled frequency change and restarts the
-// source at constant frequency f0 from phase zero at t=0, keeping the
-// segment storage for reuse.
+// Reset discards every scheduled frequency change AND any configured
+// stochastic component, restarting the source at constant frequency f0
+// from phase zero at t=0. All storage (segment slice, tone slice) is
+// kept for reuse, so a Reset/ConfigureNoise cycle on a warm source does
+// not allocate. Callers that want the noise back after Reset re-apply
+// the spec with ConfigureNoise — with an equal spec the regenerated
+// realisation is bit-identical (see NoiseSpec).
 func (v *Vibration) Reset(f0 float64) {
 	v.segs = v.segs[:1]
 	v.segs[0] = vibSeg{t0: 0, freq: f0}
+	v.noise = NoiseSpec{}
+	v.tones = v.tones[:0]
 }
+
+// ConfigureNoise adds (or replaces) the band-limited stochastic
+// component described by spec, synthesising its realisation
+// deterministically from the spec alone. A disabled spec (RMS == 0)
+// removes the component. Panics when spec.Validate errs — the same
+// contract-violation policy as the segment scheduler; callers that need
+// graceful rejection check Validate first.
+func (v *Vibration) ConfigureNoise(spec NoiseSpec) {
+	v.tones = v.tones[:0]
+	v.noise = spec
+	if !spec.Enabled() {
+		v.noise = NoiseSpec{}
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	n := spec.Tones
+	if n <= 0 {
+		n = DefaultNoiseTones
+	}
+	rng := newXoshiro256(spec.Seed)
+	df := (spec.FHi - spec.FLo) / float64(n)
+	// Equal power per sub-band: RMS of the sum is sqrt(n * amp^2 / 2).
+	amp := math.Abs(spec.RMS) * math.Sqrt(2/float64(n))
+	for k := 0; k < n; k++ {
+		f := spec.FLo + (float64(k)+rng.float64())*df
+		phi := 2 * math.Pi * rng.float64()
+		v.tones = append(v.tones, noiseTone{w: 2 * math.Pi * f, phi: phi, amp: amp})
+	}
+}
+
+// Noise returns the spec of the configured stochastic component (zero
+// value when none).
+func (v *Vibration) Noise() NoiseSpec { return v.noise }
 
 // SetFrequency schedules a frequency change at time t (seconds, must not
 // precede previously scheduled changes). The phase remains continuous.
@@ -117,7 +231,15 @@ func (v *Vibration) Freq(t float64) float64 { return v.seg(t).freqAt(t) }
 // Phase returns the accumulated phase at time t [rad].
 func (v *Vibration) Phase(t float64) float64 { return v.seg(t).phaseAt(t) }
 
-// Accel returns the base acceleration a(t) [m/s^2].
+// Accel returns the base acceleration a(t) [m/s^2]: the sinusoidal
+// component plus the stochastic component when one is configured. The
+// evaluation is allocation-free — it sits on the engines' per-step hot
+// path (linearisation refresh, observer, frequency meter).
 func (v *Vibration) Accel(t float64) float64 {
-	return v.Amplitude * math.Sin(v.Phase(t))
+	a := v.Amplitude * math.Sin(v.Phase(t))
+	for i := range v.tones {
+		tn := &v.tones[i]
+		a += tn.amp * math.Sin(tn.w*t+tn.phi)
+	}
+	return a
 }

@@ -44,7 +44,11 @@ func TestTable2ShapeHolds(t *testing.T) {
 		t.Fatalf("want 2 scenarios, got %d", len(res.Rows))
 	}
 	for _, row := range res.Rows {
-		if row.Speedup < 2 {
+		// The speedup is a wall-clock ratio: meaningless under the race
+		// detector, whose instrumentation reshapes the per-step cost
+		// profile of the two engine families differently (observed ~1.6x
+		// under -race vs ~4x without on the same machine).
+		if !raceEnabled && row.Speedup < 2 {
 			t.Errorf("%s: proposed should clearly beat existing, speedup %.2f", row.Scenario, row.Speedup)
 		}
 		if row.VcRMSE > 0.05 {

@@ -55,6 +55,51 @@ func TestWarmStepZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestWarmStepZeroAllocsDuffingNoise extends the zero-alloc pin to the
+// nonlinear/stochastic workload: the Duffing re-tangent path (restamp +
+// Jyy refactor + stability drift accounting) and the band-limited noise
+// evaluation must both stay on the allocation-free hot path.
+func TestWarmStepZeroAllocsDuffingNoise(t *testing.T) {
+	sc := NoiseScenario(1000, 55, 85, 42)
+	sc.Cfg.VibNoise.RMS = 2 // strong drive: frequent re-tangents
+	sc.Cfg.Microgen.K3 = DuffingK3Strong
+	h, err := Assemble(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*trace.Series{h.VcTrace, h.PMultIn, h.PStoreTrace, h.FresTrace} {
+		s.Reserve(1 << 16)
+	}
+	eng, ok := h.NewEngine(Proposed, 1).(*core.Engine)
+	if !ok {
+		t.Fatal("proposed engine is not a core.Engine")
+	}
+	if err := eng.Begin(0, sc.Duration); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refreshesBefore := eng.Stats.Refreshes
+	stepErr := error(nil)
+	avg := testing.AllocsPerRun(500, func() {
+		if _, err := eng.Step(); err != nil {
+			stepErr = err
+		}
+	})
+	if stepErr != nil {
+		t.Fatal(stepErr)
+	}
+	if avg != 0 {
+		t.Fatalf("warm Duffing/noise step allocates %.3f objects/step, want 0", avg)
+	}
+	if eng.Stats.Refreshes == refreshesBefore {
+		t.Fatal("test premise broken: no Duffing re-tangents during the measured steps")
+	}
+}
+
 // TestWarmStepZeroAllocsAfterReset pins the batch reuse path's step
 // cost: an engine rebuilt on the same harvester after Reset steps
 // without allocating, because the workspace, history ring and trace

@@ -27,8 +27,16 @@ type Config struct {
 	Actuator actuator.Params
 	MCU      digital.MCUConfig
 
-	VibAmplitude float64 // peak base acceleration [m/s^2]
+	VibAmplitude float64 // peak base acceleration of the sinusoid [m/s^2]
 	VibFreq      float64 // initial ambient frequency [Hz]
+
+	// VibNoise adds a band-limited stochastic excitation component on top
+	// of (or, with VibAmplitude = 0, instead of) the sinusoid. The zero
+	// value disables it. The realisation is a pure function of the spec,
+	// so a Config remains a complete value-typed description of a run:
+	// equal Configs reproduce bit-identical excitations across serial,
+	// pooled and Reset-reused executions (see blocks.NoiseSpec).
+	VibNoise blocks.NoiseSpec
 
 	InitialTuneHz float64 // generator's initial tuned resonance [Hz]
 	InitialVc     float64 // initial supercapacitor voltage [V]
@@ -52,6 +60,21 @@ type SolverConfig struct {
 	HMax    float64 // step-size cap [s]; 0 = 2.5e-4
 	Rtol    float64 // relative local-error tolerance; 0 = controller default
 	ABOrder int     // proposed engine's Adams-Bashforth order (1..4); 0 = 4
+}
+
+// Validate reports configuration errors that assembly would otherwise
+// surface as panics deep inside the block constructors — the checks a
+// batch sweep needs so one bad axis value fails its job, not the worker.
+func (c Config) Validate() error {
+	if err := c.VibNoise.Validate(); err != nil {
+		return fmt.Errorf("harvester: %w", err)
+	}
+	for _, f := range [...]float64{c.Microgen.K3, c.VibAmplitude, c.VibFreq} {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("harvester: non-finite excitation/spring parameter in config")
+		}
+	}
+	return nil
 }
 
 // DefaultConfig returns the calibrated full-system configuration.
@@ -163,6 +186,7 @@ func New(cfg Config) *Harvester { return NewWith(cfg, nil) }
 func NewWith(cfg Config, pool *core.WorkspacePool) *Harvester {
 	h := &Harvester{Cfg: cfg}
 	h.Vib = blocks.NewVibration(cfg.VibAmplitude, cfg.VibFreq)
+	h.Vib.ConfigureNoise(cfg.VibNoise)
 	h.Sys = core.NewSystem()
 	if pool != nil {
 		h.Sys.UsePool(pool)
@@ -226,7 +250,10 @@ func (h *Harvester) initDigital() {
 // re-runs a scenario bit-identically to a freshly assembled one; callers
 // that used Schedule must Schedule again after Reset.
 func (h *Harvester) Reset() {
+	// Vibration.Reset also clears the stochastic component; re-deriving
+	// it from the config's spec regenerates the identical realisation.
 	h.Vib.Reset(h.Cfg.VibFreq)
+	h.Vib.ConfigureNoise(h.Cfg.VibNoise)
 	h.Store.SetMode(blocks.LoadSleep)
 	h.initDigital()
 	h.VcTrace.Clear()
