@@ -287,6 +287,50 @@ func BenchmarkBatchSweep_PooledNoReuse(b *testing.B) {
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 }
 
+// BenchmarkSweepCache_Cold runs the 64-point design grid against an
+// empty result cache — the full simulation cost plus the (negligible)
+// hashing and store overhead. Paired with _Warm below it records the
+// cache's workload multiplier in the benchmark trajectory.
+func BenchmarkSweepCache_Cold(b *testing.B) {
+	jobs := batchSweepGrid(0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache := batch.NewCache(0)
+		results := batch.Run(context.Background(), jobs, batch.Options{Cache: cache})
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepCache_Warm repeats the identical grid against a primed
+// cache: zero engine runs, every job a content-hash lookup — the cost a
+// refinement sweep pays for revisited candidates.
+func BenchmarkSweepCache_Warm(b *testing.B) {
+	jobs := batchSweepGrid(0.5)
+	cache := batch.NewCache(0)
+	prime := batch.Run(context.Background(), jobs, batch.Options{Cache: cache})
+	for _, r := range prime {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := batch.Run(context.Background(), jobs, batch.Options{Cache: cache})
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			if !r.Cached {
+				b.Fatalf("job %s missed the warm cache", r.Name)
+			}
+		}
+	}
+}
+
 // BenchmarkWarmStep measures one warm steady-state step of the proposed
 // engine — the unit of cost the paper's speedup lives in. Its allocs/op
 // baseline is zero, and the CI bench gate (cmd/benchgate vs

@@ -19,6 +19,33 @@ import (
 	"harvsim/internal/trace"
 )
 
+const usageFooter = `
+Scenarios (-scenario):
+  charge    non-tunable supercap charge-up at 70 Hz (Table I)
+  s1        1 Hz retune: ambient shifts 70 -> 71 Hz, controller retunes (Fig. 8)
+  s2        14 Hz retune: 64 -> 78 Hz, duty-cycled tuning bursts (Fig. 9)
+  track     slow linear chirp the controller must track repeatedly
+  duffing   charge-up with a cubic (Duffing) spring (default k3 1e9 N/m^3)
+  noise     charge-up under seeded band-limited noise excitation
+
+Engines (-engine):
+  proposed  explicit linearised state-space technique (the paper's)
+  trap      trapezoidal + Newton-Raphson (SystemVision-like baseline)
+  bdf2      Gear/BDF2 + Newton-Raphson (SystemC-A-like baseline)
+  be        backward-Euler + Newton-Raphson baseline
+
+Examples:
+  harvsim -scenario s1 -engine proposed -out s1.csv
+  harvsim -scenario noise -noise-lo 55 -noise-hi 85 -noise-seed 7 -k3 1e9
+`
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(),
+		"Usage: harvsim [flags]\n\nOne simulation of the complete tunable energy harvesting system.\n\nFlags:\n")
+	flag.PrintDefaults()
+	fmt.Fprint(flag.CommandLine.Output(), usageFooter)
+}
+
 func main() {
 	var (
 		scenario = flag.String("scenario", "s1", "scenario: charge, s1 (1 Hz retune), s2 (14 Hz retune), track (chirp tracking), duffing (nonlinear spring), noise (stochastic wideband)")
@@ -36,6 +63,7 @@ func main() {
 		noiseRMS = flag.Float64("noise-rms", 0.59, "noise scenario: RMS base acceleration [m/s^2]")
 		noiseSd  = flag.Uint64("noise-seed", 1, "noise scenario: realisation seed")
 	)
+	flag.Usage = usage
 	flag.Parse()
 
 	// Validate flags up front: a bad value must produce a usage error and

@@ -7,7 +7,8 @@
 // partially charged storage element — a workload that is practical
 // because each full-system simulation takes a fraction of a second under
 // the explicit engine, and that now scales across every core the machine
-// has.
+// has, caches repeated candidates, and averages stochastic workloads
+// over seed ensembles.
 package main
 
 import (
@@ -22,6 +23,36 @@ import (
 	"harvsim/internal/batch"
 	"harvsim/internal/harvester"
 )
+
+const usageFooter = `
+Base workloads (chosen by flags, both sweep the Dickson multiplier design):
+  default          sinusoidal 70 Hz charge scenario (deterministic)
+  -noise-seed N    seeded band-limited noise excitation, 55-85 Hz,
+                   RMS 0.59 m/s^2 (N != 0 selects this workload)
+
+Ensembles (stochastic workloads only):
+  -seeds N         run every design point under N noise realisations
+                   (seeds derived from -noise-seed) and rank by the
+                   ensemble mean power, reporting variance and 95% CI
+
+Result cache:
+  -cache           serve repeated candidates from an in-memory
+                   content-addressed result cache
+  -cache-dir DIR   additionally persist results under DIR, so re-running
+                   the sweep (or zooming into the argmax region) is
+                   served from disk instead of re-simulating
+
+Examples:
+  sweep -sim 12 -vc 2.5 -top 5
+  sweep -noise-seed 7 -seeds 8 -cache-dir /tmp/harvsim-cache
+`
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(),
+		"Usage: sweep [flags]\n\nDickson voltage-multiplier design sweep over the concurrent batch runner.\n\nFlags:\n")
+	flag.PrintDefaults()
+	fmt.Fprint(flag.CommandLine.Output(), usageFooter)
+}
 
 // parseFloatList parses a comma-separated float list ("0,1e9,5e9").
 func parseFloatList(s string) ([]float64, error) {
@@ -42,14 +73,30 @@ func parseFloatList(s string) ([]float64, error) {
 
 func main() {
 	var (
-		simFor  = flag.Float64("sim", 12, "simulated span per candidate [s]")
-		vc      = flag.Float64("vc", 2.5, "storage operating point [V]")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		topK    = flag.Int("top", 10, "ranked designs to print")
-		k3List  = flag.String("k3", "", "comma-separated cubic spring coefficients [N/m^3] to add as a Duffing sweep axis (e.g. 0,1e9,5e9)")
-		noiseSd = flag.Uint64("noise-seed", 0, "nonzero: replace the sinusoid with seeded band-limited noise (55-85 Hz, RMS 0.59 m/s^2)")
+		simFor   = flag.Float64("sim", 12, "simulated span per candidate [s]")
+		vc       = flag.Float64("vc", 2.5, "storage operating point [V]")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		topK     = flag.Int("top", 10, "ranked designs to print")
+		k3List   = flag.String("k3", "", "comma-separated cubic spring coefficients [N/m^3] to add as a Duffing sweep axis (e.g. 0,1e9,5e9)")
+		noiseSd  = flag.Uint64("noise-seed", 0, "nonzero: replace the sinusoid with seeded band-limited noise (55-85 Hz, RMS 0.59 m/s^2)")
+		seeds    = flag.Int("seeds", 1, "noise realisations per design point (>1 adds a seed ensemble axis and reports mean/CI statistics; needs -noise-seed)")
+		useCache = flag.Bool("cache", false, "serve repeated candidates from an in-memory result cache")
+		cacheDir = flag.String("cache-dir", "", "persist cached results under this directory (implies -cache)")
 	)
+	flag.Usage = usage
 	flag.Parse()
+
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *seeds < 1 {
+		usageErr("-seeds must be >= 1 (got %d)", *seeds)
+	}
+	if *seeds > 1 && *noiseSd == 0 {
+		usageErr("-seeds %d needs a stochastic workload: set -noise-seed (the ensemble base seed)", *seeds)
+	}
 
 	base := harvester.ChargeScenario(*simFor)
 	base.Cfg.InitialVc = *vc
@@ -76,25 +123,41 @@ func main() {
 	if *k3List != "" {
 		k3s, err := parseFloatList(*k3List)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: -k3: %v\n", err)
-			os.Exit(2)
+			usageErr("-k3: %v", err)
 		}
 		if len(k3s) == 0 {
-			fmt.Fprintf(os.Stderr, "sweep: -k3 %q holds no values\n", *k3List)
-			os.Exit(2)
+			usageErr("-k3 %q holds no values", *k3List)
 		}
 		spec.Axes = append(spec.Axes, batch.FloatAxis("k3", k3s, func(j *batch.Job, v float64) {
 			j.Scenario.Cfg.Microgen.K3 = v
 		}))
 	}
+	if *seeds > 1 {
+		spec.Axes = append(spec.Axes, batch.SeedAxis("seed", batch.Seeds(*noiseSd, *seeds),
+			func(j *batch.Job, s uint64) { j.Scenario.Cfg.VibNoise.Seed = s }))
+	}
 	// Rank by mean power into the store over the settled window. The
 	// metric closure is shared by every expanded job, so it derives
-	// everything from its per-job harvester argument.
+	// everything from its per-job harvester argument; MetricKey declares
+	// it a pure function of the run so results stay cacheable.
 	spec.Base.Metric = func(h *harvester.Harvester, eng harvester.Engine) float64 {
 		return h.PStoreTrace.Slice(*simFor/3, *simFor).Mean()
 	}
+	spec.Base.MetricKey = "pstore-mean-settled"
 
 	opt := batch.Options{Workers: *workers}
+	switch {
+	case *cacheDir != "":
+		c, err := batch.NewDiskCache(0, *cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		opt.Cache = c
+	case *useCache:
+		opt.Cache = batch.NewCache(0)
+	}
+
 	fmt.Printf("design sweep: %d candidates, %.3g s simulated each, %d workers\n",
 		spec.Size(), *simFor, opt.EffectiveWorkers())
 	start := time.Now()
@@ -108,13 +171,30 @@ func main() {
 
 	fmt.Printf("completed in %v wall (summed job time %v)\n\n",
 		wall.Round(time.Millisecond), sum.CPUTime.Round(time.Millisecond))
-	fmt.Printf("power into store at %.3g V (top %d):\n", *vc, *topK)
-	fmt.Print(batch.Table(batch.Top(results, *topK)))
+	var ranked []batch.EnsemblePoint
+	if *seeds > 1 {
+		ranked = batch.EnsembleTop(batch.Ensembles(results), *topK)
+		fmt.Printf("ensemble power into store at %.3g V over %d seeds (top %d by mean):\n",
+			*vc, *seeds, *topK)
+		fmt.Print(batch.EnsembleTable(ranked))
+	} else {
+		fmt.Printf("power into store at %.3g V (top %d):\n", *vc, *topK)
+		fmt.Print(batch.Table(batch.Top(results, *topK)))
+	}
 	fmt.Println()
 	fmt.Println(sum.String())
-	if sum.ArgMaxMetric >= 0 {
+	if opt.Cache != nil {
+		cs := opt.Cache.Stats()
+		fmt.Printf("cache: %d hits (%d from disk), %d misses, %d stale, %d entries\n",
+			cs.Hits, cs.DiskHits, cs.Misses, cs.Stale, cs.Entries)
+	}
+	if sum.ArgMaxMetric >= 0 && *seeds == 1 {
 		best := results[sum.ArgMaxMetric]
 		fmt.Printf("\nbest design: %s -> %.1f uW\n", best.Name, best.Metric*1e6)
+	}
+	if len(ranked) > 0 && ranked[0].N > 0 {
+		fmt.Printf("\nbest design: %s -> %.1f +/- %.1f uW (95%% CI over %d seeds)\n",
+			ranked[0].Group, ranked[0].Mean*1e6, ranked[0].CI95*1e6, ranked[0].N)
 	}
 	if sum.Failed > 0 {
 		fmt.Fprintf(os.Stderr, "\n%d candidates failed:\n", sum.Failed)

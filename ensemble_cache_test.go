@@ -1,0 +1,106 @@
+package harvsim
+
+// Facade-level acceptance for the result cache + seed ensembles (the
+// examples/ensemble workflow at test scale): a warm-cache repeat of an
+// ensemble sweep performs zero engine runs — the cache hit counter
+// equals the job count — and returns bit-identical Results, and the
+// ensemble Summary (mean/variance/CI over >= 8 seeds) is deterministic
+// across serial and pooled execution.
+
+import (
+	"context"
+	"testing"
+)
+
+func ensembleSweepSpec() SweepSpec {
+	base := NoiseScenario(0.5, 55, 85, 0) // seed stamped per job by the axis
+	base.Cfg.VibNoise.RMS = 2
+	return SweepSpec{
+		Base: BatchJob{Name: "ens", Scenario: base, Engine: Proposed},
+		Axes: []SweepAxis{
+			IntAxis("stages", []int{3, 5},
+				func(j *BatchJob, n int) { j.Scenario.Cfg.Dickson.Stages = n }),
+			SeedAxis("seed", Seeds(42, 8),
+				func(j *BatchJob, s uint64) { j.Scenario.Cfg.VibNoise.Seed = s }),
+		},
+	}
+}
+
+func TestWarmCacheEnsembleSweep(t *testing.T) {
+	spec := ensembleSweepSpec()
+	cache := NewCache(0)
+
+	cold, err := Sweep(context.Background(), spec, BatchOptions{Cache: cache, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range cold {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		if r.Cached {
+			t.Fatalf("%s: cold run served from an empty cache", r.Name)
+		}
+	}
+
+	// Warm repeat, pooled this time: zero engine runs, every job a hit.
+	warm, err := Sweep(context.Background(), spec, BatchOptions{Cache: cache, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("job counts differ: %d vs %d", len(warm), len(cold))
+	}
+	for i := range warm {
+		if !warm[i].Cached {
+			t.Errorf("warm job %d (%s) was re-simulated", i, warm[i].Name)
+		}
+		sameResult(t, "warm vs cold", cold[i], warm[i])
+		if warm[i].Stats != cold[i].Stats {
+			t.Errorf("warm job %d: engine stats differ from cold run", i)
+		}
+	}
+	st := cache.Stats()
+	if int(st.Hits) != len(warm) {
+		t.Errorf("cache hits = %d, want %d (one per job)", st.Hits, len(warm))
+	}
+	if int(st.Misses) != len(cold) {
+		t.Errorf("cache misses = %d, want %d (cold pass only)", st.Misses, len(cold))
+	}
+	sum := SummarizeBatch(warm)
+	if sum.CacheHits != len(warm) {
+		t.Errorf("Summary.CacheHits = %d, want %d", sum.CacheHits, len(warm))
+	}
+}
+
+func TestEnsembleSummaryDeterministicAcrossExecution(t *testing.T) {
+	spec := ensembleSweepSpec()
+	serialRes, err := Sweep(context.Background(), spec, BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooledRes, err := Sweep(context.Background(), spec, BatchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, pooled := Ensembles(serialRes), Ensembles(pooledRes)
+	if len(serial) != 2 || len(pooled) != 2 {
+		t.Fatalf("point counts: serial %d pooled %d, want 2", len(serial), len(pooled))
+	}
+	for i := range serial {
+		s, p := serial[i], pooled[i]
+		if s.N != 8 {
+			t.Errorf("point %q aggregates %d seeds, want 8", s.Group, s.N)
+		}
+		if s.Variance <= 0 || s.CI95 <= 0 {
+			t.Errorf("point %q: degenerate statistics (variance %g, CI %g) — seeds not distinct?",
+				s.Group, s.Variance, s.CI95)
+		}
+		if s.Group != p.Group || s.Mean != p.Mean || s.Variance != p.Variance || s.CI95 != p.CI95 {
+			t.Errorf("point %d not bit-identical across serial/pooled:\n%+v\n%+v", i, s, p)
+		}
+	}
+	if EnsembleTable(serial) != EnsembleTable(pooled) {
+		t.Error("rendered ensemble tables differ across execution modes")
+	}
+}

@@ -7,6 +7,24 @@
 // simulation state is shared between goroutines (the only shared data
 // are read-only PWL tables). Results come back in job order regardless
 // of scheduling, which makes pooled runs bit-identical to serial ones.
+//
+// # Determinism contract
+//
+// A job's Result is a pure function of its identity — (Config, scenario
+// schedule, engine kind, decimation, settle fraction, metric): equal
+// identities produce bit-identical Results whether executed serially,
+// across the pool, on recycled workspaces, or in a different process.
+// The root determinism test suite pins this. Two layers build on it:
+//
+//   - the content-addressed result Cache (Options.Cache) keys Results by
+//     a collision-safe hash of the job identity (KeyOf) and serves
+//     repeat jobs without simulating — refinement sweeps that revisit
+//     the argmax region become nearly free;
+//   - seed-ensemble statistics (SeedAxis, Ensembles, EnsembleTop,
+//     EnsembleTable) expand a sweep over stochastic-excitation seeds and
+//     reduce each design point's realisations to mean / variance /
+//     confidence-interval power estimates, turning single-draw numbers
+//     into honest expectations.
 package batch
 
 import (
@@ -31,6 +49,25 @@ type Job struct {
 	Scenario harvester.Scenario
 	Engine   harvester.EngineKind
 	Decimate int // trace decimation; 0 = DefaultDecimate, 1 = keep all
+
+	// Group identifies the design point this job belongs to when a sweep
+	// carries an ensemble (seed) axis: all realisations of one point
+	// share a Group, and the ensemble reductions (Ensembles, EnsembleTop)
+	// aggregate over it. SweepSpec.Jobs fills it in; hand-built job lists
+	// may set it directly. Empty means "group by Name".
+	Group string
+
+	// Seed is the realisation label a SeedAxis stamped on this job
+	// (informational; the physical seed lives wherever the axis setter
+	// put it, normally Config.VibNoise.Seed).
+	Seed uint64
+
+	// MetricKey declares that the job's Metric closure is a pure,
+	// deterministic function of the run, identified by this label, which
+	// then enters the cache key. Jobs with a Metric but no MetricKey are
+	// never cached: a closure is opaque, so the cache must assume it
+	// differs between runs. Ignored when Metric is nil.
+	MetricKey string
 
 	// Probe, when set, is called after the engine is built and before it
 	// runs — the hook for attaching extra observers (custom recorders,
@@ -123,6 +160,12 @@ type Result struct {
 	Energy     harvester.Energy
 	Stats      EngineStats
 
+	// Cached marks a result served from Options.Cache without running an
+	// engine. Every other field above is bit-identical to what a fresh
+	// run would have produced (Elapsed, which is wall time, is the
+	// lookup cost instead of the simulation cost).
+	Cached bool
+
 	// Harvester and Engine are retained only under Options.Keep — a
 	// thousand-job sweep must not pin a thousand trace sets.
 	Harvester *harvester.Harvester
@@ -144,6 +187,13 @@ type Options struct {
 	// job allocates its Jacobian and engine storage afresh — the PR 1
 	// behaviour, kept for A/B benchmarking of the reuse path.
 	NoWorkspaceReuse bool
+
+	// Cache, when set, serves cacheable jobs (see Cacheable) from the
+	// content-addressed result store instead of simulating, and stores
+	// every fresh successful result back. The cache is shared across the
+	// worker pool and across Run calls; because a run is a pure function
+	// of its job identity, a hit is bit-identical to the run it elides.
+	Cache *Cache
 }
 
 // EffectiveWorkers resolves the pool size the options select: Workers
@@ -247,18 +297,41 @@ func jobName(job Job) string {
 	return job.Scenario.Name
 }
 
-// runOne assembles, runs and summarises a single job. With a pool, the
+// runOne resolves a single job: from the result cache when the options
+// carry one and the job is cacheable, otherwise by a fresh simulation
+// (whose successful result is then stored back).
+func runOne(idx int, job Job, opt Options, pool *core.WorkspacePool) Result {
+	res := Result{Index: idx, Name: jobName(job), Job: job}
+	if c := opt.Cache; c != nil && Cacheable(job, opt) {
+		start := time.Now()
+		key := KeyOf(job, opt)
+		if snap, ok := c.Get(key); ok {
+			snap.fill(&res)
+			res.Cached = true
+			res.Elapsed = time.Since(start)
+			return res
+		}
+		runFresh(&res, job, opt, pool)
+		if res.Err == nil {
+			c.Put(key, snapshotOf(res))
+		}
+		return res
+	}
+	runFresh(&res, job, opt, pool)
+	return res
+}
+
+// runFresh assembles, runs and summarises a single job. With a pool, the
 // harvester's Jacobian and engine storage comes from recycled same-shape
 // workspaces and is handed back after metric extraction (unless the
 // caller keeps the harvester), amortising assembly across a sweep.
-func runOne(idx int, job Job, opt Options, pool *core.WorkspacePool) Result {
-	res := Result{Index: idx, Name: jobName(job), Job: job}
+func runFresh(res *Result, job Job, opt Options, pool *core.WorkspacePool) {
 	start := time.Now()
 	h, err := harvester.AssembleWith(job.Scenario, pool)
 	if err != nil {
 		res.Err = err
 		res.Elapsed = time.Since(start)
-		return res
+		return
 	}
 	dec := job.Decimate
 	if dec == 0 {
@@ -272,7 +345,7 @@ func runOne(idx int, job Job, opt Options, pool *core.WorkspacePool) Result {
 		res.Err = err
 		res.Elapsed = time.Since(start)
 		h.Release()
-		return res
+		return
 	}
 	res.Elapsed = time.Since(start)
 
@@ -296,5 +369,4 @@ func runOne(idx int, job Job, opt Options, pool *core.WorkspacePool) Result {
 		// back to the worker's pool for the next same-shape job.
 		h.Release()
 	}
-	return res
 }

@@ -1,0 +1,312 @@
+package batch
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"harvsim/internal/harvester"
+)
+
+// cacheScenario is a short deterministic workload for cache tests.
+func cacheScenario() harvester.Scenario {
+	sc := harvester.ChargeScenario(0.25)
+	sc.Cfg.InitialVc = 2.5
+	return sc
+}
+
+// samePhysics asserts every cacheable Result field is bit-identical.
+func samePhysics(t *testing.T, label string, a, b Result) {
+	t.Helper()
+	if a.Err != nil || b.Err != nil {
+		t.Fatalf("%s: run failed: %v / %v", label, a.Err, b.Err)
+	}
+	if a.FinalVc != b.FinalVc || a.RMSPower != b.RMSPower ||
+		a.MeanPower != b.MeanPower || a.Metric != b.Metric {
+		t.Errorf("%s: scalar metrics differ: %+v vs %+v", label,
+			[4]float64{a.FinalVc, a.RMSPower, a.MeanPower, a.Metric},
+			[4]float64{b.FinalVc, b.RMSPower, b.MeanPower, b.Metric})
+	}
+	if a.Energy != b.Energy {
+		t.Errorf("%s: Energy %+v vs %+v", label, a.Energy, b.Energy)
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("%s: Stats %+v vs %+v", label, a.Stats, b.Stats)
+	}
+	if len(a.FinalState) != len(b.FinalState) {
+		t.Fatalf("%s: state length %d vs %d", label, len(a.FinalState), len(b.FinalState))
+	}
+	for i := range a.FinalState {
+		if a.FinalState[i] != b.FinalState[i] {
+			t.Errorf("%s: state[%d] %v vs %v", label, i, a.FinalState[i], b.FinalState[i])
+		}
+	}
+}
+
+// TestCacheHitBitIdenticalAllEngines pins the core cache promise on all
+// four engines: a warm hit returns a Result bit-identical to a fresh,
+// cache-free run.
+func TestCacheHitBitIdenticalAllEngines(t *testing.T) {
+	kinds := []harvester.EngineKind{
+		harvester.Proposed, harvester.ExistingTrap,
+		harvester.ExistingBDF2, harvester.ExistingBE,
+	}
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			job := Job{Scenario: cacheScenario(), Engine: kind}
+			fresh := RunSerial([]Job{job}, Options{})[0]
+
+			c := NewCache(8)
+			cold := RunSerial([]Job{job}, Options{Cache: c})[0]
+			if cold.Cached {
+				t.Fatal("cold run claims to be cached")
+			}
+			warm := RunSerial([]Job{job}, Options{Cache: c})[0]
+			if !warm.Cached {
+				t.Fatal("warm run missed the cache")
+			}
+			samePhysics(t, "cold vs fresh", cold, fresh)
+			samePhysics(t, "warm vs fresh", warm, fresh)
+			st := c.Stats()
+			if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+				t.Errorf("counters hits/misses/entries = %d/%d/%d, want 1/1/1",
+					st.Hits, st.Misses, st.Entries)
+			}
+		})
+	}
+}
+
+// TestCacheKeyDiscriminates: every knob outside Config that changes the
+// Result must change the key, and pure labels must not.
+func TestCacheKeyDiscriminates(t *testing.T) {
+	base := Job{Scenario: cacheScenario(), Engine: harvester.Proposed}
+	baseKey := KeyOf(base, Options{})
+
+	change := map[string]func() (Job, Options){
+		"engine":     func() (Job, Options) { j := base; j.Engine = harvester.ExistingTrap; return j, Options{} },
+		"decimate":   func() (Job, Options) { j := base; j.Decimate = 1; return j, Options{} },
+		"settleFrac": func() (Job, Options) { return base, Options{SettleFrac: 0.5} },
+		"metricKey": func() (Job, Options) {
+			j := base
+			j.Metric = func(*harvester.Harvester, harvester.Engine) float64 { return 0 }
+			j.MetricKey = "custom"
+			return j, Options{}
+		},
+		"duration": func() (Job, Options) {
+			j := base
+			j.Scenario = cacheScenario()
+			j.Scenario.Duration *= 2
+			return j, Options{}
+		},
+		"noise seed": func() (Job, Options) {
+			j := base
+			j.Scenario = harvester.NoiseScenario(0.25, 55, 85, 3)
+			return j, Options{}
+		},
+	}
+	for name, f := range change {
+		j, o := f()
+		if KeyOf(j, o) == baseKey {
+			t.Errorf("changing %s does not change the cache key", name)
+		}
+	}
+
+	same := map[string]func() (Job, Options){
+		"job name":   func() (Job, Options) { j := base; j.Name = "other"; return j, Options{} },
+		"group":      func() (Job, Options) { j := base; j.Group = "g"; return j, Options{} },
+		"seed label": func() (Job, Options) { j := base; j.Seed = 99; return j, Options{} },
+		"metricKey, nil Metric": func() (Job, Options) {
+			j := base
+			j.MetricKey = "ignored-without-closure"
+			return j, Options{}
+		},
+		"scenario name":    func() (Job, Options) { j := base; j.Scenario.Name = "zzz"; return j, Options{} },
+		"default decimate": func() (Job, Options) { j := base; j.Decimate = DefaultDecimate; return j, Options{} },
+		"workers":          func() (Job, Options) { return base, Options{Workers: 7} },
+	}
+	for name, f := range same {
+		j, o := f()
+		if KeyOf(j, o) != baseKey {
+			t.Errorf("changing %s (a pure label) changed the cache key", name)
+		}
+	}
+}
+
+func TestCacheableRules(t *testing.T) {
+	job := Job{Scenario: cacheScenario(), Engine: harvester.Proposed}
+	if !Cacheable(job, Options{}) {
+		t.Error("plain job should be cacheable")
+	}
+	if Cacheable(job, Options{Keep: true}) {
+		t.Error("Keep retains live engines; must bypass the cache")
+	}
+	probed := job
+	probed.Probe = func(*harvester.Harvester, harvester.Engine) {}
+	if Cacheable(probed, Options{}) {
+		t.Error("Probe has side effects; must bypass the cache")
+	}
+	metric := job
+	metric.Metric = func(*harvester.Harvester, harvester.Engine) float64 { return 0 }
+	if Cacheable(metric, Options{}) {
+		t.Error("opaque Metric closure must bypass the cache")
+	}
+	metric.MetricKey = "declared-pure"
+	if !Cacheable(metric, Options{}) {
+		t.Error("Metric with MetricKey should be cacheable")
+	}
+}
+
+// TestCacheKeepAndProbeBypass verifies uncacheable jobs run fresh even
+// with a primed cache.
+func TestCacheKeepAndProbeBypass(t *testing.T) {
+	c := NewCache(8)
+	job := Job{Scenario: cacheScenario(), Engine: harvester.Proposed}
+	RunSerial([]Job{job}, Options{Cache: c}) // prime
+
+	kept := RunSerial([]Job{job}, Options{Cache: c, Keep: true})[0]
+	if kept.Cached || kept.Harvester == nil {
+		t.Errorf("Keep run: cached=%v harvester=%v; want fresh run with live harvester",
+			kept.Cached, kept.Harvester != nil)
+	}
+	probed := job
+	ran := false
+	probed.Probe = func(*harvester.Harvester, harvester.Engine) { ran = true }
+	pr := RunSerial([]Job{probed}, Options{Cache: c})[0]
+	if pr.Cached || !ran {
+		t.Errorf("Probe run: cached=%v probeRan=%v; want fresh run with probe", pr.Cached, ran)
+	}
+}
+
+// TestDiskCacheWarmAcrossInstances: a second cache instance over the
+// same directory serves the first instance's results, bit-identically.
+func TestDiskCacheWarmAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	job := Job{Scenario: cacheScenario(), Engine: harvester.Proposed}
+
+	c1, err := NewDiskCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := RunSerial([]Job{job}, Options{Cache: c1})[0]
+
+	c2, err := NewDiskCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := RunSerial([]Job{job}, Options{Cache: c2})[0]
+	if !second.Cached {
+		t.Fatal("fresh cache instance over a warm directory missed")
+	}
+	samePhysics(t, "cross-instance disk hit", second, first)
+	st := c2.Stats()
+	if st.DiskHits != 1 || st.Hits != 1 {
+		t.Errorf("disk hit counters: %+v", st)
+	}
+}
+
+// TestDiskCacheIgnoresCorruptAndStale: corrupted files and entries from
+// another schema version are counted stale, never served, and the job
+// re-runs (then self-heals the store).
+func TestDiskCacheIgnoresCorruptAndStale(t *testing.T) {
+	job := Job{Scenario: cacheScenario(), Engine: harvester.Proposed}
+	fresh := RunSerial([]Job{job}, Options{})[0]
+	key := KeyOf(job, Options{})
+
+	corruptions := map[string]string{
+		"garbage":      "{not json",
+		"wrong schema": `{"schema":"harvsim-result-cache/v0","goarch":"` + runtime.GOARCH + `","key":"` + key.String() + `","result":{"final_vc":99}}`,
+		"wrong arch":   `{"schema":"` + cacheSchema + `","goarch":"never-an-arch","key":"` + key.String() + `","result":{"final_vc":99}}`,
+		"wrong key":    `{"schema":"` + cacheSchema + `","goarch":"` + runtime.GOARCH + `","key":"deadbeef","result":{"final_vc":99}}`,
+	}
+	for name, contents := range corruptions {
+		t.Run(strings.ReplaceAll(name, " ", "-"), func(t *testing.T) {
+			dir := t.TempDir()
+			c, err := NewDiskCache(8, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := c.entryPath(key)
+			if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got := RunSerial([]Job{job}, Options{Cache: c})[0]
+			if got.Cached {
+				t.Fatal("corrupt/stale disk entry was served")
+			}
+			samePhysics(t, "re-run after stale entry", got, fresh)
+			if st := c.Stats(); st.Stale != 1 {
+				t.Errorf("stale counter = %d, want 1", st.Stale)
+			}
+			// The fresh result must have replaced the bad entry.
+			c2, err := NewDiskCache(8, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			healed := RunSerial([]Job{job}, Options{Cache: c2})[0]
+			if !healed.Cached {
+				t.Error("store did not self-heal after stale entry")
+			}
+		})
+	}
+}
+
+// TestCacheConcurrentPooledSharing: many workers sharing one cache over
+// duplicate jobs stay race-free (run under -race in CI) and a repeat
+// pooled run is served entirely from the cache.
+func TestCacheConcurrentPooledSharing(t *testing.T) {
+	c := NewCache(64)
+	var jobs []Job
+	for i := 0; i < 12; i++ {
+		sc := cacheScenario()
+		// three distinct physics identities, four duplicates of each
+		sc.Cfg.Dickson.Stages = 3 + i%3
+		jobs = append(jobs, Job{Scenario: sc, Engine: harvester.Proposed})
+	}
+	first := Run(context.Background(), jobs, Options{Workers: 8, Cache: c})
+	for i, r := range first {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+	}
+	// Duplicates must agree bit-for-bit whether they hit or simulated.
+	for i := 3; i < len(first); i++ {
+		samePhysics(t, "duplicate job", first[i], first[i%3])
+	}
+	second := Run(context.Background(), jobs, Options{Workers: 8, Cache: c})
+	for i, r := range second {
+		if !r.Cached {
+			t.Errorf("repeat pooled job %d missed the warm cache", i)
+		}
+		samePhysics(t, "warm pooled", r, first[i])
+	}
+	if st := c.Stats(); st.Entries != 3 {
+		t.Errorf("expected 3 distinct entries, got %d", st.Entries)
+	}
+}
+
+// TestCacheLRUEviction: the in-memory store is bounded and evicts least
+// recently used.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	k := func(b byte) CacheKey { var k CacheKey; k[0] = b; return k }
+	c.Put(k(1), Snapshot{FinalVc: 1})
+	c.Put(k(2), Snapshot{FinalVc: 2})
+	if _, ok := c.Get(k(1)); !ok { // touch 1: now 2 is LRU
+		t.Fatal("entry 1 missing before eviction")
+	}
+	c.Put(k(3), Snapshot{FinalVc: 3}) // evicts 2
+	if _, ok := c.Get(k(2)); ok {
+		t.Error("LRU entry 2 was not evicted")
+	}
+	if _, ok := c.Get(k(1)); !ok {
+		t.Error("recently used entry 1 was evicted")
+	}
+	if _, ok := c.Get(k(3)); !ok {
+		t.Error("newest entry 3 missing")
+	}
+	if st := c.Stats(); st.Entries != 2 {
+		t.Errorf("entries = %d, want 2", st.Entries)
+	}
+}

@@ -1,0 +1,188 @@
+package batch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Seeds derives n realisation seeds from a base seed — the repo's one
+// seed-derivation rule (documented in DESIGN.md): seed_i is the i-th
+// output of a splitmix64 generator initialised with base. The mapping is
+// a bijective mix at every step, so distinct bases give statistically
+// unrelated streams, nearby bases do not give nearby seeds, and the
+// expansion is reproducible anywhere (a shard or a cache on another
+// machine derives the identical job identities from (base, n)).
+func Seeds(base uint64, n int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	state := base
+	for i := range out {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		z *= 0x94D049BB133111EB
+		z ^= z >> 31
+		out[i] = z
+	}
+	return out
+}
+
+// EnsemblePoint is one design point's reduction over its seed
+// realisations: the sample mean, unbiased sample variance and the 95%
+// confidence half-width of the per-realisation Metric. Realisations are
+// accumulated in job order, so the reduction is deterministic across
+// serial and pooled execution (both return results in job order).
+type EnsemblePoint struct {
+	Group   string // shared Job.Group (or Name) of the realisations
+	Indices []int  // result indices of the members, in job order
+	N       int    // successful realisations
+	Failed  int    // failed realisations (excluded from the statistics)
+
+	Mean     float64 // sample mean of Metric over the N realisations
+	Variance float64 // unbiased (n-1) sample variance of Metric
+	// CI95 is the 95% confidence half-width of the mean under the
+	// Student-t model: t_{0.975, N-1} * sqrt(Variance/N). Zero when
+	// N < 2. The interval is Mean ± CI95.
+	CI95 float64
+
+	MeanVc float64 // sample mean of the final supercap voltage
+}
+
+// tCrit95 returns the two-sided 95% Student-t critical value for df
+// degrees of freedom (exact table for df <= 30, the normal-limit 1.960
+// beyond — ~3.9% under the exact 2.0395 at df 31, converging upward).
+func tCrit95(df int) float64 {
+	table := [...]float64{
+		1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+		6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+		11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+		16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+		21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+		26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+	}
+	if df < 1 {
+		return 0
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.960
+}
+
+// Ensembles groups results by Job.Group (falling back to Name) and
+// reduces each group, preserving first-occurrence order. With a
+// SeedAxis-expanded sweep each group is one design point and each member
+// one seed realisation; without ensemble axes every group has one
+// member (variance and CI are zero) so the reduction degrades
+// gracefully to the per-job view.
+func Ensembles(results []Result) []EnsemblePoint {
+	order := make([]string, 0)
+	byGroup := map[string]*EnsemblePoint{}
+	for i, r := range results {
+		g := r.Job.Group
+		if g == "" {
+			g = r.Name
+		}
+		p, ok := byGroup[g]
+		if !ok {
+			p = &EnsemblePoint{Group: g}
+			byGroup[g] = p
+			order = append(order, g)
+		}
+		p.Indices = append(p.Indices, i)
+		if r.Err != nil {
+			p.Failed++
+		}
+	}
+	points := make([]EnsemblePoint, 0, len(order))
+	for _, g := range order {
+		p := byGroup[g]
+		reduce(p, results)
+		points = append(points, *p)
+	}
+	return points
+}
+
+// reduce fills a point's statistics from its members using the two-pass
+// mean/variance algorithm (numerically stable, and summed in fixed job
+// order for determinism).
+func reduce(p *EnsemblePoint, results []Result) {
+	var sum, sumVc float64
+	for _, i := range p.Indices {
+		if results[i].Err != nil {
+			continue
+		}
+		p.N++
+		sum += results[i].Metric
+		sumVc += results[i].FinalVc
+	}
+	if p.N == 0 {
+		return
+	}
+	n := float64(p.N)
+	p.Mean = sum / n
+	p.MeanVc = sumVc / n
+	if p.N < 2 {
+		return
+	}
+	var ss float64
+	for _, i := range p.Indices {
+		if results[i].Err != nil {
+			continue
+		}
+		d := results[i].Metric - p.Mean
+		ss += d * d
+	}
+	p.Variance = ss / (n - 1)
+	p.CI95 = tCrit95(p.N-1) * math.Sqrt(p.Variance/n)
+}
+
+// EnsembleTop returns the k points with the largest ensemble Mean, in
+// descending order (ties broken by first member index, so the ranking
+// is deterministic). Points with no successful member rank last.
+func EnsembleTop(points []EnsemblePoint, k int) []EnsemblePoint {
+	out := append([]EnsemblePoint(nil), points...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if (out[i].N > 0) != (out[j].N > 0) {
+			return out[i].N > 0
+		}
+		if out[i].Mean != out[j].Mean {
+			return out[i].Mean > out[j].Mean
+		}
+		return out[i].Indices[0] < out[j].Indices[0]
+	})
+	if k < 0 {
+		k = 0
+	}
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// EnsembleTable renders ensemble points as a fixed-width table: rank,
+// group, ensemble mean with its 95% CI half-width, sample standard
+// deviation, realisation count and mean final voltage.
+func EnsembleTable(points []EnsemblePoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-40s %12s %12s %10s %6s %10s\n",
+		"#", "group", "mean", "ci95", "stddev", "n", "mean Vc")
+	for i, p := range points {
+		if p.N == 0 {
+			fmt.Fprintf(&b, "%-4d %-40s all %d realisations failed\n", i+1, p.Group, p.Failed)
+			continue
+		}
+		fmt.Fprintf(&b, "%-4d %-40s %12.5g %12.3g %10.3g %6d %10.4f\n",
+			i+1, p.Group, p.Mean, p.CI95, math.Sqrt(p.Variance), p.N, p.MeanVc)
+		if p.Failed > 0 {
+			fmt.Fprintf(&b, "     %-40s (%d failed realisations excluded)\n", "", p.Failed)
+		}
+	}
+	return b.String()
+}

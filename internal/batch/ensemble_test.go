@@ -1,0 +1,177 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"harvsim/internal/harvester"
+)
+
+func TestSeedsDerivation(t *testing.T) {
+	a := Seeds(42, 8)
+	b := Seeds(42, 8)
+	if len(a) != 8 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Seeds is not deterministic")
+		}
+	}
+	seen := map[uint64]bool{}
+	for _, s := range append(a, Seeds(43, 8)...) {
+		if seen[s] {
+			t.Fatalf("duplicate seed %d across bases 42/43", s)
+		}
+		seen[s] = true
+	}
+	if Seeds(1, 0) != nil || Seeds(1, -3) != nil {
+		t.Error("non-positive n should return nil")
+	}
+}
+
+// TestSeedAxisGrouping: the expansion names jobs with the seed label but
+// groups them by design point only.
+func TestSeedAxisGrouping(t *testing.T) {
+	base := harvester.NoiseScenario(0.5, 55, 85, 0)
+	spec := SweepSpec{
+		Base: Job{Name: "ens", Scenario: base, Engine: harvester.Proposed},
+		Axes: []Axis{
+			IntAxis("stages", []int{3, 5}, func(j *Job, n int) { j.Scenario.Cfg.Dickson.Stages = n }),
+			SeedAxis("seed", Seeds(7, 3), func(j *Job, s uint64) { j.Scenario.Cfg.VibNoise.Seed = s }),
+		},
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 6 {
+		t.Fatalf("expanded %d jobs, want 6", len(jobs))
+	}
+	groups := map[string]int{}
+	for _, j := range jobs {
+		if !strings.Contains(j.Name, "seed=") {
+			t.Errorf("job name %q lacks the seed label", j.Name)
+		}
+		if strings.Contains(j.Group, "seed=") {
+			t.Errorf("group %q contains the ensemble label", j.Group)
+		}
+		if !strings.Contains(j.Group, "stages=") {
+			t.Errorf("group %q lacks the design label", j.Group)
+		}
+		if j.Seed == 0 || j.Scenario.Cfg.VibNoise.Seed != j.Seed {
+			t.Errorf("job %q: Seed label %d vs config seed %d", j.Name, j.Seed, j.Scenario.Cfg.VibNoise.Seed)
+		}
+		groups[j.Group]++
+	}
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2: %v", len(groups), groups)
+	}
+	for g, n := range groups {
+		if n != 3 {
+			t.Errorf("group %q has %d realisations, want 3", g, n)
+		}
+	}
+}
+
+// TestEnsembleStatistics checks the estimators on hand-computable
+// synthetic results: mean, unbiased variance, Student-t CI, failure
+// exclusion and single-member degradation.
+func TestEnsembleStatistics(t *testing.T) {
+	mk := func(group string, metric, vc float64, err error) Result {
+		return Result{Job: Job{Group: group}, Metric: metric, FinalVc: vc, Err: err}
+	}
+	results := []Result{
+		mk("g1", 1, 2.0, nil),
+		mk("g2", 10, 3.0, nil),
+		mk("g1", 2, 2.2, nil),
+		mk("g1", 3, 2.4, nil),
+		mk("g1", 999, 9.9, errors.New("boom")), // excluded
+	}
+	points := Ensembles(results)
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	g1 := points[0]
+	if g1.Group != "g1" || g1.N != 3 || g1.Failed != 1 {
+		t.Fatalf("g1 = %+v", g1)
+	}
+	if g1.Mean != 2 {
+		t.Errorf("g1 mean = %v, want 2", g1.Mean)
+	}
+	if g1.Variance != 1 {
+		t.Errorf("g1 variance = %v, want 1 (unbiased)", g1.Variance)
+	}
+	wantCI := 4.303 * math.Sqrt(1.0/3.0) // t_{0.975,2} * sqrt(s^2/n)
+	if math.Abs(g1.CI95-wantCI) > 1e-12 {
+		t.Errorf("g1 CI95 = %v, want %v", g1.CI95, wantCI)
+	}
+	if want := (2.0 + 2.2 + 2.4) / 3; math.Abs(g1.MeanVc-want) > 1e-15 {
+		t.Errorf("g1 MeanVc = %v, want %v", g1.MeanVc, want)
+	}
+	g2 := points[1]
+	if g2.N != 1 || g2.Mean != 10 || g2.Variance != 0 || g2.CI95 != 0 {
+		t.Errorf("single-member g2 = %+v", g2)
+	}
+}
+
+func TestEnsembleTopOrdering(t *testing.T) {
+	mk := func(group string, metric float64) Result {
+		return Result{Job: Job{Group: group}, Metric: metric}
+	}
+	results := []Result{
+		mk("lo", 1), mk("hi", 9), mk("mid", 5),
+		{Job: Job{Group: "dead"}, Err: errors.New("x")},
+	}
+	top := EnsembleTop(Ensembles(results), 10)
+	order := []string{"hi", "mid", "lo", "dead"}
+	for i, want := range order {
+		if top[i].Group != want {
+			t.Fatalf("rank %d = %q, want %q", i, top[i].Group, want)
+		}
+	}
+	if got := EnsembleTop(Ensembles(results), 2); len(got) != 2 {
+		t.Errorf("k=2 returned %d points", len(got))
+	}
+	table := EnsembleTable(top)
+	if !strings.Contains(table, "hi") || !strings.Contains(table, "all 1 realisations failed") {
+		t.Errorf("table rendering missing expected rows:\n%s", table)
+	}
+}
+
+// TestEnsembleSerialPooledIdentical: the ensemble reduction of a real
+// stochastic sweep is bit-identical between serial and pooled execution
+// — the reduction runs in job order over bit-identical results.
+func TestEnsembleSerialPooledIdentical(t *testing.T) {
+	base := harvester.NoiseScenario(0.4, 55, 85, 0)
+	base.Cfg.VibNoise.RMS = 2
+	spec := SweepSpec{
+		Base: Job{Name: "ens", Scenario: base, Engine: harvester.Proposed},
+		Axes: []Axis{
+			IntAxis("stages", []int{3, 5}, func(j *Job, n int) { j.Scenario.Cfg.Dickson.Stages = n }),
+			SeedAxis("seed", Seeds(42, 4), func(j *Job, s uint64) { j.Scenario.Cfg.VibNoise.Seed = s }),
+		},
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := Ensembles(RunSerial(jobs, Options{}))
+	pooled := Ensembles(Run(context.Background(), jobs, Options{Workers: 4}))
+	if len(serial) != len(pooled) || len(serial) != 2 {
+		t.Fatalf("point counts: serial %d pooled %d", len(serial), len(pooled))
+	}
+	for i := range serial {
+		s, p := serial[i], pooled[i]
+		if s.Group != p.Group || s.N != p.N ||
+			s.Mean != p.Mean || s.Variance != p.Variance || s.CI95 != p.CI95 || s.MeanVc != p.MeanVc {
+			t.Errorf("point %d differs:\nserial %+v\npooled %+v", i, s, p)
+		}
+		if s.N != 4 || s.Variance <= 0 || s.CI95 <= 0 {
+			t.Errorf("point %d: degenerate ensemble statistics %+v", i, s)
+		}
+	}
+}

@@ -24,6 +24,11 @@ type Summary struct {
 	ArgMinMetric, ArgMaxMetric int // indices into the results slice; -1 if none
 	MinVc, MaxVc               float64
 	TotalSteps                 int
+
+	// CacheHits counts results served from Options.Cache (Result.Cached)
+	// without running an engine; CacheHits == Jobs means the whole batch
+	// was warm and did zero simulation work.
+	CacheHits int
 }
 
 // Summarize reduces a result slice.
@@ -36,6 +41,9 @@ func Summarize(results []Result) Summary {
 	}
 	for i, r := range results {
 		s.CPUTime += r.Elapsed
+		if r.Cached {
+			s.CacheHits++
+		}
 		if r.Err != nil {
 			s.Failed++
 			continue
@@ -62,6 +70,9 @@ func (s Summary) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "jobs %d  failed %d  steps %d  summed job time %v\n",
 		s.Jobs, s.Failed, s.TotalSteps, s.CPUTime.Round(time.Millisecond))
+	if s.CacheHits > 0 {
+		fmt.Fprintf(&b, "cache hits %d/%d\n", s.CacheHits, s.Jobs)
+	}
 	if s.ArgMaxMetric >= 0 {
 		fmt.Fprintf(&b, "metric  min %.4g (#%d)  max %.4g (#%d)\n",
 			s.MinMetric, s.ArgMinMetric, s.MaxMetric, s.ArgMaxMetric)

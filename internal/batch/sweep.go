@@ -25,6 +25,13 @@ type Point struct {
 type Axis struct {
 	Name   string
 	Points []Point
+
+	// Ensemble marks a statistical axis (seed realisations of one design
+	// point, see SeedAxis) rather than a design axis. Job names still
+	// include its label, but SweepSpec.Jobs builds each job's Group from
+	// the design axes only, so the ensemble reductions (Ensembles,
+	// EnsembleTop, EnsembleTable) can aggregate realisations per point.
+	Ensemble bool
 }
 
 // FloatAxis sweeps a float-valued knob.
@@ -48,6 +55,26 @@ func IntAxis(name string, values []int, set func(j *Job, v int)) Axis {
 		ax.Points = append(ax.Points, Point{
 			Label: strconv.Itoa(v),
 			Apply: func(j *Job) { set(j, v) },
+		})
+	}
+	return ax
+}
+
+// SeedAxis sweeps noise-realisation seeds as an ensemble axis: each
+// point stamps Job.Seed and hands the seed to set (which typically
+// writes Config.VibNoise.Seed). Jobs expanded from it carry the same
+// Group per design point, which is what the ensemble reductions group
+// by. Derive the seed list with Seeds for the documented base-seed rule.
+func SeedAxis(name string, seeds []uint64, set func(j *Job, seed uint64)) Axis {
+	ax := Axis{Name: name, Ensemble: true}
+	for _, s := range seeds {
+		s := s
+		ax.Points = append(ax.Points, Point{
+			Label: strconv.FormatUint(s, 10),
+			Apply: func(j *Job) {
+				j.Seed = s
+				set(j, s)
+			},
 		})
 	}
 	return ax
@@ -85,7 +112,9 @@ func (s SweepSpec) Size() int {
 
 // Jobs expands the sweep into its job list. Each job gets a deep-cloned
 // Scenario (no Shifts/Chirp aliasing with the base or its siblings) and
-// a name of the form "base[axis=label ...]".
+// a name of the form "base[axis=label ...]". Job.Group is the same name
+// built from the design (non-Ensemble) axes only, so every realisation
+// an ensemble axis spawns for one design point shares its Group.
 func (s SweepSpec) Jobs() ([]Job, error) {
 	for _, ax := range s.Axes {
 		if len(ax.Points) == 0 {
@@ -98,14 +127,21 @@ func (s SweepSpec) Jobs() ([]Job, error) {
 	for {
 		job := s.Base
 		job.Scenario = s.Base.Scenario.Clone()
-		var labels []string
+		var labels, groupLabels []string
 		for a, ax := range s.Axes {
 			pt := ax.Points[idx[a]]
 			pt.Apply(&job)
 			labels = append(labels, ax.Name+"="+pt.Label)
+			if !ax.Ensemble {
+				groupLabels = append(groupLabels, ax.Name+"="+pt.Label)
+			}
 		}
 		if len(labels) > 0 {
 			job.Name = base + "[" + strings.Join(labels, " ") + "]"
+		}
+		job.Group = base
+		if len(groupLabels) > 0 {
+			job.Group = base + "[" + strings.Join(groupLabels, " ") + "]"
 		}
 		jobs = append(jobs, job)
 		// Odometer increment, last axis fastest.

@@ -12,6 +12,13 @@
 // variables, with both a piecewise-linearised view (for the proposed
 // explicit engine) and exact nonlinear residuals (for the Newton-Raphson
 // baselines).
+//
+// Blocks carry no hidden nondeterminism: construction from equal
+// parameter values yields bit-identical behaviour, and the stochastic
+// vibration component is a pure function of its NoiseSpec (seeded
+// spectral synthesis, no shared generator state) — the block-level half
+// of the determinism contract the harvester package promises and the
+// batch layer's result cache depends on.
 package blocks
 
 import (

@@ -5,6 +5,19 @@
 // tuning actuator and the autonomous microcontroller process — wired to
 // either the proposed explicit linearised state-space engine or the
 // Newton-Raphson implicit baselines.
+//
+// # Determinism contract
+//
+// A Config (plus a Scenario's schedule and solver/engine selection) is
+// a complete value-typed description of a run: equal configs produce
+// bit-identical trajectories, traces and energy accounting, no matter
+// how the run executes — freshly assembled, Reset and re-run, on a
+// recycled workspace, serially or inside the concurrent batch pool.
+// Stochastic excitation keeps the contract because a noise realisation
+// is a pure function of its spec (see blocks.NoiseSpec). The root
+// determinism test suite pins all of this; Scenario.WriteHash turns the
+// identity into the canonical content hash the batch layer's result
+// cache is keyed on.
 package harvester
 
 import (

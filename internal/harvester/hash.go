@@ -1,0 +1,182 @@
+package harvester
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+
+	"harvsim/internal/pwl"
+)
+
+// This file defines the stable content hash of a scenario — the job
+// identity the batch layer's result cache is keyed on. The encoding is
+// canonical and collision-safe by construction:
+//
+//   - every value is prefixed with a kind tag, so values of different
+//     kinds can never collide;
+//   - all variable-length data (strings, slices, struct field sets) is
+//     length- or name-prefixed, so concatenation ambiguities cannot
+//     arise;
+//   - structs contribute their type name and every *exported* field,
+//     name first, walked recursively via reflection — a field added to
+//     Config (or any nested parameter struct) is hashed automatically,
+//     and renaming a type or field changes the hash, which is exactly
+//     the conservative behaviour a physics cache wants;
+//   - floats are encoded as their IEEE-754 bit patterns, never through a
+//     decimal formatting round-trip: the cache promises bit-identical
+//     results, so two configs are "equal" only when every float is
+//     bit-equal (+0/-0 and different NaN payloads are deliberately
+//     distinct).
+//
+// Unexported fields are skipped: a Config's identity is its exported
+// surface (derived caches such as the diode's PWL table are rebuilt
+// deterministically from it). The one pointer type Config carries,
+// *pwl.Diode, is special-cased so the derived table's granularity — set
+// at construction, not stored in an exported field — still enters the
+// hash. Kinds with no canonical encoding (func, map, chan, interface)
+// panic, so a new field of such a type cannot silently bypass the hash.
+
+// Encoding kind tags. The values are part of the hash format: reordering
+// or reusing them changes every key, which is safe (a full cache miss),
+// but gratuitous — append new tags instead.
+const (
+	tagBool byte = iota + 1
+	tagInt
+	tagUint
+	tagFloat
+	tagString
+	tagSlice
+	tagPtrNil
+	tagPtr
+	tagStruct
+	tagDiode
+)
+
+var diodeType = reflect.TypeOf((*pwl.Diode)(nil))
+
+// hasher streams the canonical encoding into w (in practice a
+// hash.Hash, which never returns a write error).
+type hasher struct {
+	w   io.Writer
+	buf [8]byte
+}
+
+func (h *hasher) tag(t byte) {
+	h.buf[0] = t
+	h.w.Write(h.buf[:1])
+}
+
+func (h *hasher) u64(v uint64) {
+	binary.LittleEndian.PutUint64(h.buf[:], v)
+	h.w.Write(h.buf[:8])
+}
+
+func (h *hasher) i64(v int64) { h.u64(uint64(v)) }
+
+func (h *hasher) f64(v float64) { h.u64(math.Float64bits(v)) }
+
+func (h *hasher) str(s string) {
+	h.u64(uint64(len(s)))
+	io.WriteString(h.w, s)
+}
+
+// value walks v, writing its canonical encoding.
+func (h *hasher) value(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Bool:
+		h.tag(tagBool)
+		if v.Bool() {
+			h.u64(1)
+		} else {
+			h.u64(0)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		h.tag(tagInt)
+		h.i64(v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		h.tag(tagUint)
+		h.u64(v.Uint())
+	case reflect.Float32, reflect.Float64:
+		h.tag(tagFloat)
+		h.f64(v.Float())
+	case reflect.String:
+		h.tag(tagString)
+		h.str(v.String())
+	case reflect.Slice, reflect.Array:
+		h.tag(tagSlice)
+		h.u64(uint64(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			h.value(v.Index(i))
+		}
+	case reflect.Pointer:
+		if v.Type() == diodeType {
+			h.diode(v.Interface().(*pwl.Diode))
+			return
+		}
+		if v.IsNil() {
+			h.tag(tagPtrNil)
+			return
+		}
+		h.tag(tagPtr)
+		h.value(v.Elem())
+	case reflect.Struct:
+		h.tag(tagStruct)
+		t := v.Type()
+		h.str(t.String())
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			h.str(f.Name)
+			h.value(v.Field(i))
+		}
+	default:
+		panic(fmt.Sprintf("harvester: no canonical hash encoding for kind %s (%s) — "+
+			"extend hash.go before adding such a field to a cached config", v.Kind(), v.Type()))
+	}
+}
+
+// diode hashes the diode model's physical parameters plus the derived
+// companion table's granularity (which is fixed at BuildTable time and
+// changes the simulated physics, but lives in an unexported field).
+func (h *hasher) diode(d *pwl.Diode) {
+	h.tag(tagDiode)
+	if d == nil {
+		h.u64(0)
+		return
+	}
+	h.u64(1)
+	h.f64(d.Is)
+	h.f64(d.NVt)
+	h.f64(d.Rs)
+	segs := 0
+	if t := d.Table(); t != nil {
+		segs = t.NumSegments()
+	}
+	h.i64(int64(segs))
+}
+
+// WriteHash writes the canonical, collision-safe encoding of the
+// scenario's physics identity into w — everything that determines the
+// simulated trajectory: the full Config (all exported fields,
+// recursively, floats bit-exact), the horizon, the scheduled frequency
+// shifts and the chirp. The scenario Name is deliberately excluded: it
+// labels results, it does not change physics, so two identically
+// configured jobs with different names share one cache entry.
+//
+// The determinism contract this leans on: a run is a pure function of
+// its (Config, Scenario schedule, engine, solver) tuple — equal inputs
+// produce bit-identical trajectories across serial, pooled and
+// workspace-reused executions (pinned by the root determinism suite).
+func (sc Scenario) WriteHash(w io.Writer) {
+	h := &hasher{w: w}
+	h.str("harvsim/scenario")
+	h.value(reflect.ValueOf(sc.Cfg))
+	h.tag(tagFloat)
+	h.f64(sc.Duration)
+	h.value(reflect.ValueOf(sc.Shifts))
+	h.value(reflect.ValueOf(sc.Chirp))
+}
