@@ -7,14 +7,21 @@
 // partially charged storage element — a workload that is practical
 // because each full-system simulation takes a fraction of a second under
 // the explicit engine, and that now scales across every core the machine
-// has, caches repeated candidates, and averages stochastic workloads
-// over seed ensembles.
+// has, caches repeated candidates, averages stochastic workloads over
+// seed ensembles, and (with -remote) runs against a long-lived sweep
+// server whose cache is shared by every client.
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -22,6 +29,7 @@ import (
 
 	"harvsim/internal/batch"
 	"harvsim/internal/harvester"
+	"harvsim/internal/wire"
 )
 
 const usageFooter = `
@@ -41,10 +49,22 @@ Result cache:
   -cache-dir DIR   additionally persist results under DIR, so re-running
                    the sweep (or zooming into the argmax region) is
                    served from disk instead of re-simulating
+  -v               verbose: full cache counters (hits/misses/evictions/
+                   in-flight shares) and the complete ensemble table with
+                   95% CI half-widths, so warm-vs-cold behaviour is
+                   observable without reading code
+
+Remote mode:
+  -remote URL      run the identical sweep against a long-lived sweep
+                   server (cmd/serve) instead of simulating locally: the
+                   spec travels as declarative JSON, results stream back
+                   as NDJSON, and the server's shared cache makes repeats
+                   (from any client) free
 
 Examples:
   sweep -sim 12 -vc 2.5 -top 5
-  sweep -noise-seed 7 -seeds 8 -cache-dir /tmp/harvsim-cache
+  sweep -noise-seed 7 -seeds 8 -cache-dir /tmp/harvsim-cache -v
+  sweep -remote http://127.0.0.1:8080 -sim 12 -vc 2.5
 `
 
 func usage() {
@@ -75,13 +95,15 @@ func main() {
 	var (
 		simFor   = flag.Float64("sim", 12, "simulated span per candidate [s]")
 		vc       = flag.Float64("vc", 2.5, "storage operating point [V]")
-		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS; in remote mode, requested of the server)")
 		topK     = flag.Int("top", 10, "ranked designs to print")
 		k3List   = flag.String("k3", "", "comma-separated cubic spring coefficients [N/m^3] to add as a Duffing sweep axis (e.g. 0,1e9,5e9)")
 		noiseSd  = flag.Uint64("noise-seed", 0, "nonzero: replace the sinusoid with seeded band-limited noise (55-85 Hz, RMS 0.59 m/s^2)")
 		seeds    = flag.Int("seeds", 1, "noise realisations per design point (>1 adds a seed ensemble axis and reports mean/CI statistics; needs -noise-seed)")
 		useCache = flag.Bool("cache", false, "serve repeated candidates from an in-memory result cache")
 		cacheDir = flag.String("cache-dir", "", "persist cached results under this directory (implies -cache)")
+		remote   = flag.String("remote", "", "sweep server base URL (e.g. http://127.0.0.1:8080); runs the sweep remotely instead of simulating locally")
+		verbose  = flag.Bool("v", false, "verbose: full cache counters and complete ensemble CI table")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -96,6 +118,25 @@ func main() {
 	}
 	if *seeds > 1 && *noiseSd == 0 {
 		usageErr("-seeds %d needs a stochastic workload: set -noise-seed (the ensemble base seed)", *seeds)
+	}
+	if *remote != "" && (*useCache || *cacheDir != "") {
+		usageErr("-cache/-cache-dir are local-mode flags; the server at -remote owns the (always-on) shared cache")
+	}
+	var k3s []float64
+	if *k3List != "" {
+		var err error
+		k3s, err = parseFloatList(*k3List)
+		if err != nil {
+			usageErr("-k3: %v", err)
+		}
+		if len(k3s) == 0 {
+			usageErr("-k3 %q holds no values", *k3List)
+		}
+	}
+
+	if *remote != "" {
+		runRemote(*remote, *simFor, *vc, *workers, *topK, k3s, *noiseSd, *seeds, *verbose)
+		return
 	}
 
 	base := harvester.ChargeScenario(*simFor)
@@ -120,14 +161,7 @@ func main() {
 			}),
 		},
 	}
-	if *k3List != "" {
-		k3s, err := parseFloatList(*k3List)
-		if err != nil {
-			usageErr("-k3: %v", err)
-		}
-		if len(k3s) == 0 {
-			usageErr("-k3 %q holds no values", *k3List)
-		}
+	if len(k3s) > 0 {
 		spec.Axes = append(spec.Axes, batch.FloatAxis("k3", k3s, func(j *batch.Job, v float64) {
 			j.Scenario.Cfg.Microgen.K3 = v
 		}))
@@ -139,11 +173,13 @@ func main() {
 	// Rank by mean power into the store over the settled window. The
 	// metric closure is shared by every expanded job, so it derives
 	// everything from its per-job harvester argument; MetricKey declares
-	// it a pure function of the run so results stay cacheable.
+	// it a pure function of the run so results stay cacheable (the same
+	// named metric the wire format and the sweep server resolve, so
+	// local and remote runs share cache identities).
 	spec.Base.Metric = func(h *harvester.Harvester, eng harvester.Engine) float64 {
 		return h.PStoreTrace.Slice(*simFor/3, *simFor).Mean()
 	}
-	spec.Base.MetricKey = "pstore-mean-settled"
+	spec.Base.MetricKey = wire.MetricPStoreMeanSettled
 
 	opt := batch.Options{Workers: *workers}
 	switch {
@@ -167,28 +203,53 @@ func main() {
 		os.Exit(1)
 	}
 	wall := time.Since(start)
-	sum := batch.Summarize(results)
 
+	var cacheStats *batch.CacheStats
+	if opt.Cache != nil {
+		cs := opt.Cache.Stats()
+		cacheStats = &cs
+	}
+	report(results, wall, *topK, *seeds, *vc, *simFor, cacheStats, *verbose)
+}
+
+// report renders a completed sweep — shared by local and remote modes so
+// both read identically.
+func report(results []batch.Result, wall time.Duration, topK, seeds int, vc, simFor float64,
+	cacheStats *batch.CacheStats, verbose bool) {
+	sum := batch.Summarize(results)
 	fmt.Printf("completed in %v wall (summed job time %v)\n\n",
 		wall.Round(time.Millisecond), sum.CPUTime.Round(time.Millisecond))
+
 	var ranked []batch.EnsemblePoint
-	if *seeds > 1 {
-		ranked = batch.EnsembleTop(batch.Ensembles(results), *topK)
+	if seeds > 1 {
+		points := batch.Ensembles(results)
+		ranked = batch.EnsembleTop(points, topK)
 		fmt.Printf("ensemble power into store at %.3g V over %d seeds (top %d by mean):\n",
-			*vc, *seeds, *topK)
+			vc, seeds, topK)
 		fmt.Print(batch.EnsembleTable(ranked))
+		if verbose && len(points) > len(ranked) {
+			fmt.Printf("\nall %d design points (95%% CI half-widths):\n", len(points))
+			fmt.Print(batch.EnsembleTable(points))
+		}
 	} else {
-		fmt.Printf("power into store at %.3g V (top %d):\n", *vc, *topK)
-		fmt.Print(batch.Table(batch.Top(results, *topK)))
+		fmt.Printf("power into store at %.3g V (top %d):\n", vc, topK)
+		fmt.Print(batch.Table(batch.Top(results, topK)))
 	}
 	fmt.Println()
 	fmt.Println(sum.String())
-	if opt.Cache != nil {
-		cs := opt.Cache.Stats()
-		fmt.Printf("cache: %d hits (%d from disk), %d misses, %d stale, %d entries\n",
-			cs.Hits, cs.DiskHits, cs.Misses, cs.Stale, cs.Entries)
+	if cacheStats != nil {
+		cs := cacheStats
+		fmt.Printf("cache: %d hits (%d from disk, %d in-flight shares), %d misses, %d stale, %d evictions, %d entries\n",
+			cs.Hits, cs.DiskHits, cs.Shared, cs.Misses, cs.Stale, cs.Evictions, cs.Entries)
+		if verbose {
+			total := cs.Hits + cs.Misses
+			if total > 0 {
+				fmt.Printf("cache: %.1f%% hit rate over %d lookups (cold sweeps miss everything; a warm repeat hits everything)\n",
+					100*float64(cs.Hits)/float64(total), total)
+			}
+		}
 	}
-	if sum.ArgMaxMetric >= 0 && *seeds == 1 {
+	if sum.ArgMaxMetric >= 0 && seeds == 1 {
 		best := results[sum.ArgMaxMetric]
 		fmt.Printf("\nbest design: %s -> %.1f uW\n", best.Name, best.Metric*1e6)
 	}
@@ -205,4 +266,160 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// remoteSpec builds the declarative wire form of the exact sweep the
+// local mode assembles with closures — the wire round-trip tests pin
+// that both produce identical job identities, so a remote run hits
+// cache entries primed locally and vice versa.
+func remoteSpec(simFor, vc float64, k3s []float64, noiseSd uint64, seeds int) wire.Spec {
+	sc := wire.Scenario{Kind: "charge", DurationS: simFor,
+		Set: map[string]float64{"initial_vc": vc}}
+	if noiseSd != 0 {
+		sc = wire.Scenario{Kind: "noise", DurationS: simFor,
+			NoiseFLoHz: 55, NoiseFHiHz: 85, NoiseSeed: wire.Seed(noiseSd),
+			Set: map[string]float64{"initial_vc": vc}}
+	}
+	spec := wire.Spec{
+		Name:     "dickson",
+		Scenario: sc,
+		Metric:   wire.MetricPStoreMeanSettled,
+		Axes: []wire.Axis{
+			{Kind: wire.AxisInt, Param: "dickson.stages", Name: "stages", Ints: []int{2, 3, 4, 5, 6, 7}},
+			{Kind: wire.AxisFloat, Param: "dickson.cstage", Name: "cstage", Values: []float64{10e-6, 22e-6, 47e-6}},
+		},
+	}
+	if len(k3s) > 0 {
+		spec.Axes = append(spec.Axes, wire.Axis{Kind: wire.AxisFloat, Param: "microgen.k3", Name: "k3", Values: k3s})
+	}
+	if seeds > 1 {
+		spec.Axes = append(spec.Axes, wire.Axis{Kind: wire.AxisSeed, Name: "seed",
+			BaseSeed: wire.Seed(noiseSd), Count: seeds})
+	}
+	return spec
+}
+
+// runRemote submits the sweep to a server and renders the streamed
+// results with the same report the local mode prints.
+func runRemote(baseURL string, simFor, vc float64, workers, topK int, k3s []float64,
+	noiseSd uint64, seeds int, verbose bool) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "sweep: remote: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	baseURL = strings.TrimRight(baseURL, "/")
+	req := wire.SweepRequest{Spec: remoteSpec(simFor, vc, k3s, noiseSd, seeds), Workers: workers}
+	body, err := json.Marshal(req)
+	if err != nil {
+		fail("%v", err)
+	}
+	start := time.Now()
+	resp, err := http.Post(baseURL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fail("%v", err)
+	}
+	acc := wire.SweepAccepted{}
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fail("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	err = json.NewDecoder(resp.Body).Decode(&acc)
+	resp.Body.Close()
+	if err != nil {
+		fail("decoding accept response: %v", err)
+	}
+	fmt.Printf("design sweep: %d candidates on %s (job %s)\n", acc.Jobs, baseURL, acc.ID)
+
+	stream, err := http.Get(baseURL + acc.StreamURL)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		fail("stream: %s", stream.Status)
+	}
+
+	// Reconstruct batch results from the NDJSON lines so the rendering
+	// (ranking, ensembles, summary) is byte-for-byte the local one.
+	results := make([]batch.Result, 0, acc.Jobs)
+	var summary *wire.Summary
+	scanner := bufio.NewScanner(stream.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(scanner.Bytes(), &probe); err != nil {
+			fail("bad stream line %q: %v", scanner.Text(), err)
+		}
+		switch probe.Type {
+		case wire.LineResult:
+			var r wire.Result
+			if err := json.Unmarshal(scanner.Bytes(), &r); err != nil {
+				fail("%v", err)
+			}
+			br := batch.Result{
+				Index:     r.Index,
+				Name:      r.Name,
+				Job:       batch.Job{Name: r.Name, Group: r.Group, Seed: uint64(r.Seed)},
+				Elapsed:   time.Duration(r.ElapsedUS) * time.Microsecond,
+				FinalVc:   float64(r.FinalVc),
+				RMSPower:  float64(r.RMSPower),
+				MeanPower: float64(r.MeanPower),
+				Metric:    float64(r.Metric),
+				Cached:    r.Cached,
+				Shared:    r.Shared,
+			}
+			br.Stats.Steps = r.Steps
+			if r.Error != "" {
+				br.Err = errors.New(r.Error)
+			}
+			results = append(results, br)
+		case wire.LineSummary:
+			s := wire.Summary{}
+			if err := json.Unmarshal(scanner.Bytes(), &s); err != nil {
+				fail("%v", err)
+			}
+			summary = &s
+		default:
+			fail("unknown stream line type %q", probe.Type)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		fail("%v", err)
+	}
+	if summary == nil {
+		fail("stream ended without a summary")
+	}
+	wall := time.Since(start)
+
+	// Job-order results (the stream is completion-ordered).
+	ordered := make([]batch.Result, len(results))
+	for i := range ordered {
+		ordered[i].Index = -1
+	}
+	for _, r := range results {
+		if r.Index >= 0 && r.Index < len(ordered) {
+			ordered[r.Index] = r
+		}
+	}
+
+	var cacheStats *batch.CacheStats
+	if verbose {
+		if resp, err := http.Get(baseURL + "/v1/cache/stats"); err == nil {
+			var cs wire.CacheStats
+			if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&cs) == nil {
+				cacheStats = &batch.CacheStats{
+					Hits: cs.Hits, Misses: cs.Misses, Stale: cs.Stale,
+					DiskHits: cs.DiskHits, Shared: cs.Shared,
+					Evictions: cs.Evictions, Entries: cs.Entries,
+				}
+			}
+			resp.Body.Close()
+		}
+	}
+	fmt.Printf("server: %d/%d cache hits (%d in-flight shares)\n",
+		summary.CacheHits, summary.Jobs, summary.Shared)
+	report(ordered, wall, topK, seeds, vc, simFor, cacheStats, verbose)
 }

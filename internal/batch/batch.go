@@ -166,6 +166,21 @@ type Result struct {
 	// lookup cost instead of the simulation cost).
 	Cached bool
 
+	// Shared marks a cached result obtained by waiting on an identical
+	// in-flight computation (singleflight): another worker — possibly
+	// serving a different Run on the same Cache — was already simulating
+	// this exact job identity, so this job waited for its snapshot
+	// instead of recomputing it. Shared implies Cached; Elapsed is the
+	// wait time.
+	Shared bool
+
+	// Key is the job's content-addressed identity (CacheKey hex),
+	// recorded when a cache run computed it — the handle a service
+	// front-end or shard coordinator can route and deduplicate by
+	// without re-hashing the config. Empty for cache-less runs and
+	// uncacheable jobs.
+	Key string
+
 	// Harvester and Engine are retained only under Options.Keep — a
 	// thousand-job sweep must not pin a thousand trace sets.
 	Harvester *harvester.Harvester
@@ -193,7 +208,29 @@ type Options struct {
 	// every fresh successful result back. The cache is shared across the
 	// worker pool and across Run calls; because a run is a pure function
 	// of its job identity, a hit is bit-identical to the run it elides.
+	// Concurrent misses on one key — within a Run or across Runs sharing
+	// the cache — are deduplicated in flight (singleflight): one worker
+	// simulates, the rest wait for its snapshot (Result.Shared).
 	Cache *Cache
+
+	// OnResult, when set, is called exactly once per job as its Result
+	// becomes available — the streaming hook a long-lived front-end uses
+	// to push partial results to clients while the sweep is still
+	// running. Calls happen in completion order (not job order) and may
+	// run concurrently from every worker goroutine, so the callback must
+	// be safe for concurrent use and should return quickly (it runs on
+	// the worker's critical path). Jobs cancelled before starting are
+	// reported too, so a stream always accounts for every job. The
+	// returned results slice is unaffected.
+	OnResult func(Result)
+
+	// Pools, when set, recycles per-worker workspace pools across Run
+	// calls: each worker draws a pool at start and hands it back when
+	// its Run ends, so a later Run's workers inherit warmed same-shape
+	// workspaces instead of allocating storage afresh — the cross-request
+	// reuse a long-lived sweep service wants. Ignored under
+	// NoWorkspaceReuse.
+	Pools *PoolCache
 }
 
 // EffectiveWorkers resolves the pool size the options select: Workers
@@ -244,6 +281,9 @@ func Run(ctx context.Context, jobs []Job, opt Options) []Result {
 			// results[i:] exclusively — mark them cancelled.
 			for j := i; j < len(jobs); j++ {
 				results[j] = Result{Index: j, Name: jobName(jobs[j]), Job: jobs[j], Err: ctx.Err()}
+				if opt.OnResult != nil {
+					opt.OnResult(results[j])
+				}
 			}
 			return
 		}
@@ -255,12 +295,18 @@ func Run(ctx context.Context, jobs []Job, opt Options) []Result {
 			defer wg.Done()
 			// One workspace pool per worker: same-shape jobs on this
 			// worker rebuild state, not storage, and the pool never
-			// crosses a goroutine boundary (it is not locked).
+			// crosses a goroutine boundary while held (it is not
+			// locked). With Options.Pools it is returned afterwards so a
+			// later Run's workers inherit the warmed workspaces.
 			pool := workerPool(opt)
+			defer returnWorkerPool(opt, pool)
 			for i := range next {
 				// Each worker writes only its own index; the slots are
 				// disjoint, so no locking is needed.
 				results[i] = runOne(i, jobs[i], opt, pool)
+				if opt.OnResult != nil {
+					opt.OnResult(results[i])
+				}
 			}
 		}()
 	}
@@ -274,19 +320,75 @@ func Run(ctx context.Context, jobs []Job, opt Options) []Result {
 func RunSerial(jobs []Job, opt Options) []Result {
 	results := make([]Result, len(jobs))
 	pool := workerPool(opt)
+	defer returnWorkerPool(opt, pool)
 	for i, job := range jobs {
 		results[i] = runOne(i, job, opt, pool)
+		if opt.OnResult != nil {
+			opt.OnResult(results[i])
+		}
 	}
 	return results
 }
 
-// workerPool returns a fresh per-worker workspace pool, or nil when the
-// options disable reuse.
+// workerPool returns a per-worker workspace pool — recycled from
+// Options.Pools when the caller shares one, fresh otherwise — or nil
+// when the options disable reuse.
 func workerPool(opt Options) *core.WorkspacePool {
 	if opt.NoWorkspaceReuse {
 		return nil
 	}
+	if opt.Pools != nil {
+		return opt.Pools.Get()
+	}
 	return core.NewWorkspacePool()
+}
+
+// returnWorkerPool hands a worker's pool back to the shared cache, when
+// there is one to return it to.
+func returnWorkerPool(opt Options, pool *core.WorkspacePool) {
+	if pool != nil && opt.Pools != nil {
+		opt.Pools.Put(pool)
+	}
+}
+
+// PoolCache recycles per-worker workspace pools across Run calls. The
+// batch runner's pools are single-goroutine while held, so they cannot
+// simply be shared; a PoolCache is the locked hand-off point between
+// runs — a long-lived front-end (the sweep server) keeps one so request
+// N's workers inherit request N-1's warmed same-shape workspaces instead
+// of allocating Jacobian and engine storage afresh. The zero value is
+// not ready to use; call NewPoolCache.
+type PoolCache struct {
+	mu   sync.Mutex
+	free []*core.WorkspacePool
+}
+
+// NewPoolCache returns an empty pool cache.
+func NewPoolCache() *PoolCache { return &PoolCache{} }
+
+// Get hands out a recycled workspace pool, or a fresh one when none is
+// free.
+func (p *PoolCache) Get() *core.WorkspacePool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		ws := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return ws
+	}
+	return core.NewWorkspacePool()
+}
+
+// Put returns a pool for later reuse. The caller must no longer touch
+// it: the next Get may hand it to another goroutine.
+func (p *PoolCache) Put(ws *core.WorkspacePool) {
+	if ws == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, ws)
+	p.mu.Unlock()
 }
 
 // jobName labels a job, falling back to its scenario's name.
@@ -300,20 +402,51 @@ func jobName(job Job) string {
 // runOne resolves a single job: from the result cache when the options
 // carry one and the job is cacheable, otherwise by a fresh simulation
 // (whose successful result is then stored back).
+//
+// The config is validated before any cache interaction: an invalid job
+// fails here without ever computing a key, so bad configurations can
+// neither be stored nor served — the cache only ever sees identities
+// that assembly would accept.
 func runOne(idx int, job Job, opt Options, pool *core.WorkspacePool) Result {
 	res := Result{Index: idx, Name: jobName(job), Job: job}
+	if err := job.Scenario.Cfg.Validate(); err != nil {
+		res.Err = err
+		return res
+	}
 	if c := opt.Cache; c != nil && Cacheable(job, opt) {
 		start := time.Now()
 		key := KeyOf(job, opt)
+		res.Key = key.String()
 		if snap, ok := c.Get(key); ok {
 			snap.fill(&res)
 			res.Cached = true
 			res.Elapsed = time.Since(start)
 			return res
 		}
-		runFresh(&res, job, opt, pool)
-		if res.Err == nil {
-			c.Put(key, snapshotOf(res))
+		// Miss: lead the computation for this key, or — when another
+		// worker (possibly in a different Run on the same cache) is
+		// already simulating the identical job — wait for its snapshot.
+		snap, err, shared := c.flightDo(key, func() (Snapshot, error) {
+			runFresh(&res, job, opt, pool)
+			if res.Err != nil {
+				return Snapshot{}, res.Err
+			}
+			snap := snapshotOf(res)
+			c.Put(key, snap)
+			return snap, nil
+		})
+		if shared {
+			if err != nil {
+				// Identical jobs fail identically (the run is a pure
+				// function of the identity), so the leader's error is
+				// this job's error.
+				res.Err = err
+			} else {
+				snap.fill(&res)
+				res.Cached = true
+				res.Shared = true
+			}
+			res.Elapsed = time.Since(start)
 		}
 		return res
 	}

@@ -126,21 +126,27 @@ func (s Snapshot) fill(r *Result) {
 }
 
 // CacheStats is a point-in-time counter snapshot. Hits includes
-// DiskHits (a disk hit is promoted into memory and counted in both).
+// DiskHits (a disk hit is promoted into memory and counted in both);
+// Shared lookups were first counted as Misses (the miss is what sent
+// them into the in-flight wait).
 type CacheStats struct {
-	Hits     int64 // lookups served from the cache
-	Misses   int64 // lookups that fell through to a fresh run
-	Stale    int64 // disk entries ignored: wrong schema/arch/key or unreadable
-	DiskHits int64 // hits satisfied by the on-disk store
-	Entries  int   // current in-memory entry count
+	Hits      int64 // lookups served from the cache
+	Misses    int64 // lookups that fell through to a fresh run
+	Stale     int64 // disk entries ignored: wrong schema/arch/key or unreadable
+	DiskHits  int64 // hits satisfied by the on-disk store
+	Shared    int64 // misses resolved by in-flight dedup: waited on, or arrived just behind, an identical run
+	Evictions int64 // in-memory entries dropped by the LRU capacity bound
+	Entries   int   // current in-memory entry count
 }
 
 // Cache is a content-addressed store of simulation Results: an
 // in-memory LRU, optionally backed by an on-disk directory so refinement
 // sweeps get warm starts across processes. All methods are safe for
-// concurrent use — the batch runner's workers share one cache. Two
-// workers racing on the same missing key may both simulate and both
-// store; the entries are bit-identical, so last-write-wins is harmless.
+// concurrent use — the batch runner's workers share one cache, and a
+// long-lived front-end shares one across every request. Workers racing
+// on the same missing key are deduplicated in flight: the first runs the
+// simulation, the rest wait for its snapshot (see flightDo; surfaced as
+// Result.Shared and CacheStats.Shared).
 type Cache struct {
 	mu      sync.Mutex
 	cap     int
@@ -148,6 +154,11 @@ type Cache struct {
 	entries map[CacheKey]*list.Element
 	dir     string
 	stats   CacheStats
+
+	// In-flight computations, keyed like the entries; see flightDo.
+	// Guarded by its own mutex so waiters never hold up lookups.
+	flightMu sync.Mutex
+	flight   map[CacheKey]*flightCall
 }
 
 type cacheEntry struct {
@@ -234,6 +245,19 @@ func (c *Cache) Get(key CacheKey) (Snapshot, bool) {
 	return snap, true
 }
 
+// peek reports a memory-resident entry without touching the hit/miss
+// counters — the re-probe flightDo performs after a caller's counted
+// miss, before it commits to leading a fresh run.
+func (c *Cache) peek(key CacheKey) (Snapshot, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).snap, true
+	}
+	return Snapshot{}, false
+}
+
 // Put stores the snapshot under key, evicting least-recently-used
 // entries beyond capacity and (for disk-backed caches) persisting it.
 // The disk write happens outside the mutex.
@@ -258,6 +282,7 @@ func (c *Cache) insert(key CacheKey, snap Snapshot) {
 		back := c.ll.Back()
 		c.ll.Remove(back)
 		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.stats.Evictions++
 	}
 }
 

@@ -1,0 +1,69 @@
+package batch
+
+// In-flight deduplication (singleflight) for the result cache: when two
+// workers miss on the same key concurrently — duplicated jobs inside one
+// Run, or identical requests racing through a shared long-lived cache
+// (the sweep server's situation) — exactly one simulates and the rest
+// wait for its snapshot. Without it the documented "both simulate,
+// last-write-wins" race is harmless for correctness but wastes a full
+// engine run per concurrent duplicate, which at service scale is the
+// common case, not the corner case.
+
+// flightCall is one in-flight computation; done is closed when the
+// leader has filled snap/err.
+type flightCall struct {
+	done chan struct{}
+	snap Snapshot
+	err  error
+}
+
+// flightDo executes fn once per key among concurrent callers. The first
+// caller (the leader) runs fn and returns shared == false with fn's
+// results; every caller arriving while the leader is still running
+// blocks until it finishes and returns the leader's snapshot (or error)
+// with shared == true. Completed calls are forgotten immediately — the
+// leader's Put has already made the snapshot visible to later lookups
+// through the cache proper.
+//
+// Callers arrive here having just missed in Get, but leadership is
+// decided later, under flightMu: a previous leader may have published
+// its entry and retired in between. Would-be leaders therefore re-probe
+// the store before simulating, so that window cannot cause a redundant
+// engine run (it resolves as shared, like a wait would have).
+//
+// The leader is never preempted (engines run to completion), so waiters
+// are guaranteed to unblock; the call entry is cleared even if fn
+// panics.
+func (c *Cache) flightDo(key CacheKey, fn func() (Snapshot, error)) (snap Snapshot, err error, shared bool) {
+	c.flightMu.Lock()
+	if call, ok := c.flight[key]; ok {
+		c.flightMu.Unlock()
+		<-call.done
+		c.mu.Lock()
+		c.stats.Shared++
+		c.mu.Unlock()
+		return call.snap, call.err, true
+	}
+	if snap, ok := c.peek(key); ok {
+		c.flightMu.Unlock()
+		c.mu.Lock()
+		c.stats.Shared++
+		c.mu.Unlock()
+		return snap, nil, true
+	}
+	call := &flightCall{done: make(chan struct{})}
+	if c.flight == nil {
+		c.flight = make(map[CacheKey]*flightCall)
+	}
+	c.flight[key] = call
+	c.flightMu.Unlock()
+
+	defer func() {
+		c.flightMu.Lock()
+		delete(c.flight, key)
+		c.flightMu.Unlock()
+		close(call.done)
+	}()
+	call.snap, call.err = fn()
+	return call.snap, call.err, false
+}

@@ -1,0 +1,472 @@
+// Package server is the long-lived sweep service: an HTTP/JSON front-end
+// over the batch layer that turns one-shot CLI sweeps into a shared,
+// cache-warm design-exploration endpoint. One server process owns
+//
+//   - one content-addressed result cache shared by every request (so a
+//     design point any client ever computed is a lookup for all of
+//     them, and concurrent identical jobs are deduplicated in flight by
+//     the cache's singleflight), and
+//   - one workspace-pool cache, so request N's workers inherit request
+//     N-1's warmed same-shape workspaces.
+//
+// Endpoints:
+//
+//	POST   /v1/sweep            submit a wire.SweepRequest; returns 202 + job id
+//	GET    /v1/jobs/{id}        job status (add ?results=1 for the full list when done)
+//	GET    /v1/jobs/{id}/stream NDJSON: one wire.Result line per job as it
+//	                            completes, then one wire.Summary line
+//	DELETE /v1/jobs/{id}        cancel a running sweep
+//	GET    /v1/cache/stats      shared cache counters
+//	GET    /healthz             liveness
+//
+// Budgets: a request's expansion is bounded by Options.MaxJobs and its
+// wall clock by Options.MaxRequestTime (clients may ask for less via
+// budget_ms, never more); the deadline propagates as context
+// cancellation into batch.Run, so an expired sweep stops between jobs
+// and reports the unstarted remainder as cancelled. Options.MaxActive
+// bounds how many sweeps simulate concurrently; excess sweeps queue.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"harvsim/internal/batch"
+	"harvsim/internal/wire"
+)
+
+// Options configures a Server. The zero value is ready for tests: an
+// in-memory cache, GOMAXPROCS workers, default budgets.
+type Options struct {
+	// Workers caps the per-sweep worker pool (and is the default when a
+	// request does not ask for fewer). 0 = GOMAXPROCS.
+	Workers int
+	// MaxActive bounds concurrently simulating sweeps; further sweeps
+	// queue in submission order. 0 = 2.
+	MaxActive int
+	// MaxJobs rejects requests expanding beyond this many jobs (413).
+	// 0 = 4096.
+	MaxJobs int
+	// MaxRequestTime is the wall-clock budget ceiling per sweep; the
+	// sweep's context is cancelled when it expires. 0 = 120s.
+	MaxRequestTime time.Duration
+	// Cache is the shared result store; nil builds an in-memory cache
+	// with the default capacity.
+	Cache *batch.Cache
+	// KeepFinished bounds how many finished sweeps stay queryable;
+	// oldest are dropped first. 0 = 128.
+	KeepFinished int
+}
+
+func (o Options) maxActive() int {
+	if o.MaxActive > 0 {
+		return o.MaxActive
+	}
+	return 2
+}
+
+func (o Options) maxJobs() int {
+	if o.MaxJobs > 0 {
+		return o.MaxJobs
+	}
+	return 4096
+}
+
+func (o Options) maxRequestTime() time.Duration {
+	if o.MaxRequestTime > 0 {
+		return o.MaxRequestTime
+	}
+	return 120 * time.Second
+}
+
+func (o Options) keepFinished() int {
+	if o.KeepFinished > 0 {
+		return o.KeepFinished
+	}
+	return 128
+}
+
+// maxRequestBody bounds a sweep request's JSON body. Specs are small
+// (names and number lists); a megabyte is orders of magnitude of
+// headroom, not a DoS surface.
+const maxRequestBody = 1 << 20
+
+// sweepRun is one submitted sweep's lifecycle state. results accumulates
+// in completion order (the stream order); done flips exactly once, after
+// the last result is recorded. cond (over mu) wakes streamers on every
+// append and on completion.
+type sweepRun struct {
+	id      string
+	total   int
+	started time.Time
+	cancel  context.CancelFunc
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	results []wire.Result
+	failed  int
+	hits    int
+	shared  int
+	done    bool
+	summary wire.Summary
+}
+
+func newSweepRun(id string, total int, cancel context.CancelFunc) *sweepRun {
+	sw := &sweepRun{id: id, total: total, started: time.Now(), cancel: cancel}
+	sw.cond = sync.NewCond(&sw.mu)
+	return sw
+}
+
+// record appends one completed job's wire result (the batch OnResult
+// hook; called concurrently from every worker).
+func (sw *sweepRun) record(r wire.Result) {
+	sw.mu.Lock()
+	sw.results = append(sw.results, r)
+	if r.Error != "" {
+		sw.failed++
+	}
+	if r.Cached {
+		sw.hits++
+	}
+	if r.Shared {
+		sw.shared++
+	}
+	sw.mu.Unlock()
+	sw.cond.Broadcast()
+}
+
+// finish marks the run complete.
+func (sw *sweepRun) finish(summary wire.Summary) {
+	sw.mu.Lock()
+	sw.summary = summary
+	sw.done = true
+	sw.mu.Unlock()
+	sw.cond.Broadcast()
+}
+
+// Server is the sweep service. Create with New, mount via Handler.
+type Server struct {
+	opt   Options
+	cache *batch.Cache
+	pools *batch.PoolCache
+	sem   chan struct{}
+	mux   *http.ServeMux
+
+	mu   sync.Mutex
+	seq  int64
+	jobs map[string]*sweepRun
+	// finished ids in completion order, for KeepFinished eviction.
+	doneOrder []string
+}
+
+// New builds a server. The cache (Options.Cache or a fresh in-memory
+// one) and the workspace pools live as long as the server: every
+// request shares them.
+func New(opt Options) *Server {
+	s := &Server{
+		opt:   opt,
+		cache: opt.Cache,
+		pools: batch.NewPoolCache(),
+		sem:   make(chan struct{}, opt.maxActive()),
+		jobs:  make(map[string]*sweepRun),
+	}
+	if s.cache == nil {
+		s.cache = batch.NewCache(0)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s
+}
+
+// Cache exposes the shared result cache (for priming or inspection by
+// an embedding process).
+func (s *Server) Cache() *batch.Cache { return s.cache }
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP lets the Server be mounted directly.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON writes a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, wire.Error{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSweep validates, compiles and launches a sweep, replying 202
+// with the job id before any simulation work happens.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req wire.SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	// Budget-check the declared size BEFORE compiling: Compile
+	// materialises seed lists and Jobs clones a Config per job, so a
+	// few hundred bytes of hostile axis product must be rejected while
+	// it is still arithmetic (Size saturates instead of overflowing).
+	if n := req.Spec.Size(); n > s.opt.maxJobs() {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"sweep would expand to %d jobs, server budget is %d", n, s.opt.maxJobs())
+		return
+	}
+	bspec, err := req.Spec.Compile()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	jobs, err := bspec.Jobs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(jobs) > s.opt.maxJobs() {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"sweep expands to %d jobs, server budget is %d", len(jobs), s.opt.maxJobs())
+		return
+	}
+	if req.SettleFrac < 0 || req.SettleFrac >= 1 {
+		writeError(w, http.StatusBadRequest, "settle_frac must be in [0, 1), got %g", req.SettleFrac)
+		return
+	}
+
+	// Budgets: the client may shrink, never grow, the server's ceiling.
+	// Compare in the millisecond domain first so an absurd BudgetMS
+	// cannot overflow the Duration multiplication into an
+	// already-expired deadline — it just means "server maximum".
+	budget := s.opt.maxRequestTime()
+	if req.BudgetMS > 0 && req.BudgetMS < budget.Milliseconds() {
+		budget = time.Duration(req.BudgetMS) * time.Millisecond
+	}
+	// Clients may shrink the worker pool below the server's cap, never
+	// grow it (with Options.Workers unset the cap is GOMAXPROCS, so an
+	// oversized request cannot conjure thousands of goroutines — and
+	// thousands of permanently pooled workspaces — on a default server).
+	workerCap := s.opt.Workers
+	if workerCap <= 0 {
+		workerCap = runtime.GOMAXPROCS(0)
+	}
+	workers := workerCap
+	if req.Workers > 0 && req.Workers < workerCap {
+		workers = req.Workers
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	s.mu.Lock()
+	s.seq++
+	id := "sw-" + strconv.FormatInt(s.seq, 10)
+	sw := newSweepRun(id, len(jobs), cancel)
+	s.jobs[id] = sw
+	s.mu.Unlock()
+
+	opt := batch.Options{
+		Workers:    workers,
+		SettleFrac: req.SettleFrac,
+		Cache:      s.cache,
+		Pools:      s.pools,
+	}
+	// The batch layer stamps each Result with the content-address key it
+	// computed for its cache lookup, so the hook only converts — no
+	// second reflection hash on the worker's critical path.
+	opt.OnResult = func(r batch.Result) {
+		sw.record(wire.ResultOf(r))
+	}
+	go s.run(ctx, sw, jobs, opt)
+
+	writeJSON(w, http.StatusAccepted, wire.SweepAccepted{
+		ID:        id,
+		Jobs:      len(jobs),
+		StatusURL: "/v1/jobs/" + id,
+		StreamURL: "/v1/jobs/" + id + "/stream",
+	})
+}
+
+// run executes a submitted sweep under the concurrency semaphore and
+// finalises its state.
+func (s *Server) run(ctx context.Context, sw *sweepRun, jobs []batch.Job, opt batch.Options) {
+	defer sw.cancel()
+	// Queue for an execution slot; an expired budget while queued still
+	// runs batch.Run, which then reports every job cancelled (so streams
+	// and status always resolve).
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+	}
+	results := batch.Run(ctx, jobs, opt)
+	sw.finish(wire.SummaryOf(results, time.Since(sw.started)))
+	s.retire(sw.id)
+}
+
+// retire records a finished sweep and evicts the oldest finished ones
+// beyond the retention bound.
+func (s *Server) retire(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.doneOrder = append(s.doneOrder, id)
+	for len(s.doneOrder) > s.opt.keepFinished() {
+		delete(s.jobs, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+}
+
+// lookup resolves a job id.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *sweepRun {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sw := s.jobs[id]
+	s.mu.Unlock()
+	if sw == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+	}
+	return sw
+}
+
+// handleJob reports a sweep's status; ?results=1 includes the full
+// result list once done.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	sw := s.lookup(w, r)
+	if sw == nil {
+		return
+	}
+	sw.mu.Lock()
+	st := wire.JobStatus{
+		ID:        sw.id,
+		State:     wire.StateRunning,
+		Jobs:      sw.total,
+		Completed: len(sw.results),
+		Failed:    sw.failed,
+		CacheHits: sw.hits,
+		Shared:    sw.shared,
+		ElapsedMS: time.Since(sw.started).Milliseconds(),
+	}
+	if sw.done {
+		st.State = wire.StateDone
+		st.ElapsedMS = sw.summary.WallMS
+		sum := sw.summary
+		st.Summary = &sum
+		if r.URL.Query().Get("results") == "1" {
+			st.Results = append([]wire.Result(nil), sw.results...)
+		}
+	}
+	sw.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleStream writes NDJSON: every result line as it completes (replayed
+// from the start for late subscribers), then the summary line. Large
+// grids render progressively because each line is flushed as written.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	sw := s.lookup(w, r)
+	if sw == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// A disconnecting client must unblock the cond wait below. The
+	// monitor takes sw.mu before broadcasting so the wake-up cannot slip
+	// into the gap between the loop's ctx.Err() check and its
+	// cond.Wait registration (a lost wake-up would strand the handler
+	// until the sweep's next result).
+	ctx := r.Context()
+	go func() {
+		<-ctx.Done()
+		sw.mu.Lock()
+		//lint:ignore SA2001 empty critical section on purpose: it
+		// serialises with the check-then-Wait window before waking.
+		sw.mu.Unlock()
+		sw.cond.Broadcast()
+	}()
+
+	next := 0
+	for {
+		sw.mu.Lock()
+		for next >= len(sw.results) && !sw.done && ctx.Err() == nil {
+			sw.cond.Wait()
+		}
+		chunk := sw.results[next:len(sw.results):len(sw.results)]
+		next += len(chunk)
+		done := sw.done && next == len(sw.results)
+		summary := sw.summary
+		sw.mu.Unlock()
+
+		if ctx.Err() != nil {
+			return
+		}
+		for _, line := range chunk {
+			if enc.Encode(line) != nil {
+				return // client went away
+			}
+		}
+		if done {
+			enc.Encode(summary)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		if flusher != nil && len(chunk) > 0 {
+			flusher.Flush()
+		}
+	}
+}
+
+// handleCancel cancels a running sweep's context. Running jobs finish
+// (engines are non-preemptible); unstarted jobs report cancellation.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	sw := s.lookup(w, r)
+	if sw == nil {
+		return
+	}
+	sw.cancel()
+	writeJSON(w, http.StatusOK, map[string]string{"id": sw.id, "status": "cancelling"})
+}
+
+// handleCacheStats reports the shared cache's counters.
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, wire.CacheStatsOf(s.cache))
+}
+
+// handleHealth is the liveness probe.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	active := 0
+	for _, sw := range s.jobs {
+		sw.mu.Lock()
+		if !sw.done {
+			active++
+		}
+		sw.mu.Unlock()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, wire.Health{
+		Status:       "ok",
+		ActiveSweeps: active,
+		CacheEntries: s.cache.Stats().Entries,
+	})
+}

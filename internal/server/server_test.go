@@ -1,0 +1,569 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"harvsim/internal/batch"
+	"harvsim/internal/wire"
+)
+
+// grid64Spec is the wire form of the repo's 64-point benchmark grid
+// (bench_test.go batchSweepGrid): coil resistance x multiplier stages
+// over the supercap charge scenario.
+func grid64Spec(duration float64) wire.Spec {
+	return wire.Spec{
+		Name:     "grid",
+		Scenario: wire.Scenario{Kind: "charge", DurationS: duration, Set: map[string]float64{"initial_vc": 2.5}},
+		Axes: []wire.Axis{
+			{Kind: wire.AxisFloat, Param: "microgen.rc", Values: []float64{100, 180, 320, 560, 1000, 1800, 3200, 5600}},
+			{Kind: wire.AxisInt, Param: "dickson.stages", Ints: []int{3, 4, 5, 6, 7, 8, 9, 10}},
+		},
+	}
+}
+
+func postSweep(t *testing.T, ts *httptest.Server, req wire.SweepRequest) wire.SweepAccepted {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /v1/sweep: %s: %s", resp.Status, msg)
+	}
+	var acc wire.SweepAccepted
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	return acc
+}
+
+// streamSweep reads the job's NDJSON stream to completion.
+func streamSweep(t *testing.T, ts *httptest.Server, acc wire.SweepAccepted) ([]wire.Result, wire.Summary) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + acc.StreamURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", acc.StreamURL, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var results []wire.Result
+	var summary wire.Summary
+	sawSummary := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if sawSummary {
+			t.Fatalf("line after summary: %s", sc.Text())
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch probe.Type {
+		case wire.LineResult:
+			var r wire.Result
+			if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, r)
+		case wire.LineSummary:
+			if err := json.Unmarshal(sc.Bytes(), &summary); err != nil {
+				t.Fatal(err)
+			}
+			sawSummary = true
+		default:
+			t.Fatalf("unknown line type %q", probe.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawSummary {
+		t.Fatal("stream ended without a summary line")
+	}
+	return results, summary
+}
+
+// metricsByIndex projects the fields that must be bit-identical across
+// cold and warm runs (everything except timing/cache markers).
+func metricsByIndex(results []wire.Result) map[int][5]string {
+	out := make(map[int][5]string, len(results))
+	for _, r := range results {
+		m := func(f wire.Float) string {
+			b, _ := json.Marshal(f)
+			return string(b)
+		}
+		out[r.Index] = [5]string{m(r.Metric), m(r.RMSPower), m(r.MeanPower), m(r.FinalVc), r.Key}
+	}
+	return out
+}
+
+// TestSweepEndToEnd is the acceptance path: POST the 64-point grid,
+// stream it, then POST the identical spec again against the same server
+// process — the warm repeat must do zero engine runs (64/64 cache hits)
+// and return bit-identical metrics.
+func TestSweepEndToEnd(t *testing.T) {
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := wire.SweepRequest{Spec: grid64Spec(0.25)}
+	cold := postSweep(t, ts, req)
+	if cold.Jobs != 64 {
+		t.Fatalf("grid expands to %d jobs, want 64", cold.Jobs)
+	}
+	coldResults, coldSummary := streamSweep(t, ts, cold)
+	if len(coldResults) != 64 {
+		t.Fatalf("streamed %d results, want 64", len(coldResults))
+	}
+	if coldSummary.Failed != 0 {
+		t.Fatalf("cold run failed %d jobs", coldSummary.Failed)
+	}
+
+	warm := postSweep(t, ts, req)
+	warmResults, warmSummary := streamSweep(t, ts, warm)
+	if warmSummary.CacheHits != 64 {
+		t.Fatalf("warm repeat hit the cache %d/64 times", warmSummary.CacheHits)
+	}
+	for _, r := range warmResults {
+		if !r.Cached {
+			t.Fatalf("warm result %d (%s) not served from cache", r.Index, r.Name)
+		}
+	}
+	coldM, warmM := metricsByIndex(coldResults), metricsByIndex(warmResults)
+	for idx, want := range coldM {
+		if got, ok := warmM[idx]; !ok || got != want {
+			t.Errorf("job %d: warm metrics %v != cold %v", idx, got, want)
+		}
+	}
+
+	// Status endpoint agrees and serves the result list once done.
+	var st wire.JobStatus
+	getJSON(t, ts, cold.StatusURL+"?results=1", &st)
+	if st.State != wire.StateDone || st.Completed != 64 || len(st.Results) != 64 || st.Summary == nil {
+		t.Fatalf("status after completion: %+v", st)
+	}
+
+	// The shared cache's counters are visible.
+	var cs wire.CacheStats
+	getJSON(t, ts, "/v1/cache/stats", &cs)
+	if cs.Entries != 64 || cs.Hits < 64 {
+		t.Fatalf("cache stats %+v, want 64 entries and >= 64 hits", cs)
+	}
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", path, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentIdenticalRequestsSingleflight submits the same spec from
+// concurrent clients against one server and asserts the engine ran once
+// per design point in total: every duplicate was either a cache hit or
+// an in-flight share.
+func TestConcurrentIdenticalRequestsSingleflight(t *testing.T) {
+	srv := New(Options{MaxActive: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := wire.Spec{
+		Name:     "dup",
+		Scenario: wire.Scenario{Kind: "charge", DurationS: 0.25, Set: map[string]float64{"initial_vc": 2.5}},
+		Axes: []wire.Axis{
+			{Kind: wire.AxisInt, Param: "dickson.stages", Ints: []int{3, 4}},
+		},
+	}
+	const clients = 4
+	var wg sync.WaitGroup
+	summaries := make([]wire.Summary, clients)
+	resultSets := make([][]wire.Result, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			acc := postSweep(t, ts, wire.SweepRequest{Spec: spec})
+			resultSets[i], summaries[i] = streamSweep(t, ts, acc)
+		}()
+	}
+	wg.Wait()
+
+	// Engine runs = jobs that were neither cached nor shared. Exactly
+	// one per design point across ALL clients.
+	fresh := 0
+	for _, rs := range resultSets {
+		for _, r := range rs {
+			if r.Error != "" {
+				t.Fatalf("%s: %s", r.Name, r.Error)
+			}
+			if !r.Cached && !r.Shared {
+				fresh++
+			}
+		}
+	}
+	if fresh != 2 {
+		t.Errorf("%d concurrent identical requests performed %d engine runs, want 2 (one per design point)", clients, fresh)
+	}
+	// All clients saw bit-identical metrics.
+	ref := metricsByIndex(resultSets[0])
+	for i := 1; i < clients; i++ {
+		m := metricsByIndex(resultSets[i])
+		for idx, want := range ref {
+			if m[idx] != want {
+				t.Errorf("client %d job %d: metrics differ: %v vs %v", i, idx, m[idx], want)
+			}
+		}
+	}
+}
+
+// TestStreamIsProgressive subscribes to the stream before completion and
+// checks results arrive as NDJSON lines while the sweep is running (the
+// handler flushes per chunk) — by observing that the stream delivers all
+// lines and the summary terminates it.
+func TestStreamIsProgressive(t *testing.T) {
+	srv := New(Options{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	acc := postSweep(t, ts, wire.SweepRequest{Spec: wire.Spec{
+		Scenario: wire.Scenario{Kind: "charge", DurationS: 0.25},
+		Axes:     []wire.Axis{{Kind: wire.AxisInt, Param: "dickson.stages", Ints: []int{3, 4, 5, 6}}},
+	}})
+	results, summary := streamSweep(t, ts, acc)
+	if len(results) != 4 || summary.Jobs != 4 {
+		t.Fatalf("streamed %d results, summary %+v", len(results), summary)
+	}
+	// Late subscriber replays the full stream.
+	replayed, _ := streamSweep(t, ts, acc)
+	if len(replayed) != 4 {
+		t.Fatalf("replayed stream delivered %d results", len(replayed))
+	}
+}
+
+// TestBudgetMaxJobs: a spec expanding beyond the server's job budget is
+// rejected up front with 413, before any simulation.
+func TestBudgetMaxJobs(t *testing.T) {
+	srv := New(Options{MaxJobs: 10})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(wire.SweepRequest{Spec: grid64Spec(0.25)})
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %s, want 413", resp.Status)
+	}
+	var e wire.Error
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "64") {
+		t.Fatalf("error envelope %+v, %v", e, err)
+	}
+
+	// A hostile axis product (here a 2e9-realisation seed axis in a
+	// few hundred bytes of JSON) must be rejected before compilation
+	// materialises anything — this request OOM'd the server when the
+	// budget was checked post-expansion.
+	huge, _ := json.Marshal(wire.SweepRequest{Spec: wire.Spec{
+		Scenario: wire.Scenario{Kind: "charge", DurationS: 1},
+		Axes: []wire.Axis{
+			{Kind: wire.AxisSeed, BaseSeed: 1, Count: 2_000_000_000},
+			{Kind: wire.AxisInt, Param: "dickson.stages", Ints: []int{3, 4, 5, 6}},
+		},
+	}})
+	start := time.Now()
+	resp2, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("huge spec: status %s, want 413", resp2.Status)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("huge spec took %v to reject — expansion happened before the budget check", d)
+	}
+}
+
+// TestBudgetMSOverflowClamped: an absurd budget_ms (a client saying
+// "unlimited — clamp me") must mean the server ceiling, not an
+// overflowed, already-expired deadline.
+func TestBudgetMSOverflowClamped(t *testing.T) {
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	acc := postSweep(t, ts, wire.SweepRequest{
+		Spec:     wire.Spec{Scenario: wire.Scenario{Kind: "charge", DurationS: 0.1}},
+		BudgetMS: 1 << 53,
+	})
+	results, summary := streamSweep(t, ts, acc)
+	if summary.Failed != 0 || len(results) != 1 || results[0].Error != "" {
+		t.Fatalf("huge budget_ms cancelled the sweep: %+v / %+v", results, summary)
+	}
+}
+
+// TestBudgetDeadline: a tiny wall-clock budget cancels the sweep via
+// context; unstarted jobs report errors and the stream still resolves
+// with a summary accounting for every job.
+func TestBudgetDeadline(t *testing.T) {
+	srv := New(Options{Workers: 1, MaxRequestTime: 30 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Long-horizon jobs so the budget expires mid-sweep.
+	acc := postSweep(t, ts, wire.SweepRequest{Spec: wire.Spec{
+		Scenario: wire.Scenario{Kind: "charge", DurationS: 5},
+		Axes:     []wire.Axis{{Kind: wire.AxisInt, Param: "dickson.stages", Ints: []int{3, 4, 5, 6, 7, 8}}},
+	}})
+	results, summary := streamSweep(t, ts, acc)
+	if len(results) != 6 || summary.Jobs != 6 {
+		t.Fatalf("stream accounted for %d results, summary %+v", len(results), summary)
+	}
+	cancelled := 0
+	for _, r := range results {
+		if strings.Contains(r.Error, context.DeadlineExceeded.Error()) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no job reported the deadline, budget did not propagate")
+	}
+}
+
+// TestCancelEndpoint: DELETE cancels a running sweep.
+func TestCancelEndpoint(t *testing.T) {
+	srv := New(Options{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	acc := postSweep(t, ts, wire.SweepRequest{Spec: wire.Spec{
+		Scenario: wire.Scenario{Kind: "charge", DurationS: 5},
+		Axes:     []wire.Axis{{Kind: wire.AxisInt, Param: "dickson.stages", Ints: []int{3, 4, 5, 6, 7, 8}}},
+	}})
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+acc.StatusURL, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: %s", resp.Status)
+	}
+	results, _ := streamSweep(t, ts, acc)
+	cancelled := 0
+	for _, r := range results {
+		if r.Error != "" {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("cancel did not stop any job")
+	}
+}
+
+// TestRequestValidation: malformed bodies and unknown fields are 400s
+// with the JSON error envelope; unknown jobs are 404s.
+func TestRequestValidation(t *testing.T) {
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(body string) *http.Response {
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	for name, body := range map[string]string{
+		"not json":      "{",
+		"unknown field": `{"spec":{"scenario":{"kind":"charge","duration_s":1}},"frobnicate":1}`,
+		"unknown kind":  `{"spec":{"scenario":{"kind":"warp","duration_s":1}}}`,
+		"bad settle":    `{"spec":{"scenario":{"kind":"charge","duration_s":1}},"settle_frac":1.5}`,
+	} {
+		resp := post(body)
+		var e wire.Error
+		err := json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || err != nil || e.Error == "" {
+			t.Errorf("%s: status %s envelope %+v err %v", name, resp.Status, e, err)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %s, want 404", resp.Status)
+	}
+}
+
+// TestInvalidJobFailsCleanly: a spec that compiles but whose axis drives
+// the config invalid fails per job with the validation error, and the
+// shared cache is untouched by those jobs.
+func TestInvalidJobFailsCleanly(t *testing.T) {
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	acc := postSweep(t, ts, wire.SweepRequest{Spec: wire.Spec{
+		Scenario: wire.Scenario{Kind: "noise", DurationS: 0.25, NoiseFLoHz: 55, NoiseFHiHz: 85, NoiseSeed: 1},
+		Axes: []wire.Axis{
+			// FHi below FLo makes the noise spec invalid.
+			{Kind: wire.AxisFloat, Param: "noise.fhi_hz", Values: []float64{85, 10}},
+		},
+	}})
+	results, summary := streamSweep(t, ts, acc)
+	if summary.Failed != 1 {
+		t.Fatalf("summary.Failed = %d, want 1", summary.Failed)
+	}
+	for _, r := range results {
+		if (r.Error != "") != (r.Name == "noise[noise.fhi_hz=10]") {
+			t.Errorf("unexpected error state: %+v", r)
+		}
+	}
+	if st := srv.Cache().Stats(); st.Entries != 1 {
+		t.Errorf("cache entries = %d, want 1 (the valid job only)", st.Entries)
+	}
+}
+
+// TestHealthz: liveness probe.
+func TestHealthz(t *testing.T) {
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var h wire.Health
+	getJSON(t, ts, "/healthz", &h)
+	if h.Status != "ok" {
+		t.Fatalf("health %+v", h)
+	}
+}
+
+// TestFinishedJobRetention: finished sweeps beyond KeepFinished are
+// evicted oldest-first; the newest stays queryable.
+func TestFinishedJobRetention(t *testing.T) {
+	srv := New(Options{KeepFinished: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := wire.Spec{Scenario: wire.Scenario{Kind: "charge", DurationS: 0.1}}
+	var accs []wire.SweepAccepted
+	for i := 0; i < 3; i++ {
+		acc := postSweep(t, ts, wire.SweepRequest{Spec: spec})
+		streamSweep(t, ts, acc) // wait for completion
+		accs = append(accs, acc)
+	}
+	resp, err := http.Get(ts.URL + accs[0].StatusURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("oldest finished job still present: %s", resp.Status)
+	}
+	var st wire.JobStatus
+	getJSON(t, ts, accs[2].StatusURL, &st)
+	if st.State != wire.StateDone {
+		t.Errorf("newest job not queryable: %+v", st)
+	}
+}
+
+// TestDiskBackedServerCache: a server over a disk cache serves a sweep
+// primed by a previous server process (warm start across restarts).
+func TestDiskBackedServerCache(t *testing.T) {
+	dir := t.TempDir()
+	spec := wire.Spec{Scenario: wire.Scenario{Kind: "charge", DurationS: 0.25},
+		Axes: []wire.Axis{{Kind: wire.AxisInt, Param: "dickson.stages", Ints: []int{3, 4}}}}
+
+	c1, err := batch.NewDiskCache(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(New(Options{Cache: c1}).Handler())
+	_, sum1 := streamSweep(t, ts1, postSweep(t, ts1, wire.SweepRequest{Spec: spec}))
+	ts1.Close()
+	if sum1.CacheHits != 0 {
+		t.Fatalf("first process already warm: %+v", sum1)
+	}
+
+	c2, err := batch.NewDiskCache(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(New(Options{Cache: c2}).Handler())
+	defer ts2.Close()
+	_, sum2 := streamSweep(t, ts2, postSweep(t, ts2, wire.SweepRequest{Spec: spec}))
+	if sum2.CacheHits != 2 {
+		t.Fatalf("restarted server hit the disk cache %d/2 times", sum2.CacheHits)
+	}
+}
+
+// TestServerMatchesDirectSweep: the service path returns the same
+// physics as calling batch.Sweep directly — the HTTP layer adds
+// transport, never simulation drift.
+func TestServerMatchesDirectSweep(t *testing.T) {
+	spec := grid64Spec(0.25)
+	bspec, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := batch.Sweep(context.Background(), bspec, batch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+	results, _ := streamSweep(t, ts, postSweep(t, ts, wire.SweepRequest{Spec: spec}))
+
+	byIndex := make(map[int]wire.Result, len(results))
+	for _, r := range results {
+		byIndex[r.Index] = r
+	}
+	for _, d := range direct {
+		r, ok := byIndex[d.Index]
+		if !ok {
+			t.Fatalf("job %d missing from stream", d.Index)
+		}
+		if float64(r.Metric) != d.Metric || float64(r.FinalVc) != d.FinalVc ||
+			float64(r.RMSPower) != d.RMSPower || float64(r.MeanPower) != d.MeanPower {
+			t.Errorf("job %d (%s): served metrics differ from direct sweep", d.Index, d.Name)
+		}
+	}
+}

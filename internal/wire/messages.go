@@ -1,0 +1,187 @@
+package wire
+
+import (
+	"time"
+
+	"harvsim/internal/batch"
+)
+
+// SweepRequest is the body of POST /v1/sweep.
+type SweepRequest struct {
+	Spec Spec `json:"spec"`
+	// Workers requests a pool size; the server clamps it to its own
+	// per-request cap. 0 selects the server's default.
+	Workers int `json:"workers,omitempty"`
+	// SettleFrac is the transient fraction discarded before power
+	// metrics (part of the job identity); 0 selects the batch default.
+	SettleFrac float64 `json:"settle_frac,omitempty"`
+	// BudgetMS requests a wall-clock budget; the server clamps it to its
+	// own per-request maximum and cancels the sweep's context when it
+	// expires. 0 selects the server's maximum.
+	BudgetMS int64 `json:"budget_ms,omitempty"`
+}
+
+// SweepAccepted is the 202 response to a submitted sweep.
+type SweepAccepted struct {
+	ID        string `json:"id"`
+	Jobs      int    `json:"jobs"`
+	StatusURL string `json:"status_url"`
+	StreamURL string `json:"stream_url"`
+}
+
+// Stream line types: every NDJSON line carries a "type" discriminator.
+const (
+	LineResult  = "result"
+	LineSummary = "summary"
+)
+
+// Result is the wire form of one job's outcome — an NDJSON stream line
+// (Type == "result") and the element of a finished job's result list.
+// Metric values are bit-exact: finite floats encode in Go's shortest
+// round-trip form, so equal physics produces byte-equal JSON.
+type Result struct {
+	Type  string `json:"type,omitempty"`
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	Group string `json:"group,omitempty"`
+	Seed  Seed   `json:"seed,omitempty"`
+	// Key is the job's content-addressed cache identity (hex), when the
+	// job is cacheable — the handle a client or shard coordinator can
+	// dedupe and route by.
+	Key       string `json:"key,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Cached    bool   `json:"cached,omitempty"`
+	Shared    bool   `json:"shared,omitempty"`
+	ElapsedUS int64  `json:"elapsed_us"`
+	Metric    Float  `json:"metric"`
+	RMSPower  Float  `json:"rms_power"`
+	MeanPower Float  `json:"mean_power"`
+	FinalVc   Float  `json:"final_vc"`
+	Steps     int    `json:"steps"`
+}
+
+// ResultOf converts a batch result for the wire. The content-address
+// key is the one the batch cache run already computed (empty for
+// uncacheable jobs).
+func ResultOf(r batch.Result) Result {
+	out := Result{
+		Type:      LineResult,
+		Index:     r.Index,
+		Name:      r.Name,
+		Group:     r.Job.Group,
+		Seed:      Seed(r.Job.Seed),
+		Key:       r.Key,
+		Cached:    r.Cached,
+		Shared:    r.Shared,
+		ElapsedUS: r.Elapsed.Microseconds(),
+		Metric:    Float(r.Metric),
+		RMSPower:  Float(r.RMSPower),
+		MeanPower: Float(r.MeanPower),
+		FinalVc:   Float(r.FinalVc),
+		Steps:     r.Stats.Steps,
+	}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+	}
+	return out
+}
+
+// Summary is the final NDJSON stream line (Type == "summary") and the
+// aggregate block of a finished job's status.
+type Summary struct {
+	Type      string `json:"type,omitempty"`
+	Jobs      int    `json:"jobs"`
+	Failed    int    `json:"failed"`
+	CacheHits int    `json:"cache_hits"`
+	Shared    int    `json:"shared"`
+	Steps     int    `json:"steps"`
+	WallMS    int64  `json:"wall_ms"`
+	CPUMS     int64  `json:"cpu_ms"`
+	MaxMetric Float  `json:"max_metric"`
+	ArgMax    string `json:"argmax,omitempty"`
+}
+
+// SummaryOf reduces a finished sweep for the wire.
+func SummaryOf(results []batch.Result, wall time.Duration) Summary {
+	s := batch.Summarize(results)
+	out := Summary{
+		Type:      LineSummary,
+		Jobs:      s.Jobs,
+		Failed:    s.Failed,
+		CacheHits: s.CacheHits,
+		Steps:     s.TotalSteps,
+		WallMS:    wall.Milliseconds(),
+		CPUMS:     s.CPUTime.Milliseconds(),
+		MaxMetric: Float(s.MaxMetric),
+	}
+	for _, r := range results {
+		if r.Shared {
+			out.Shared++
+		}
+	}
+	if s.ArgMaxMetric >= 0 {
+		out.ArgMax = results[s.ArgMaxMetric].Name
+	} else {
+		out.MaxMetric = 0 // no successful job; -Inf sentinel stays internal
+	}
+	return out
+}
+
+// JobStatus is the GET /v1/jobs/{id} response.
+type JobStatus struct {
+	ID        string   `json:"id"`
+	State     string   `json:"state"` // "running" | "done"
+	Jobs      int      `json:"jobs"`
+	Completed int      `json:"completed"`
+	Failed    int      `json:"failed"`
+	CacheHits int      `json:"cache_hits"`
+	Shared    int      `json:"shared"`
+	ElapsedMS int64    `json:"elapsed_ms"`
+	Summary   *Summary `json:"summary,omitempty"`
+	Results   []Result `json:"results,omitempty"` // when done and ?results=1
+}
+
+// Job states.
+const (
+	StateRunning = "running"
+	StateDone    = "done"
+)
+
+// CacheStats is the GET /v1/cache/stats response.
+type CacheStats struct {
+	Hits      int64  `json:"hits"`
+	Misses    int64  `json:"misses"`
+	Stale     int64  `json:"stale"`
+	DiskHits  int64  `json:"disk_hits"`
+	Shared    int64  `json:"shared"`
+	Evictions int64  `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Dir       string `json:"dir,omitempty"`
+}
+
+// CacheStatsOf snapshots a batch cache for the wire.
+func CacheStatsOf(c *batch.Cache) CacheStats {
+	s := c.Stats()
+	return CacheStats{
+		Hits:      s.Hits,
+		Misses:    s.Misses,
+		Stale:     s.Stale,
+		DiskHits:  s.DiskHits,
+		Shared:    s.Shared,
+		Evictions: s.Evictions,
+		Entries:   s.Entries,
+		Dir:       c.Dir(),
+	}
+}
+
+// Error is the JSON error envelope every non-2xx response carries.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// Health is the GET /healthz response.
+type Health struct {
+	Status       string `json:"status"`
+	ActiveSweeps int    `json:"active_sweeps"`
+	CacheEntries int    `json:"cache_entries"`
+}

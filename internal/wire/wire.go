@@ -1,0 +1,489 @@
+// Package wire defines the JSON wire format of the sweep service: a
+// declarative, closure-free encoding of the batch layer's job boundary
+// that a client can POST to a server (or a shard coordinator can route)
+// and that compiles back into an executable batch.SweepSpec.
+//
+// The format is canonical in the sense the result cache needs:
+// decode(encode(spec)) compiles to jobs whose content-addressed
+// identities (batch.KeyOf) are bit-identical to the original's. Three
+// properties carry that guarantee:
+//
+//   - floats travel as JSON numbers, which Go encodes in the shortest
+//     form that parses back to the same IEEE-754 value — bit-exact
+//     round-trips, matching the cache key's bit-exact float hashing;
+//   - seeds (full-range uint64) travel as decimal strings, immune to
+//     the float64 mangling a JavaScript intermediary would apply to
+//     large numeric literals;
+//   - every knob an axis or override can touch is a named entry in a
+//     fixed parameter registry, so a spec never carries code, only
+//     names — the server and any future shard resolve the same name to
+//     the same setter.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"harvsim/internal/batch"
+	"harvsim/internal/harvester"
+)
+
+// Seed is a uint64 that survives JSON intermediaries: it marshals as a
+// decimal string and unmarshals from either a string or a number.
+type Seed uint64
+
+// MarshalJSON encodes the seed as a quoted decimal string.
+func (s Seed) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + strconv.FormatUint(uint64(s), 10) + `"`), nil
+}
+
+// UnmarshalJSON accepts "123" (canonical) and 123 (convenience).
+func (s *Seed) UnmarshalJSON(data []byte) error {
+	str := string(data)
+	if len(str) >= 2 && str[0] == '"' {
+		str = str[1 : len(str)-1]
+	}
+	v, err := strconv.ParseUint(str, 10, 64)
+	if err != nil {
+		return fmt.Errorf("wire: bad seed %s: %w", string(data), err)
+	}
+	*s = Seed(v)
+	return nil
+}
+
+// Float is a float64 that survives JSON: finite values encode as plain
+// numbers (Go's shortest-round-trip form, bit-exact), non-finite values
+// — which JSON cannot represent — as the strings "NaN", "+Inf", "-Inf".
+type Float float64
+
+// MarshalJSON encodes finite floats as numbers, non-finite as strings.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON accepts numbers and the three non-finite strings.
+func (f *Float) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"NaN"`:
+		*f = Float(math.NaN())
+		return nil
+	case `"+Inf"`:
+		*f = Float(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = Float(math.Inf(-1))
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return fmt.Errorf("wire: bad float %s: %w", string(data), err)
+	}
+	*f = Float(v)
+	return nil
+}
+
+// Engine names: the short canonical wire identifiers. The long
+// EngineKind.String() forms are accepted on input for readability.
+const (
+	EngineProposed = "proposed"
+	EngineTrap     = "trap"
+	EngineBDF2     = "bdf2"
+	EngineBE       = "be"
+)
+
+// EngineFromName resolves a wire engine name ("" selects the proposed
+// engine, the service's default solver).
+func EngineFromName(name string) (harvester.EngineKind, error) {
+	switch name {
+	case "", EngineProposed, harvester.Proposed.String():
+		return harvester.Proposed, nil
+	case EngineTrap, harvester.ExistingTrap.String():
+		return harvester.ExistingTrap, nil
+	case EngineBDF2, harvester.ExistingBDF2.String():
+		return harvester.ExistingBDF2, nil
+	case EngineBE, harvester.ExistingBE.String():
+		return harvester.ExistingBE, nil
+	}
+	return 0, fmt.Errorf("wire: unknown engine %q (want %s|%s|%s|%s)",
+		name, EngineProposed, EngineTrap, EngineBDF2, EngineBE)
+}
+
+// EngineName returns the short canonical wire name of an engine kind.
+func EngineName(k harvester.EngineKind) string {
+	switch k {
+	case harvester.ExistingTrap:
+		return EngineTrap
+	case harvester.ExistingBDF2:
+		return EngineBDF2
+	case harvester.ExistingBE:
+		return EngineBE
+	default:
+		return EngineProposed
+	}
+}
+
+// param is one registry entry: a named, typed knob on the harvester
+// Config that axes sweep and scenario overrides set. Int params receive
+// a value already checked to be integral.
+type param struct {
+	integer bool
+	set     func(c *harvester.Config, v float64)
+}
+
+// params is THE registry of sweepable knobs. A name here is a stable
+// wire identifier: renaming one breaks clients, so add, don't rename.
+var params = map[string]param{
+	"microgen.k3":     {false, func(c *harvester.Config, v float64) { c.Microgen.K3 = v }},
+	"microgen.rc":     {false, func(c *harvester.Config, v float64) { c.Microgen.Rc = v }},
+	"microgen.cp":     {false, func(c *harvester.Config, v float64) { c.Microgen.Cp = v }},
+	"dickson.stages":  {true, func(c *harvester.Config, v float64) { c.Dickson.Stages = int(v) }},
+	"dickson.cstage":  {false, func(c *harvester.Config, v float64) { c.Dickson.CStage = v }},
+	"dickson.cout":    {false, func(c *harvester.Config, v float64) { c.Dickson.COut = v }},
+	"vib.amplitude":   {false, func(c *harvester.Config, v float64) { c.VibAmplitude = v }},
+	"vib.freq_hz":     {false, func(c *harvester.Config, v float64) { c.VibFreq = v }},
+	"noise.rms":       {false, func(c *harvester.Config, v float64) { c.VibNoise.RMS = v }},
+	"noise.flo_hz":    {false, func(c *harvester.Config, v float64) { c.VibNoise.FLo = v }},
+	"noise.fhi_hz":    {false, func(c *harvester.Config, v float64) { c.VibNoise.FHi = v }},
+	"noise.tones":     {true, func(c *harvester.Config, v float64) { c.VibNoise.Tones = int(v) }},
+	"initial_vc":      {false, func(c *harvester.Config, v float64) { c.InitialVc = v }},
+	"initial_tune_hz": {false, func(c *harvester.Config, v float64) { c.InitialTuneHz = v }},
+	"solver.hmax":     {false, func(c *harvester.Config, v float64) { c.Solver.HMax = v }},
+	"solver.rtol":     {false, func(c *harvester.Config, v float64) { c.Solver.Rtol = v }},
+	"solver.ab_order": {true, func(c *harvester.Config, v float64) { c.Solver.ABOrder = int(v) }},
+}
+
+// Params lists the registry's parameter names, sorted — for error
+// messages and service discovery.
+func Params() []string {
+	out := make([]string, 0, len(params))
+	for name := range params {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookupParam resolves a registry name, optionally requiring an integer
+// knob (int axes) or a float knob (float axes); wantInt < 0 accepts
+// either (scenario overrides).
+func lookupParam(name string, wantInt int) (param, error) {
+	p, ok := params[name]
+	if !ok {
+		return param{}, fmt.Errorf("wire: unknown parameter %q (known: %v)", name, Params())
+	}
+	if wantInt == 1 && !p.integer {
+		return param{}, fmt.Errorf("wire: parameter %q is float-valued; use a float axis", name)
+	}
+	if wantInt == 0 && p.integer {
+		return param{}, fmt.Errorf("wire: parameter %q is integer-valued; use an int axis", name)
+	}
+	return p, nil
+}
+
+// Scenario declares the base workload by kind. Kind-specific fields
+// configure the constructor; Set then overrides any registry parameter
+// on the resulting Config (applied in sorted name order, so the
+// compilation is deterministic).
+type Scenario struct {
+	// Kind selects the constructor: "charge", "scenario1", "scenario2",
+	// "duffing", "noise" or "tracking".
+	Kind string `json:"kind"`
+	// Fidelity applies to scenario1/scenario2: "quick" (default) or
+	// "paper".
+	Fidelity string `json:"fidelity,omitempty"`
+	// DurationS is the simulated horizon [s]; required for every kind
+	// except scenario1/scenario2 (whose fidelity sets it).
+	DurationS float64 `json:"duration_s,omitempty"`
+
+	K3          float64 `json:"k3,omitempty"`            // duffing: cubic spring [N/m^3]
+	NoiseFLoHz  float64 `json:"noise_flo_hz,omitempty"`  // noise: band lower edge
+	NoiseFHiHz  float64 `json:"noise_fhi_hz,omitempty"`  // noise: band upper edge
+	NoiseSeed   Seed    `json:"noise_seed,omitempty"`    // noise: realisation seed
+	TrackF0Hz   float64 `json:"track_f0_hz,omitempty"`   // tracking: chirp start [Hz]
+	TrackFEndHz float64 `json:"track_fend_hz,omitempty"` // tracking: chirp end [Hz]
+
+	// Set overrides registry parameters on the constructed Config, e.g.
+	// {"initial_vc": 2.5, "dickson.stages": 4}.
+	Set map[string]float64 `json:"set,omitempty"`
+}
+
+// build constructs the harvester scenario.
+func (s Scenario) build() (harvester.Scenario, error) {
+	var fid harvester.Fidelity
+	switch s.Fidelity {
+	case "", "quick":
+		fid = harvester.Quick
+	case "paper", "paper-scale":
+		fid = harvester.PaperScale
+	default:
+		return harvester.Scenario{}, fmt.Errorf("wire: unknown fidelity %q (want quick|paper)", s.Fidelity)
+	}
+	needDuration := func() error {
+		if !(s.DurationS > 0) || math.IsInf(s.DurationS, 0) {
+			return fmt.Errorf("wire: scenario kind %q needs duration_s > 0", s.Kind)
+		}
+		return nil
+	}
+	var sc harvester.Scenario
+	switch s.Kind {
+	case "charge":
+		if err := needDuration(); err != nil {
+			return sc, err
+		}
+		sc = harvester.ChargeScenario(s.DurationS)
+	case "scenario1":
+		sc = harvester.Scenario1(fid)
+	case "scenario2":
+		sc = harvester.Scenario2(fid)
+	case "duffing":
+		if err := needDuration(); err != nil {
+			return sc, err
+		}
+		sc = harvester.DuffingScenario(s.DurationS, s.K3)
+	case "noise":
+		if err := needDuration(); err != nil {
+			return sc, err
+		}
+		sc = harvester.NoiseScenario(s.DurationS, s.NoiseFLoHz, s.NoiseFHiHz, uint64(s.NoiseSeed))
+	case "tracking":
+		if err := needDuration(); err != nil {
+			return sc, err
+		}
+		sc = harvester.TrackingScenario(s.DurationS, s.TrackF0Hz, s.TrackFEndHz)
+	default:
+		return sc, fmt.Errorf("wire: unknown scenario kind %q (want charge|scenario1|scenario2|duffing|noise|tracking)", s.Kind)
+	}
+	names := make([]string, 0, len(s.Set))
+	for name := range s.Set {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p, err := lookupParam(name, -1)
+		if err != nil {
+			return sc, err
+		}
+		v := s.Set[name]
+		if p.integer && v != math.Trunc(v) {
+			return sc, fmt.Errorf("wire: parameter %q wants an integer, got %v", name, v)
+		}
+		p.set(&sc.Cfg, v)
+	}
+	return sc, nil
+}
+
+// Axis kinds.
+const (
+	AxisFloat  = "float"
+	AxisInt    = "int"
+	AxisEngine = "engine"
+	AxisSeed   = "seed"
+)
+
+// Axis is the wire form of one sweep dimension. Kind selects which
+// fields apply:
+//
+//   - "float":  Param (a float registry knob) and Values;
+//   - "int":    Param (an int registry knob) and Ints;
+//   - "engine": Engines (wire engine names);
+//   - "seed":   BaseSeed and Count — expanded server-side via the
+//     documented splitmix64 rule (batch.Seeds), so a shard holding only
+//     (base, count) derives identical job identities.
+type Axis struct {
+	Kind     string    `json:"kind"`
+	Param    string    `json:"param,omitempty"`
+	Name     string    `json:"name,omitempty"` // axis label; defaults to Param or Kind
+	Values   []float64 `json:"values,omitempty"`
+	Ints     []int     `json:"ints,omitempty"`
+	Engines  []string  `json:"engines,omitempty"`
+	BaseSeed Seed      `json:"base_seed,omitempty"`
+	Count    int       `json:"count,omitempty"`
+}
+
+// compile lowers the axis onto the batch layer.
+func (a Axis) compile() (batch.Axis, error) {
+	name := a.Name
+	switch a.Kind {
+	case AxisFloat:
+		p, err := lookupParam(a.Param, 0)
+		if err != nil {
+			return batch.Axis{}, err
+		}
+		if len(a.Values) == 0 {
+			return batch.Axis{}, fmt.Errorf("wire: float axis %q has no values", a.Param)
+		}
+		if name == "" {
+			name = a.Param
+		}
+		return batch.FloatAxis(name, a.Values, func(j *batch.Job, v float64) {
+			p.set(&j.Scenario.Cfg, v)
+		}), nil
+	case AxisInt:
+		p, err := lookupParam(a.Param, 1)
+		if err != nil {
+			return batch.Axis{}, err
+		}
+		if len(a.Ints) == 0 {
+			return batch.Axis{}, fmt.Errorf("wire: int axis %q has no values", a.Param)
+		}
+		if name == "" {
+			name = a.Param
+		}
+		return batch.IntAxis(name, a.Ints, func(j *batch.Job, v int) {
+			p.set(&j.Scenario.Cfg, float64(v))
+		}), nil
+	case AxisEngine:
+		if len(a.Engines) == 0 {
+			return batch.Axis{}, fmt.Errorf("wire: engine axis has no engines")
+		}
+		kinds := make([]harvester.EngineKind, len(a.Engines))
+		for i, n := range a.Engines {
+			k, err := EngineFromName(n)
+			if err != nil {
+				return batch.Axis{}, err
+			}
+			kinds[i] = k
+		}
+		return batch.EngineAxis(kinds...), nil
+	case AxisSeed:
+		if a.Count < 1 {
+			return batch.Axis{}, fmt.Errorf("wire: seed axis needs count >= 1, got %d", a.Count)
+		}
+		if name == "" {
+			name = "seed"
+		}
+		return batch.SeedAxis(name, batch.Seeds(uint64(a.BaseSeed), a.Count),
+			func(j *batch.Job, s uint64) { j.Scenario.Cfg.VibNoise.Seed = s }), nil
+	default:
+		return batch.Axis{}, fmt.Errorf("wire: unknown axis kind %q (want %s|%s|%s|%s)",
+			a.Kind, AxisFloat, AxisInt, AxisEngine, AxisSeed)
+	}
+}
+
+// Metric names. The empty name selects the default figure of merit (the
+// settled-window RMS power into the multiplier, computed without a
+// metric closure).
+const (
+	// MetricPStoreMeanSettled is the mean power delivered into the
+	// storage element over the settled final two thirds of the horizon —
+	// the design-sweep ranking cmd/sweep uses.
+	MetricPStoreMeanSettled = "pstore-mean-settled"
+)
+
+// metricFor resolves a named metric into the batch closure and its
+// cache-key label. The closure is a pure function of the run (that is
+// what being in this registry asserts), so jobs carrying it stay
+// cacheable.
+func metricFor(name string, sc harvester.Scenario) (func(*harvester.Harvester, harvester.Engine) float64, string, error) {
+	switch name {
+	case "":
+		return nil, "", nil
+	case MetricPStoreMeanSettled:
+		d := sc.Duration
+		return func(h *harvester.Harvester, eng harvester.Engine) float64 {
+			return h.PStoreTrace.Slice(d/3, d).Mean()
+		}, MetricPStoreMeanSettled, nil
+	}
+	return nil, "", fmt.Errorf("wire: unknown metric %q (want \"\"|%s)", name, MetricPStoreMeanSettled)
+}
+
+// Spec is the wire form of a full sweep: base scenario, solver, metric
+// and axes. It is the unit a client POSTs and a coordinator routes.
+type Spec struct {
+	// Name labels the base job (result names become
+	// "name[axis=value ...]"); defaults to the scenario kind.
+	Name     string   `json:"name,omitempty"`
+	Scenario Scenario `json:"scenario"`
+	Engine   string   `json:"engine,omitempty"`   // wire engine name; "" = proposed
+	Decimate int      `json:"decimate,omitempty"` // trace decimation; 0 = batch default
+	Metric   string   `json:"metric,omitempty"`   // named metric; "" = settled RMS input power
+	Axes     []Axis   `json:"axes,omitempty"`
+}
+
+// Compile lowers the spec into an executable batch sweep. The result is
+// deterministic: equal specs compile to job lists with equal
+// content-addressed identities on every host.
+func (s Spec) Compile() (batch.SweepSpec, error) {
+	sc, err := s.Scenario.build()
+	if err != nil {
+		return batch.SweepSpec{}, err
+	}
+	kind, err := EngineFromName(s.Engine)
+	if err != nil {
+		return batch.SweepSpec{}, err
+	}
+	metric, metricKey, err := metricFor(s.Metric, sc)
+	if err != nil {
+		return batch.SweepSpec{}, err
+	}
+	if s.Decimate < 0 {
+		return batch.SweepSpec{}, fmt.Errorf("wire: decimate must be >= 0, got %d", s.Decimate)
+	}
+	name := s.Name
+	if name == "" {
+		name = s.Scenario.Kind
+	}
+	spec := batch.SweepSpec{
+		Base: batch.Job{
+			Name:      name,
+			Scenario:  sc,
+			Engine:    kind,
+			Decimate:  s.Decimate,
+			Metric:    metric,
+			MetricKey: metricKey,
+		},
+	}
+	for _, ax := range s.Axes {
+		bax, err := ax.compile()
+		if err != nil {
+			return batch.SweepSpec{}, err
+		}
+		spec.Axes = append(spec.Axes, bax)
+	}
+	return spec, nil
+}
+
+// Size returns the number of jobs the spec would expand to (the product
+// of the axis lengths), without compiling or allocating anything — the
+// number a server MUST check against its per-request budget before
+// Compile, because compilation materialises seed lists and expansion
+// materialises cloned configs. The product saturates at math.MaxInt on
+// overflow, so a hostile axis product still trips any sane budget.
+// Invalid axes (empty, unknown kind) contribute nothing here; Compile
+// reports them.
+func (s Spec) Size() int {
+	n := 1
+	for _, ax := range s.Axes {
+		var m int
+		switch ax.Kind {
+		case AxisFloat:
+			m = len(ax.Values)
+		case AxisInt:
+			m = len(ax.Ints)
+		case AxisEngine:
+			m = len(ax.Engines)
+		case AxisSeed:
+			m = ax.Count
+		}
+		if m <= 0 {
+			continue
+		}
+		if n > math.MaxInt/m {
+			return math.MaxInt
+		}
+		n *= m
+	}
+	return n
+}

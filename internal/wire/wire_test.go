@@ -1,0 +1,270 @@
+package wire
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"harvsim/internal/batch"
+	"harvsim/internal/harvester"
+)
+
+// keysOf expands a wire spec and returns the content-addressed identity
+// of every job, in expansion order.
+func keysOf(t *testing.T, spec Spec, opt batch.Options) []batch.CacheKey {
+	t.Helper()
+	bspec, err := spec.Compile()
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	jobs, err := bspec.Jobs()
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	keys := make([]batch.CacheKey, len(jobs))
+	for i, j := range jobs {
+		if !batch.Cacheable(j, opt) {
+			t.Fatalf("job %d (%s) is not cacheable — wire jobs must be", i, j.Name)
+		}
+		keys[i] = batch.KeyOf(j, opt)
+	}
+	return keys
+}
+
+// roundTrip encodes and decodes the spec through its JSON wire form.
+func roundTrip(t *testing.T, spec Spec) Spec {
+	t.Helper()
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var out Spec
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out
+}
+
+// TestRoundTripKeyIdentity is the wire-format pin the server and future
+// sharding depend on: decode(encode(spec)) compiles to a job list whose
+// batch.KeyOf identities are bit-identical to the original's, for every
+// axis kind at once — float (with values that stress shortest-form
+// float encoding), int, engine and seed (full-range uint64 base).
+func TestRoundTripKeyIdentity(t *testing.T) {
+	spec := Spec{
+		Name: "grid",
+		Scenario: Scenario{
+			Kind:       "noise",
+			DurationS:  0.25,
+			NoiseFLoHz: 55,
+			NoiseFHiHz: 85,
+			NoiseSeed:  Seed(math.MaxUint64 - 12345), // above 2^53: floats would mangle it
+			Set:        map[string]float64{"initial_vc": 2.5, "noise.rms": 0.5900000000000001},
+		},
+		Engine: EngineProposed,
+		Metric: MetricPStoreMeanSettled,
+		Axes: []Axis{
+			{Kind: AxisFloat, Param: "dickson.cstage", Values: []float64{10e-6, 2.2e-5, 4.7e-5, 0.1 + 0.2}},
+			{Kind: AxisInt, Param: "dickson.stages", Ints: []int{3, 5}},
+			{Kind: AxisEngine, Engines: []string{EngineProposed, EngineBE}},
+			{Kind: AxisSeed, BaseSeed: Seed(1)<<63 | 42, Count: 3},
+		},
+	}
+	opt := batch.Options{}
+
+	want := keysOf(t, spec, opt)
+	got := keysOf(t, roundTrip(t, spec), opt)
+
+	if len(want) != len(got) {
+		t.Fatalf("job count changed across round-trip: %d vs %d", len(want), len(got))
+	}
+	if n := spec.Size(); n != len(want) {
+		t.Errorf("Size() = %d, want %d", n, len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("job %d: key changed across round-trip:\n  %s\n  %s", i, want[i], got[i])
+		}
+	}
+}
+
+// TestRoundTripEveryScenarioKind round-trips a minimal spec of each
+// scenario kind and checks key identity (single-job specs).
+func TestRoundTripEveryScenarioKind(t *testing.T) {
+	cases := []Scenario{
+		{Kind: "charge", DurationS: 0.25},
+		{Kind: "scenario1"},
+		{Kind: "scenario1", Fidelity: "paper"},
+		{Kind: "scenario2", Fidelity: "quick"},
+		{Kind: "duffing", DurationS: 0.25, K3: harvester.DuffingK3Moderate},
+		{Kind: "noise", DurationS: 0.25, NoiseFLoHz: 55, NoiseFHiHz: 85, NoiseSeed: 7},
+		{Kind: "tracking", DurationS: 2, TrackF0Hz: 68, TrackFEndHz: 72},
+	}
+	for _, sc := range cases {
+		t.Run(sc.Kind+sc.Fidelity, func(t *testing.T) {
+			spec := Spec{Scenario: sc}
+			want := keysOf(t, spec, batch.Options{})
+			got := keysOf(t, roundTrip(t, spec), batch.Options{})
+			if len(want) != 1 || len(got) != 1 || want[0] != got[0] {
+				t.Fatalf("round-trip key mismatch: %v vs %v", want, got)
+			}
+		})
+	}
+}
+
+// TestWireMatchesHandBuiltSweep pins that a wire spec compiles to the
+// same job identities as the equivalent hand-built batch.SweepSpec with
+// closures — the property that lets cmd/sweep's -remote mode hit the
+// server's cache entries for sweeps primed locally (and vice versa).
+func TestWireMatchesHandBuiltSweep(t *testing.T) {
+	wireSpec := Spec{
+		Name:     "dickson",
+		Scenario: Scenario{Kind: "charge", DurationS: 0.5, Set: map[string]float64{"initial_vc": 2.5}},
+		Metric:   MetricPStoreMeanSettled,
+		Axes: []Axis{
+			{Kind: AxisInt, Param: "dickson.stages", Ints: []int{2, 3}},
+			{Kind: AxisFloat, Param: "dickson.cstage", Values: []float64{10e-6, 22e-6}},
+		},
+	}
+
+	base := harvester.ChargeScenario(0.5)
+	base.Cfg.InitialVc = 2.5
+	hand := batch.SweepSpec{
+		Base: batch.Job{
+			Name: "dickson", Scenario: base, Engine: harvester.Proposed,
+			MetricKey: MetricPStoreMeanSettled,
+			Metric: func(h *harvester.Harvester, eng harvester.Engine) float64 {
+				return h.PStoreTrace.Slice(0.5/3, 0.5).Mean()
+			},
+		},
+		Axes: []batch.Axis{
+			batch.IntAxis("dickson.stages", []int{2, 3},
+				func(j *batch.Job, v int) { j.Scenario.Cfg.Dickson.Stages = v }),
+			batch.FloatAxis("dickson.cstage", []float64{10e-6, 22e-6},
+				func(j *batch.Job, v float64) { j.Scenario.Cfg.Dickson.CStage = v }),
+		},
+	}
+	handJobs, err := hand.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := batch.Options{}
+	wireKeys := keysOf(t, wireSpec, opt)
+	if len(wireKeys) != len(handJobs) {
+		t.Fatalf("job counts differ: wire %d vs hand-built %d", len(wireKeys), len(handJobs))
+	}
+	for i := range handJobs {
+		if want := batch.KeyOf(handJobs[i], opt); wireKeys[i] != want {
+			t.Errorf("job %d: wire key %s != hand-built key %s", i, wireKeys[i], want)
+		}
+	}
+}
+
+// TestSeedJSONSafety: seeds marshal as strings and survive values a
+// float64 intermediary would corrupt; numbers are accepted on input.
+func TestSeedJSONSafety(t *testing.T) {
+	s := Seed(math.MaxUint64)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `"18446744073709551615"` {
+		t.Fatalf("seed encoded as %s", data)
+	}
+	var back Seed
+	if err := json.Unmarshal(data, &back); err != nil || back != s {
+		t.Fatalf("seed round-trip: %v, %v", back, err)
+	}
+	if err := json.Unmarshal([]byte(`12345`), &back); err != nil || back != 12345 {
+		t.Fatalf("numeric seed: %v, %v", back, err)
+	}
+}
+
+// TestFloatNonFinite: the Float wrapper encodes non-finite values JSON
+// cannot hold and round-trips them.
+func TestFloatNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0.1, -1e-300} {
+		data, err := json.Marshal(Float(v))
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		var back Float
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if math.IsNaN(v) != math.IsNaN(float64(back)) ||
+			(!math.IsNaN(v) && float64(back) != v) {
+			t.Errorf("%v round-tripped to %v (%s)", v, back, data)
+		}
+	}
+}
+
+// TestValidationErrors: malformed specs are rejected with telling
+// errors, not compiled into surprising sweeps.
+func TestValidationErrors(t *testing.T) {
+	cases := map[string]Spec{
+		"unknown kind":       {Scenario: Scenario{Kind: "warp", DurationS: 1}},
+		"missing duration":   {Scenario: Scenario{Kind: "charge"}},
+		"unknown engine":     {Scenario: Scenario{Kind: "charge", DurationS: 1}, Engine: "spice"},
+		"unknown metric":     {Scenario: Scenario{Kind: "charge", DurationS: 1}, Metric: "vibes"},
+		"unknown param":      {Scenario: Scenario{Kind: "charge", DurationS: 1, Set: map[string]float64{"dickson.stagecoach": 3}}},
+		"fractional int set": {Scenario: Scenario{Kind: "charge", DurationS: 1, Set: map[string]float64{"dickson.stages": 2.5}}},
+		"bad fidelity":       {Scenario: Scenario{Kind: "scenario1", Fidelity: "medium"}},
+		"negative decimate":  {Scenario: Scenario{Kind: "charge", DurationS: 1}, Decimate: -1},
+		"empty float axis": {Scenario: Scenario{Kind: "charge", DurationS: 1},
+			Axes: []Axis{{Kind: AxisFloat, Param: "microgen.k3"}}},
+		"int param on float axis": {Scenario: Scenario{Kind: "charge", DurationS: 1},
+			Axes: []Axis{{Kind: AxisFloat, Param: "dickson.stages", Values: []float64{1}}}},
+		"float param on int axis": {Scenario: Scenario{Kind: "charge", DurationS: 1},
+			Axes: []Axis{{Kind: AxisInt, Param: "microgen.k3", Ints: []int{1}}}},
+		"seed axis without count": {Scenario: Scenario{Kind: "charge", DurationS: 1},
+			Axes: []Axis{{Kind: AxisSeed, BaseSeed: 1}}},
+		"unknown axis kind": {Scenario: Scenario{Kind: "charge", DurationS: 1},
+			Axes: []Axis{{Kind: "logarithmic"}}},
+		"unknown axis engine": {Scenario: Scenario{Kind: "charge", DurationS: 1},
+			Axes: []Axis{{Kind: AxisEngine, Engines: []string{"spice"}}}},
+	}
+	for name, spec := range cases {
+		if _, err := spec.Compile(); err == nil {
+			t.Errorf("%s: Compile accepted the spec", name)
+		}
+	}
+}
+
+// TestSizeSaturates: Size never overflows (it is the pre-compilation
+// budget check, so it must stay truthful for hostile axis products) and
+// ignores axes Compile would reject.
+func TestSizeSaturates(t *testing.T) {
+	s := Spec{Axes: []Axis{
+		{Kind: AxisSeed, Count: math.MaxInt / 2},
+		{Kind: AxisInt, Param: "dickson.stages", Ints: []int{1, 2, 3}},
+	}}
+	if got := s.Size(); got != math.MaxInt {
+		t.Errorf("overflowing product: Size = %d, want MaxInt", got)
+	}
+	s = Spec{Axes: []Axis{
+		{Kind: AxisSeed, Count: -5},
+		{Kind: "bogus"},
+		{Kind: AxisInt, Param: "dickson.stages", Ints: []int{1, 2, 3}},
+	}}
+	if got := s.Size(); got != 3 {
+		t.Errorf("invalid axes: Size = %d, want 3", got)
+	}
+}
+
+// TestEngineNames: every kind's short name resolves back, and the long
+// String() forms are accepted.
+func TestEngineNames(t *testing.T) {
+	kinds := []harvester.EngineKind{
+		harvester.Proposed, harvester.ExistingTrap,
+		harvester.ExistingBDF2, harvester.ExistingBE,
+	}
+	for _, k := range kinds {
+		if got, err := EngineFromName(EngineName(k)); err != nil || got != k {
+			t.Errorf("short name of %v: got %v, %v", k, got, err)
+		}
+		if got, err := EngineFromName(k.String()); err != nil || got != k {
+			t.Errorf("long name of %v: got %v, %v", k, got, err)
+		}
+	}
+}

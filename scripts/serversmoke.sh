@@ -1,0 +1,73 @@
+#!/usr/bin/env sh
+# End-to-end smoke of the sweep service: builds cmd/serve, starts it on
+# a kernel-assigned loopback port, POSTs the 64-point benchmark grid
+# twice and asserts the warm repeat is served entirely from the shared
+# cache (64/64 hits, zero engine runs) with bit-identical metrics.
+# Requires curl and jq (both present on the CI runners).
+set -e
+
+WORK=$(mktemp -d)
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/serve" ./cmd/serve
+"$WORK/serve" -addr 127.0.0.1:0 > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+# The server prints its resolved address; wait for it.
+ADDR=
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^listening on //p' "$WORK/serve.log")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+  echo "serversmoke: server did not start" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+fi
+BASE="http://$ADDR"
+
+curl -fsS "$BASE/healthz" | jq -e '.status == "ok"' > /dev/null
+
+# The repo's 64-point benchmark grid (bench_test.go batchSweepGrid) in
+# its wire form: coil resistance x multiplier stages, charge scenario.
+SPEC='{"spec":{"name":"grid","scenario":{"kind":"charge","duration_s":0.5,"set":{"initial_vc":2.5}},"axes":[{"kind":"float","param":"microgen.rc","values":[100,180,320,560,1000,1800,3200,5600]},{"kind":"int","param":"dickson.stages","ints":[3,4,5,6,7,8,9,10]}]}}'
+
+run_sweep() {
+  ID=$(curl -fsS -X POST "$BASE/v1/sweep" -H 'Content-Type: application/json' -d "$SPEC" | jq -r .id)
+  curl -fsSN "$BASE/v1/jobs/$ID/stream"
+}
+
+run_sweep > "$WORK/cold.ndjson"
+run_sweep > "$WORK/warm.ndjson"
+
+summary() { jq -s 'map(select(.type=="summary"))[0]' "$1"; }
+FAILED=$(summary "$WORK/cold.ndjson" | jq .failed)
+if [ "$FAILED" != "0" ]; then
+  echo "serversmoke: cold run failed $FAILED jobs" >&2
+  exit 1
+fi
+HITS=$(summary "$WORK/warm.ndjson" | jq .cache_hits)
+JOBS=$(summary "$WORK/warm.ndjson" | jq .jobs)
+if [ "$HITS" != "64" ] || [ "$JOBS" != "64" ]; then
+  echo "serversmoke: warm repeat served $HITS/$JOBS from cache, want 64/64" >&2
+  exit 1
+fi
+
+# Bit-identical physics: the metric fields (and content-address keys) of
+# the warm run must equal the cold run's, job for job. Timing and cache
+# markers are excluded — those legitimately differ.
+extract() {
+  jq -c 'select(.type=="result") | [.index,.metric,.rms_power,.mean_power,.final_vc,.key]' "$1" | sort
+}
+extract "$WORK/cold.ndjson" > "$WORK/cold.metrics"
+extract "$WORK/warm.ndjson" > "$WORK/warm.metrics"
+if ! cmp -s "$WORK/cold.metrics" "$WORK/warm.metrics"; then
+  echo "serversmoke: warm metrics differ from cold:" >&2
+  diff "$WORK/cold.metrics" "$WORK/warm.metrics" >&2 || true
+  exit 1
+fi
+
+curl -fsS "$BASE/v1/cache/stats" | jq -e '.entries == 64 and .hits >= 64' > /dev/null
+
+echo "serversmoke OK: warm repeat $HITS/$JOBS cache hits, metrics bit-identical"
