@@ -54,6 +54,7 @@ func main() {
 		maxTime   = flag.Duration("max-request-time", 0, "per-request wall-clock budget ceiling (0 = 2m)")
 		cacheCap  = flag.Int("cache-cap", 0, "in-memory cache entries (0 = default capacity)")
 		cacheDir  = flag.String("cache-dir", "", "persist cached results under this directory (warm starts across restarts)")
+		noLock    = flag.Bool("no-lockstep", false, "disable the ensemble-lockstep dispatch server-wide (A/B timing; results are bit-identical either way)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -81,6 +82,7 @@ func main() {
 		MaxJobs:        *maxJobs,
 		MaxRequestTime: *maxTime,
 		Cache:          cache,
+		NoLockstep:     *noLock,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

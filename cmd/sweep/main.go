@@ -103,6 +103,7 @@ func main() {
 		useCache = flag.Bool("cache", false, "serve repeated candidates from an in-memory result cache")
 		cacheDir = flag.String("cache-dir", "", "persist cached results under this directory (implies -cache)")
 		remote   = flag.String("remote", "", "sweep server base URL (e.g. http://127.0.0.1:8080); runs the sweep remotely instead of simulating locally")
+		noLock   = flag.Bool("no-lockstep", false, "disable the ensemble-lockstep dispatch (A/B timing and bisection; results are bit-identical either way)")
 		verbose  = flag.Bool("v", false, "verbose: full cache counters and complete ensemble CI table")
 	)
 	flag.Usage = usage
@@ -135,7 +136,10 @@ func main() {
 	}
 
 	if *remote != "" {
-		runRemote(*remote, *simFor, *vc, *workers, *topK, k3s, *noiseSd, *seeds, *verbose)
+		if err := runRemote(os.Stdout, *remote, *simFor, *vc, *workers, *topK, k3s, *noiseSd, *seeds, *noLock, *verbose); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: remote: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -181,7 +185,7 @@ func main() {
 	}
 	spec.Base.MetricKey = wire.MetricPStoreMeanSettled
 
-	opt := batch.Options{Workers: *workers}
+	opt := batch.Options{Workers: *workers, NoLockstep: *noLock}
 	switch {
 	case *cacheDir != "":
 		c, err := batch.NewDiskCache(0, *cacheDir)
@@ -209,52 +213,56 @@ func main() {
 		cs := opt.Cache.Stats()
 		cacheStats = &cs
 	}
-	report(results, wall, *topK, *seeds, *vc, *simFor, cacheStats, *verbose)
+	if failed := report(os.Stdout, results, wall, *topK, *seeds, *vc, *simFor, cacheStats, *verbose); failed > 0 {
+		os.Exit(1)
+	}
 }
 
 // report renders a completed sweep — shared by local and remote modes so
-// both read identically.
-func report(results []batch.Result, wall time.Duration, topK, seeds int, vc, simFor float64,
-	cacheStats *batch.CacheStats, verbose bool) {
+// both read identically — and returns the number of failed candidates
+// (the caller decides the process exit status; report itself never
+// exits, so the remote path can wrap the count in a proper error).
+func report(w io.Writer, results []batch.Result, wall time.Duration, topK, seeds int, vc, simFor float64,
+	cacheStats *batch.CacheStats, verbose bool) int {
 	sum := batch.Summarize(results)
-	fmt.Printf("completed in %v wall (summed job time %v)\n\n",
+	fmt.Fprintf(w, "completed in %v wall (summed job time %v)\n\n",
 		wall.Round(time.Millisecond), sum.CPUTime.Round(time.Millisecond))
 
 	var ranked []batch.EnsemblePoint
 	if seeds > 1 {
 		points := batch.Ensembles(results)
 		ranked = batch.EnsembleTop(points, topK)
-		fmt.Printf("ensemble power into store at %.3g V over %d seeds (top %d by mean):\n",
+		fmt.Fprintf(w, "ensemble power into store at %.3g V over %d seeds (top %d by mean):\n",
 			vc, seeds, topK)
-		fmt.Print(batch.EnsembleTable(ranked))
+		fmt.Fprint(w, batch.EnsembleTable(ranked))
 		if verbose && len(points) > len(ranked) {
-			fmt.Printf("\nall %d design points (95%% CI half-widths):\n", len(points))
-			fmt.Print(batch.EnsembleTable(points))
+			fmt.Fprintf(w, "\nall %d design points (95%% CI half-widths):\n", len(points))
+			fmt.Fprint(w, batch.EnsembleTable(points))
 		}
 	} else {
-		fmt.Printf("power into store at %.3g V (top %d):\n", vc, topK)
-		fmt.Print(batch.Table(batch.Top(results, topK)))
+		fmt.Fprintf(w, "power into store at %.3g V (top %d):\n", vc, topK)
+		fmt.Fprint(w, batch.Table(batch.Top(results, topK)))
 	}
-	fmt.Println()
-	fmt.Println(sum.String())
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, sum.String())
 	if cacheStats != nil {
 		cs := cacheStats
-		fmt.Printf("cache: %d hits (%d from disk, %d in-flight shares), %d misses, %d stale, %d evictions, %d entries\n",
+		fmt.Fprintf(w, "cache: %d hits (%d from disk, %d in-flight shares), %d misses, %d stale, %d evictions, %d entries\n",
 			cs.Hits, cs.DiskHits, cs.Shared, cs.Misses, cs.Stale, cs.Evictions, cs.Entries)
 		if verbose {
 			total := cs.Hits + cs.Misses
 			if total > 0 {
-				fmt.Printf("cache: %.1f%% hit rate over %d lookups (cold sweeps miss everything; a warm repeat hits everything)\n",
+				fmt.Fprintf(w, "cache: %.1f%% hit rate over %d lookups (cold sweeps miss everything; a warm repeat hits everything)\n",
 					100*float64(cs.Hits)/float64(total), total)
 			}
 		}
 	}
 	if sum.ArgMaxMetric >= 0 && seeds == 1 {
 		best := results[sum.ArgMaxMetric]
-		fmt.Printf("\nbest design: %s -> %.1f uW\n", best.Name, best.Metric*1e6)
+		fmt.Fprintf(w, "\nbest design: %s -> %.1f uW\n", best.Name, best.Metric*1e6)
 	}
 	if len(ranked) > 0 && ranked[0].N > 0 {
-		fmt.Printf("\nbest design: %s -> %.1f +/- %.1f uW (95%% CI over %d seeds)\n",
+		fmt.Fprintf(w, "\nbest design: %s -> %.1f +/- %.1f uW (95%% CI over %d seeds)\n",
 			ranked[0].Group, ranked[0].Mean*1e6, ranked[0].CI95*1e6, ranked[0].N)
 	}
 	if sum.Failed > 0 {
@@ -264,8 +272,8 @@ func report(results []batch.Result, wall time.Duration, topK, seeds int, vc, sim
 				fmt.Fprintf(os.Stderr, "  %s: %v\n", r.Name, r.Err)
 			}
 		}
-		os.Exit(1)
 	}
+	return sum.Failed
 }
 
 // remoteSpec builds the declarative wire form of the exact sweep the
@@ -300,44 +308,46 @@ func remoteSpec(simFor, vc float64, k3s []float64, noiseSd uint64, seeds int) wi
 }
 
 // runRemote submits the sweep to a server and renders the streamed
-// results with the same report the local mode prints.
-func runRemote(baseURL string, simFor, vc float64, workers, topK int, k3s []float64,
-	noiseSd uint64, seeds int, verbose bool) {
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "sweep: remote: "+format+"\n", args...)
-		os.Exit(1)
-	}
+// results with the same report the local mode prints. It returns a
+// non-nil error — and renders nothing that could be mistaken for a
+// successful sweep — whenever the stream is truncated (connection
+// dropped, server killed mid-sweep, missing or duplicate results) or
+// any job failed server-side; the caller turns that into a non-zero
+// exit.
+func runRemote(w io.Writer, baseURL string, simFor, vc float64, workers, topK int, k3s []float64,
+	noiseSd uint64, seeds int, noLockstep, verbose bool) error {
 	baseURL = strings.TrimRight(baseURL, "/")
-	req := wire.SweepRequest{Spec: remoteSpec(simFor, vc, k3s, noiseSd, seeds), Workers: workers}
+	req := wire.SweepRequest{Spec: remoteSpec(simFor, vc, k3s, noiseSd, seeds),
+		Workers: workers, NoLockstep: noLockstep}
 	body, err := json.Marshal(req)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	start := time.Now()
 	resp, err := http.Post(baseURL+"/v1/sweep", "application/json", bytes.NewReader(body))
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	acc := wire.SweepAccepted{}
 	if resp.StatusCode != http.StatusAccepted {
 		msg, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		fail("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
 	}
 	err = json.NewDecoder(resp.Body).Decode(&acc)
 	resp.Body.Close()
 	if err != nil {
-		fail("decoding accept response: %v", err)
+		return fmt.Errorf("decoding accept response: %w", err)
 	}
-	fmt.Printf("design sweep: %d candidates on %s (job %s)\n", acc.Jobs, baseURL, acc.ID)
+	fmt.Fprintf(w, "design sweep: %d candidates on %s (job %s)\n", acc.Jobs, baseURL, acc.ID)
 
 	stream, err := http.Get(baseURL + acc.StreamURL)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	defer stream.Body.Close()
 	if stream.StatusCode != http.StatusOK {
-		fail("stream: %s", stream.Status)
+		return fmt.Errorf("stream: %s", stream.Status)
 	}
 
 	// Reconstruct batch results from the NDJSON lines so the rendering
@@ -351,13 +361,13 @@ func runRemote(baseURL string, simFor, vc float64, workers, topK int, k3s []floa
 			Type string `json:"type"`
 		}
 		if err := json.Unmarshal(scanner.Bytes(), &probe); err != nil {
-			fail("bad stream line %q: %v", scanner.Text(), err)
+			return fmt.Errorf("bad stream line %q: %v", scanner.Text(), err)
 		}
 		switch probe.Type {
 		case wire.LineResult:
 			var r wire.Result
 			if err := json.Unmarshal(scanner.Bytes(), &r); err != nil {
-				fail("%v", err)
+				return err
 			}
 			br := batch.Result{
 				Index:     r.Index,
@@ -379,30 +389,40 @@ func runRemote(baseURL string, simFor, vc float64, workers, topK int, k3s []floa
 		case wire.LineSummary:
 			s := wire.Summary{}
 			if err := json.Unmarshal(scanner.Bytes(), &s); err != nil {
-				fail("%v", err)
+				return err
 			}
 			summary = &s
 		default:
-			fail("unknown stream line type %q", probe.Type)
+			return fmt.Errorf("unknown stream line type %q", probe.Type)
 		}
 	}
 	if err := scanner.Err(); err != nil {
-		fail("%v", err)
+		return fmt.Errorf("stream read failed after %d of %d results: %w (server killed mid-sweep?)",
+			len(results), acc.Jobs, err)
 	}
 	if summary == nil {
-		fail("stream ended without a summary")
+		return fmt.Errorf("stream ended without a summary after %d of %d results (server killed mid-sweep?)",
+			len(results), acc.Jobs)
+	}
+	if len(results) != acc.Jobs {
+		return fmt.Errorf("stream truncated: received %d of %d results", len(results), acc.Jobs)
 	}
 	wall := time.Since(start)
 
-	// Job-order results (the stream is completion-ordered).
-	ordered := make([]batch.Result, len(results))
-	for i := range ordered {
-		ordered[i].Index = -1
-	}
+	// Job-order results (the stream is completion-ordered). Every index
+	// must land exactly once: with the count check above, a range or
+	// duplicate violation means a hole would render as a silent zero row.
+	ordered := make([]batch.Result, acc.Jobs)
+	seen := make([]bool, acc.Jobs)
 	for _, r := range results {
-		if r.Index >= 0 && r.Index < len(ordered) {
-			ordered[r.Index] = r
+		if r.Index < 0 || r.Index >= acc.Jobs {
+			return fmt.Errorf("stream result index %d outside [0, %d)", r.Index, acc.Jobs)
 		}
+		if seen[r.Index] {
+			return fmt.Errorf("duplicate stream result for job %d", r.Index)
+		}
+		seen[r.Index] = true
+		ordered[r.Index] = r
 	}
 
 	var cacheStats *batch.CacheStats
@@ -419,7 +439,10 @@ func runRemote(baseURL string, simFor, vc float64, workers, topK int, k3s []floa
 			resp.Body.Close()
 		}
 	}
-	fmt.Printf("server: %d/%d cache hits (%d in-flight shares)\n",
+	fmt.Fprintf(w, "server: %d/%d cache hits (%d in-flight shares)\n",
 		summary.CacheHits, summary.Jobs, summary.Shared)
-	report(ordered, wall, topK, seeds, vc, simFor, cacheStats, verbose)
+	if failed := report(w, ordered, wall, topK, seeds, vc, simFor, cacheStats, verbose); failed > 0 {
+		return fmt.Errorf("%d of %d jobs failed server-side", failed, acc.Jobs)
+	}
+	return nil
 }

@@ -122,3 +122,75 @@ func TestNoiseSeedsDistinctThroughBatch(t *testing.T) {
 			a.RMSPower, b.RMSPower)
 	}
 }
+
+// lockstepEnsembleJobs builds one design point's seed ensemble — K jobs
+// sharing a Group, differing only in realisation seed — for the chosen
+// engine kind and Duffing coefficient.
+func lockstepEnsembleJobs(k int, kind EngineKind, k3, duration float64) []BatchJob {
+	jobs := make([]BatchJob, k)
+	for i, seed := range Seeds(11, k) {
+		sc := NoiseScenario(duration, 55, 85, seed)
+		sc.Cfg.Microgen.K3 = k3
+		jobs[i] = BatchJob{
+			Name: "lockstep", Group: "pt", Seed: seed,
+			Scenario: sc, Engine: kind, Decimate: 1,
+		}
+	}
+	return jobs
+}
+
+// TestLockstepBitIdenticalAcrossEngines: a lockstep K-seed run is
+// bit-identical to the K solo runs it replaces, for every engine kind
+// and for both the linear device and the Duffing nonlinearity (whose
+// per-member retangenting makes the members' Jacobians diverge, forcing
+// the shared store onto its per-member fallback).
+func TestLockstepBitIdenticalAcrossEngines(t *testing.T) {
+	kinds := []EngineKind{Proposed, ExistingTrap, ExistingBDF2, ExistingBE}
+	for _, kind := range kinds {
+		for _, k3 := range []float64{0, 1e9} {
+			label := kind.String()
+			if k3 != 0 {
+				label += "+duffing"
+			}
+			dur := 0.3
+			if kind != Proposed {
+				dur = 0.1 // the implicit baselines are ~50x slower
+			}
+			jobs := lockstepEnsembleJobs(3, kind, k3, dur)
+			solo := RunBatchSerial(jobs, BatchOptions{NoLockstep: true})
+			lock := RunBatchSerial(jobs, BatchOptions{})
+			for i := range jobs {
+				sameResult(t, label, solo[i], lock[i])
+			}
+		}
+	}
+}
+
+// TestEnsembleReductionInvariantAcrossDispatch: the Ensembles reduction
+// of a seed sweep is invariant across serial singleton, pooled
+// singleton, serial lockstep and pooled lockstep execution — the
+// statistics are computed in job order over bit-identical member
+// results, so the dispatch strategy cannot show through.
+func TestEnsembleReductionInvariantAcrossDispatch(t *testing.T) {
+	jobs := lockstepEnsembleJobs(4, Proposed, 1e9, 0.4)
+	ref := Ensembles(RunBatchSerial(jobs, BatchOptions{NoLockstep: true}))
+	runs := map[string][]BatchResult{
+		"pooled-solo":     RunBatch(context.Background(), jobs, BatchOptions{Workers: 4, NoLockstep: true}),
+		"serial-lockstep": RunBatchSerial(jobs, BatchOptions{}),
+		"pooled-lockstep": RunBatch(context.Background(), jobs, BatchOptions{Workers: 4}),
+	}
+	for label, results := range runs {
+		points := Ensembles(results)
+		if len(points) != len(ref) {
+			t.Fatalf("%s: %d points, want %d", label, len(points), len(ref))
+		}
+		for i := range ref {
+			a, b := ref[i], points[i]
+			if a.Group != b.Group || a.N != b.N || a.Failed != b.Failed ||
+				a.Mean != b.Mean || a.Variance != b.Variance || a.CI95 != b.CI95 ||
+				a.MeanVc != b.MeanVc {
+				t.Errorf("%s: point %d differs: %+v vs %+v", label, i, a, b)
+			}
+		}
+	}
+}

@@ -203,6 +203,13 @@ type Options struct {
 	// behaviour, kept for A/B benchmarking of the reuse path.
 	NoWorkspaceReuse bool
 
+	// NoLockstep disables ensemble-lockstep dispatch: seed-grouped jobs
+	// (same non-empty Job.Group, proposed engine, equal horizon) run as
+	// independent singletons instead of one shared-factorisation unit.
+	// Output is bit-identical either way (the determinism suite pins
+	// it); the switch exists for A/B benchmarking and bisection.
+	NoLockstep bool
+
 	// Cache, when set, serves cacheable jobs (see Cacheable) from the
 	// content-addressed result store instead of simulating, and stores
 	// every fresh successful result back. The cache is shared across the
@@ -256,9 +263,10 @@ func (o Options) settleFrac() float64 {
 // finish normally (the engines are non-preemptible single sweeps).
 func Run(ctx context.Context, jobs []Job, opt Options) []Result {
 	results := make([]Result, len(jobs))
+	units := lockstepUnits(jobs, opt)
 	n := opt.EffectiveWorkers()
-	if n > len(jobs) {
-		n = len(jobs)
+	if n > len(units) {
+		n = len(units)
 	}
 	if n < 1 {
 		n = 1
@@ -266,23 +274,26 @@ func Run(ctx context.Context, jobs []Job, opt Options) []Result {
 	next := make(chan int)
 	go func() {
 		defer close(next)
-		for i := range jobs {
-			// Check cancellation before offering the job: with an idle
+		for u := range units {
+			// Check cancellation before offering the unit: with an idle
 			// worker ready, the select below would otherwise pick its
 			// send case at random even on a done context.
 			if ctx.Err() == nil {
 				select {
-				case next <- i:
+				case next <- u:
 					continue
 				case <-ctx.Done():
 				}
 			}
-			// Index i was never handed out, so the producer owns
-			// results[i:] exclusively — mark them cancelled.
-			for j := i; j < len(jobs); j++ {
-				results[j] = Result{Index: j, Name: jobName(jobs[j]), Job: jobs[j], Err: ctx.Err()}
-				if opt.OnResult != nil {
-					opt.OnResult(results[j])
+			// Unit u was never handed out, so the producer owns the
+			// remaining units' result slots exclusively — mark them
+			// cancelled.
+			for _, unit := range units[u:] {
+				for _, j := range unit {
+					results[j] = Result{Index: j, Name: jobName(jobs[j]), Job: jobs[j], Err: ctx.Err()}
+					if opt.OnResult != nil {
+						opt.OnResult(results[j])
+					}
 				}
 			}
 			return
@@ -300,13 +311,10 @@ func Run(ctx context.Context, jobs []Job, opt Options) []Result {
 			// later Run's workers inherit the warmed workspaces.
 			pool := workerPool(opt)
 			defer returnWorkerPool(opt, pool)
-			for i := range next {
-				// Each worker writes only its own index; the slots are
-				// disjoint, so no locking is needed.
-				results[i] = runOne(i, jobs[i], opt, pool)
-				if opt.OnResult != nil {
-					opt.OnResult(results[i])
-				}
+			for u := range next {
+				// Each worker writes only its own unit's indices; the
+				// slots are disjoint, so no locking is needed.
+				runUnit(units[u], jobs, opt, results, pool)
 			}
 		}()
 	}
@@ -321,11 +329,8 @@ func RunSerial(jobs []Job, opt Options) []Result {
 	results := make([]Result, len(jobs))
 	pool := workerPool(opt)
 	defer returnWorkerPool(opt, pool)
-	for i, job := range jobs {
-		results[i] = runOne(i, job, opt, pool)
-		if opt.OnResult != nil {
-			opt.OnResult(results[i])
-		}
+	for _, unit := range lockstepUnits(jobs, opt) {
+		runUnit(unit, jobs, opt, results, pool)
 	}
 	return results
 }

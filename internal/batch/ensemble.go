@@ -145,14 +145,32 @@ func reduce(p *EnsemblePoint, results []Result) {
 
 // EnsembleTop returns the k points with the largest ensemble Mean, in
 // descending order (ties broken by first member index, so the ranking
-// is deterministic). Points with no successful member rank last.
+// is deterministic). Points whose successful members produced a NaN
+// mean rank after every finite-mean point; points with no successful
+// member rank last of all.
 func EnsembleTop(points []EnsemblePoint, k int) []EnsemblePoint {
 	out := append([]EnsemblePoint(nil), points...)
-	sort.SliceStable(out, func(i, j int) bool {
-		if (out[i].N > 0) != (out[j].N > 0) {
-			return out[i].N > 0
+	// tier partitions the points into a totally ordered hierarchy so the
+	// comparator satisfies strict weak ordering even with NaN means: a
+	// bare `Mean > Mean` comparison is false both ways for NaN, which
+	// would otherwise make NaN points compare "equal" to everything and
+	// the sort order nondeterministic.
+	tier := func(p EnsemblePoint) int {
+		switch {
+		case p.N == 0:
+			return 2
+		case math.IsNaN(p.Mean):
+			return 1
+		default:
+			return 0
 		}
-		if out[i].Mean != out[j].Mean {
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ti, tj := tier(out[i]), tier(out[j])
+		if ti != tj {
+			return ti < tj
+		}
+		if ti == 0 && out[i].Mean != out[j].Mean {
 			return out[i].Mean > out[j].Mean
 		}
 		return out[i].Indices[0] < out[j].Indices[0]

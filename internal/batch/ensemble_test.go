@@ -142,6 +142,47 @@ func TestEnsembleTopOrdering(t *testing.T) {
 	}
 }
 
+// TestEnsembleTopNaNOrdering: a successful member with a NaN metric
+// poisons its point's Mean; the comparator must still satisfy strict
+// weak ordering (a bare Mean comparison is false both ways for NaN,
+// leaving the sort order input-permutation-dependent). NaN-mean points
+// rank after every finite point and before zero-member points, ties by
+// first member index, so every input permutation yields one ranking.
+func TestEnsembleTopNaNOrdering(t *testing.T) {
+	mk := func(group string, metric float64) Result {
+		return Result{Job: Job{Group: group}, Metric: metric}
+	}
+	results := []Result{
+		mk("nan-a", math.NaN()),
+		mk("lo", 1),
+		{Job: Job{Group: "dead"}, Err: errors.New("x")},
+		mk("hi", 9),
+		mk("nan-b", math.NaN()),
+	}
+	// Every rotation of the input must produce the tiered ranking:
+	// finite means descending, then the NaN-mean points (by first member
+	// index, i.e. order of appearance), then the all-failed point.
+	for shift := 0; shift < len(results); shift++ {
+		perm := append(append([]Result(nil), results[shift:]...), results[:shift]...)
+		for i := range perm {
+			perm[i].Index = i
+		}
+		want := []string{"hi", "lo"}
+		for _, r := range perm {
+			if math.IsNaN(r.Metric) && r.Err == nil {
+				want = append(want, r.Job.Group)
+			}
+		}
+		want = append(want, "dead")
+		top := EnsembleTop(Ensembles(perm), 10)
+		for i, g := range want {
+			if top[i].Group != g {
+				t.Fatalf("shift %d: rank %d = %q, want %q", shift, i, top[i].Group, g)
+			}
+		}
+	}
+}
+
 // TestEnsembleSerialPooledIdentical: the ensemble reduction of a real
 // stochastic sweep is bit-identical between serial and pooled execution
 // — the reduction runs in job order over bit-identical results.

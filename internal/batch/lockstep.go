@@ -1,0 +1,187 @@
+package batch
+
+import (
+	"time"
+
+	"harvsim/internal/core"
+	"harvsim/internal/harvester"
+)
+
+// lockstepUnits partitions the jobs into dispatch units. Jobs that form
+// a seed ensemble — the same non-empty Job.Group, the proposed explicit
+// engine, the same horizon, and at least two distinct Job.Seed values —
+// become one lockstep unit, dispatched to a single worker that steps
+// all members through shared factorisations; everything else stays a
+// singleton. Units are emitted in first-member job order, and the
+// partition never changes any job's Result: a lockstep member runs its
+// exact solo march, so grouping is a pure scheduling decision (pinned
+// by the determinism suite, A/B-switchable via Options.NoLockstep).
+func lockstepUnits(jobs []Job, opt Options) [][]int {
+	units := make([][]int, 0, len(jobs))
+	if opt.NoLockstep {
+		for i := range jobs {
+			units = append(units, []int{i})
+		}
+		return units
+	}
+	type groupKey struct {
+		group    string
+		engine   harvester.EngineKind
+		duration float64
+	}
+	grouped := make(map[groupKey]int) // key -> index into units
+	for i, job := range jobs {
+		if job.Group == "" || job.Engine != harvester.Proposed {
+			units = append(units, []int{i})
+			continue
+		}
+		key := groupKey{job.Group, job.Engine, job.Scenario.Duration}
+		if u, ok := grouped[key]; ok {
+			units[u] = append(units[u], i)
+			continue
+		}
+		grouped[key] = len(units)
+		units = append(units, []int{i})
+	}
+	// Ensembles of one — or groups whose members all share one seed —
+	// gain nothing from lockstep; demote them to singletons so they take
+	// the exact singleton path (runOne, with singleflight).
+	for u, unit := range units {
+		if len(unit) < 2 {
+			continue
+		}
+		distinct := false
+		for _, i := range unit[1:] {
+			if jobs[i].Seed != jobs[unit[0]].Seed {
+				distinct = true
+				break
+			}
+		}
+		if !distinct {
+			for _, i := range unit[1:] {
+				units = append(units, []int{i})
+			}
+			units[u] = unit[:1]
+		}
+	}
+	return units
+}
+
+// runUnit resolves one dispatch unit into its result slots and streams
+// each member through OnResult. Singleton units take the ordinary
+// runOne path; multi-member units run in lockstep.
+func runUnit(unit []int, jobs []Job, opt Options, results []Result, pool *core.WorkspacePool) {
+	if len(unit) == 1 {
+		i := unit[0]
+		results[i] = runOne(i, jobs[i], opt, pool)
+		if opt.OnResult != nil {
+			opt.OnResult(results[i])
+		}
+		return
+	}
+	runLockstep(unit, jobs, opt, results)
+	if opt.OnResult != nil {
+		for _, i := range unit {
+			opt.OnResult(results[i])
+		}
+	}
+}
+
+// runLockstep resolves a seed-ensemble unit: members served by the
+// result cache fill from their snapshots exactly as runOne's hit path
+// would, and the remaining members assemble against a shared
+// structure-of-arrays workspace and march in lockstep through one set
+// of factorisations. Per-member Results, cache keys (KeyOf is
+// unchanged) and cache entries are identical to K singleton runs; the
+// only singleton behaviour lockstep members skip is in-flight miss
+// deduplication (singleflight) — a concurrent identical job in another
+// run may compute the same entry redundantly, which costs time, never
+// correctness (Put is idempotent for bit-identical snapshots).
+func runLockstep(unit []int, jobs []Job, opt Options, results []Result) {
+	start := time.Now()
+	pending := make([]int, 0, len(unit))
+	for _, i := range unit {
+		res := Result{Index: i, Name: jobName(jobs[i]), Job: jobs[i]}
+		if err := jobs[i].Scenario.Cfg.Validate(); err != nil {
+			res.Err = err
+			results[i] = res
+			continue
+		}
+		if c := opt.Cache; c != nil && Cacheable(jobs[i], opt) {
+			key := KeyOf(jobs[i], opt)
+			res.Key = key.String()
+			if snap, ok := c.Get(key); ok {
+				snap.fill(&res)
+				res.Cached = true
+				res.Elapsed = time.Since(start)
+				results[i] = res
+				continue
+			}
+		}
+		results[i] = res
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return
+	}
+
+	scs := make([]harvester.Scenario, len(pending))
+	for k, i := range pending {
+		scs[k] = jobs[i].Scenario
+	}
+	hs, _, err := harvester.AssembleEnsemble(scs)
+	if err != nil {
+		for _, i := range pending {
+			results[i].Err = err
+			results[i].Elapsed = time.Since(start)
+		}
+		return
+	}
+	engs := make([]harvester.Engine, len(pending))
+	for k, i := range pending {
+		dec := jobs[i].Decimate
+		if dec == 0 {
+			dec = DefaultDecimate
+		}
+		engs[k] = hs[k].NewEngine(jobs[i].Engine, dec)
+		if jobs[i].Probe != nil {
+			jobs[i].Probe(hs[k], engs[k])
+		}
+	}
+	errs := harvester.RunEnsemble(hs, engs, scs[0].Duration)
+
+	for k, i := range pending {
+		res := &results[i]
+		res.Elapsed = time.Since(start)
+		if errs[k] != nil {
+			res.Err = errs[k]
+			hs[k].Release()
+			continue
+		}
+		h, eng, job := hs[k], engs[k], jobs[i]
+		_, res.FinalVc = h.VcTrace.Last()
+		res.FinalState = append([]float64(nil), eng.State()...)
+		settled := h.PMultIn.Slice(job.Scenario.Duration*opt.settleFrac(), job.Scenario.Duration)
+		res.RMSPower = settled.RMS()
+		res.MeanPower = settled.Mean()
+		if job.Metric != nil {
+			res.Metric = job.Metric(h, eng)
+		} else {
+			res.Metric = res.RMSPower
+		}
+		res.Energy = h.Energy
+		res.Stats = StatsOf(eng)
+		// Store every successful result, non-finite metrics included —
+		// the same policy as the singleton path (the wire layer encodes
+		// non-finite floats safely).
+		if c := opt.Cache; c != nil && res.Key != "" {
+			c.Put(KeyOf(job, opt), snapshotOf(*res))
+		}
+		if opt.Keep {
+			res.Harvester = h
+			res.Engine = eng
+		} else {
+			h.Release()
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package batch
+
+import (
+	"reflect"
+	"testing"
+
+	"harvsim/internal/harvester"
+)
+
+// seedEnsembleJobs builds one design point's seed ensemble: k jobs
+// sharing a Group and differing only in the noise realisation seed.
+func seedEnsembleJobs(k int, duration float64, kind harvester.EngineKind) []Job {
+	jobs := make([]Job, k)
+	for i, seed := range Seeds(7, k) {
+		sc := harvester.NoiseScenario(duration, 55, 85, seed)
+		jobs[i] = Job{
+			Name:     "ens",
+			Group:    "point-0",
+			Seed:     seed,
+			Scenario: sc,
+			Engine:   kind,
+		}
+	}
+	return jobs
+}
+
+func requireSameResults(t *testing.T, label string, solo, lock []Result) {
+	t.Helper()
+	if len(solo) != len(lock) {
+		t.Fatalf("%s: %d vs %d results", label, len(solo), len(lock))
+	}
+	for i := range solo {
+		a, b := solo[i], lock[i]
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("%s[%d]: errors %v / %v", label, i, a.Err, b.Err)
+		}
+		if a.FinalVc != b.FinalVc || a.RMSPower != b.RMSPower ||
+			a.MeanPower != b.MeanPower || a.Metric != b.Metric {
+			t.Errorf("%s[%d]: metrics differ: %+v vs %+v", label, i, a, b)
+		}
+		if !reflect.DeepEqual(a.FinalState, b.FinalState) {
+			t.Errorf("%s[%d]: final state differs", label, i)
+		}
+		if a.Energy != b.Energy {
+			t.Errorf("%s[%d]: energy differs: %+v vs %+v", label, i, a.Energy, b.Energy)
+		}
+		if a.Stats != b.Stats {
+			t.Errorf("%s[%d]: engine stats differ: %+v vs %+v", label, i, a.Stats, b.Stats)
+		}
+		if a.Key != b.Key {
+			t.Errorf("%s[%d]: cache key %q vs %q", label, i, a.Key, b.Key)
+		}
+	}
+}
+
+// TestLockstepBitIdenticalToSolo pins the tentpole's correctness
+// contract at the batch level: a seed-grouped unit dispatched through
+// the lockstep engine produces bit-identical Results — metrics, final
+// state, energy bookkeeping AND per-engine work counters — to the same
+// jobs run as independent singletons.
+func TestLockstepBitIdenticalToSolo(t *testing.T) {
+	jobs := seedEnsembleJobs(5, 0.3, harvester.Proposed)
+	solo := RunSerial(jobs, Options{NoLockstep: true})
+	lock := RunSerial(jobs, Options{})
+	requireSameResults(t, "proposed", solo, lock)
+}
+
+// TestLockstepCacheInterop: lockstep members use the same cache keys
+// and store the same snapshots as singleton runs, so a cache warmed by
+// a lockstep run serves a NoLockstep run (and vice versa), and a
+// partially warmed ensemble runs only its missing members.
+func TestLockstepCacheInterop(t *testing.T) {
+	jobs := seedEnsembleJobs(4, 0.25, harvester.Proposed)
+
+	cache := NewCache(0)
+	first := RunSerial(jobs, Options{Cache: cache})
+	for i, r := range first {
+		if r.Err != nil || r.Cached {
+			t.Fatalf("first[%d]: err=%v cached=%v", i, r.Err, r.Cached)
+		}
+		if r.Key == "" {
+			t.Fatalf("first[%d]: no cache key", i)
+		}
+	}
+	// A NoLockstep rerun on the same cache must hit every entry.
+	second := RunSerial(jobs, Options{Cache: cache, NoLockstep: true})
+	for i, r := range second {
+		if r.Err != nil || !r.Cached {
+			t.Fatalf("second[%d]: err=%v cached=%v (want hit)", i, r.Err, r.Cached)
+		}
+	}
+	requireSameResults(t, "warm", first, second)
+
+	// Partially warmed: a fresh cache with only member 1's entry; the
+	// lockstep unit serves it from the cache and marches the rest, with
+	// results still bit-identical.
+	partial := NewCache(0)
+	RunSerial(jobs[1:2], Options{Cache: partial, NoLockstep: true})
+	third := RunSerial(jobs, Options{Cache: partial})
+	if !third[1].Cached {
+		t.Errorf("member 1 not served from warm cache")
+	}
+	requireSameResults(t, "partial", first, third)
+}
+
+// TestLockstepUnitPartition pins the grouping rule: only same-group,
+// proposed-engine, multi-seed jobs form a unit; everything else stays a
+// singleton, and NoLockstep forces all singletons.
+func TestLockstepUnitPartition(t *testing.T) {
+	sc := harvester.NoiseScenario(0.1, 55, 85, 1)
+	seeds := Seeds(3, 3)
+	jobs := []Job{
+		{Group: "a", Seed: seeds[0], Scenario: sc, Engine: harvester.Proposed},   // unit "a"
+		{Group: "", Seed: seeds[0], Scenario: sc, Engine: harvester.Proposed},    // singleton: no group
+		{Group: "a", Seed: seeds[1], Scenario: sc, Engine: harvester.Proposed},   // unit "a"
+		{Group: "b", Seed: seeds[0], Scenario: sc, Engine: harvester.ExistingBE}, // singleton: implicit engine
+		{Group: "b", Seed: seeds[1], Scenario: sc, Engine: harvester.ExistingBE}, // singleton: implicit engine
+		{Group: "c", Seed: seeds[2], Scenario: sc, Engine: harvester.Proposed},   // demoted: lone seed
+		{Group: "c", Seed: seeds[2], Scenario: sc, Engine: harvester.Proposed},   // demoted: duplicate seed
+	}
+	units := lockstepUnits(jobs, Options{})
+	var sizes []int
+	for _, u := range units {
+		sizes = append(sizes, len(u))
+	}
+	if want := []int{2, 1, 1, 1, 1, 1}; !reflect.DeepEqual(sizes, want) {
+		t.Fatalf("unit sizes = %v (units %v), want %v", sizes, units, want)
+	}
+	if got := units[0]; got[0] != 0 || got[1] != 2 {
+		t.Errorf("unit 0 = %v, want [0 2]", got)
+	}
+	units = lockstepUnits(jobs, Options{NoLockstep: true})
+	if len(units) != len(jobs) {
+		t.Errorf("NoLockstep: %d units, want %d singletons", len(units), len(jobs))
+	}
+	for i, u := range units {
+		if len(u) != 1 || u[0] != i {
+			t.Errorf("NoLockstep unit %d = %v", i, u)
+		}
+	}
+}

@@ -40,6 +40,14 @@ type Vibration struct {
 
 	noise NoiseSpec   // zero value = no stochastic component
 	tones []noiseTone // realisation of noise, derived from the spec
+
+	// Single-entry Accel memo (EnableAccelMemo): the engines evaluate
+	// Accel up to three times per step at the same t (two linearise
+	// passes and the observer), and in a lockstep ensemble that
+	// redundant trigonometry dominates the shared-work savings.
+	memoOn bool
+	memoT  float64 // NaN = empty/invalidated
+	memoA  float64
 }
 
 // NoiseSpec declares a band-limited stochastic excitation: stationary
@@ -144,6 +152,7 @@ func (v *Vibration) addSeg(t, f, rate float64) {
 	}
 	phase := last.phaseAt(t)
 	seg := vibSeg{t0: t, freq: f, rate: rate, phase0: phase}
+	v.memoT = math.NaN()
 	if t == last.t0 {
 		v.segs[len(v.segs)-1] = seg
 		return
@@ -163,6 +172,7 @@ func (v *Vibration) Reset(f0 float64) {
 	v.segs[0] = vibSeg{t0: 0, freq: f0}
 	v.noise = NoiseSpec{}
 	v.tones = v.tones[:0]
+	v.memoT = math.NaN()
 }
 
 // ConfigureNoise adds (or replaces) the band-limited stochastic
@@ -173,6 +183,7 @@ func (v *Vibration) Reset(f0 float64) {
 // graceful rejection check Validate first.
 func (v *Vibration) ConfigureNoise(spec NoiseSpec) {
 	v.tones = v.tones[:0]
+	v.memoT = math.NaN()
 	v.noise = spec
 	if !spec.Enabled() {
 		v.noise = NoiseSpec{}
@@ -243,10 +254,28 @@ func (v *Vibration) Phase(t float64) float64 { return v.seg(t).phaseAt(t) }
 // evaluation is allocation-free — it sits on the engines' per-step hot
 // path (linearisation refresh, observer, frequency meter).
 func (v *Vibration) Accel(t float64) float64 {
+	if v.memoOn && t == v.memoT {
+		return v.memoA
+	}
 	a := v.Amplitude * math.Sin(v.Phase(t))
 	for i := range v.tones {
 		tn := &v.tones[i]
 		a += tn.amp * math.Sin(tn.w*t+tn.phi)
 	}
+	if v.memoOn {
+		v.memoT, v.memoA = t, a
+	}
 	return a
+}
+
+// EnableAccelMemo turns on a single-entry memo of the last Accel
+// evaluation. Accel is a pure function of (t, profile, noise), so the
+// memo returns the identical bits a recomputation would; every profile
+// or noise mutation (SetFrequency, Sweep, Reset, ConfigureNoise)
+// invalidates it. Callers that mutate Amplitude directly mid-run must
+// not enable the memo. The lockstep ensemble path enables it because
+// the engines evaluate Accel several times per step at one t.
+func (v *Vibration) EnableAccelMemo() {
+	v.memoOn = true
+	v.memoT = math.NaN()
 }

@@ -91,6 +91,20 @@ type Engine struct {
 	// otherwise — and reused by every subsequent Run of the same shape.
 	ws *Workspace
 
+	// share, when set (by EnsembleEngine), lets this member serve its
+	// elimination factorisations and stability analyses from a content-
+	// addressed store common to the whole lockstep ensemble. Every hit is
+	// verified against the exact matrix contents, so a shared result is
+	// bit-identical to the private computation it replaces — members that
+	// drift apart (a Duffing retangent) simply stop matching and fall
+	// back to private work.
+	share *EnsembleShared
+
+	// luRef is the factorisation solveY and refreshStability use: luYY
+	// when the engine owns its factors, an immutable shared entry when
+	// the ensemble store served one.
+	luRef *la.LU
+
 	// Views into ws, bound by ensureWorkspace.
 	x, y, yRHS, f []float64
 	xNext, xLow   []float64
@@ -176,6 +190,7 @@ func (e *Engine) ensureWorkspace() error {
 	e.x, e.y, e.yRHS, e.f = ws.x, ws.y, ws.yRHS, ws.f
 	e.xNext, e.xLow, e.errv = ws.xNext, ws.xLow, ws.errv
 	e.luYY = ws.luYY
+	e.luRef = ws.luYY
 	e.red, e.bal, e.kMat = ws.red, ws.bal, ws.kM
 	e.jPrev = ws.jPrev
 	e.hist = ws.hist
@@ -199,8 +214,17 @@ func (e *Engine) Workspace() *Workspace { return e.ws }
 // few hundred flops, which is where the technique's speedup lives.
 func (e *Engine) refresh(first bool) (relChange float64, err error) {
 	s := e.Sys
-	if err := e.luYY.Factor(s.Jyy); err != nil {
-		return 0, fmt.Errorf("core: terminal elimination matrix singular: %w", err)
+	if e.share != nil {
+		lu, err := e.share.factorOf(s.Jyy)
+		if err != nil {
+			return 0, fmt.Errorf("core: terminal elimination matrix singular: %w", err)
+		}
+		e.luRef = lu
+	} else {
+		if err := e.luYY.Factor(s.Jyy); err != nil {
+			return 0, fmt.Errorf("core: terminal elimination matrix singular: %w", err)
+		}
+		e.luRef = e.luYY
 	}
 	if !first {
 		relChange = e.jacChange()
@@ -224,11 +248,36 @@ func (e *Engine) refresh(first bool) (relChange float64, err error) {
 }
 
 // refreshStability recomputes the reduced state matrix
-// Jxx - Jxy*inv(Jyy)*Jyx and its explicit-integration step caps.
+// Jxx - Jxy*inv(Jyy)*Jyx and its explicit-integration step caps. In a
+// lockstep ensemble the analysis itself is served from the shared store
+// when another member already did it for identical Jacobians; the
+// bookkeeping tail (cap tracking, drift reset, stats) is always
+// per-member, so a served member's counters match its solo run exactly.
 func (e *Engine) refreshStability() error {
+	if e.share != nil {
+		if err := e.share.stabilityFor(e); err != nil {
+			return err
+		}
+	} else if err := e.computeStability(); err != nil {
+		return err
+	}
+	hs := e.stabCapFor(1)
+	e.hStab = e.hRealFE
+	if hs < e.Stats.HStabMin {
+		e.Stats.HStabMin = hs
+	}
+	e.driftAccum = 0
+	e.sinceStab = 0
+	e.Stats.StabilityRecomputes++
+	return nil
+}
+
+// computeStability performs the reduced-matrix stability analysis,
+// setting red, dScale/scaleAge, hRealFE and rhoOsc.
+func (e *Engine) computeStability() error {
 	s := e.Sys
 	// K = inv(Jyy) * Jyx, column by column.
-	if err := e.luYY.SolveMatrix(e.kMat, s.Jyx); err != nil {
+	if err := e.luRef.SolveMatrix(e.kMat, s.Jyx); err != nil {
 		return err
 	}
 	// red = Jxx - Jxy*K.
@@ -275,14 +324,6 @@ func (e *Engine) refreshStability() error {
 	}
 	e.hRealFE = hReal
 	e.rhoOsc = rhoOsc
-	hs := e.stabCapFor(1)
-	e.hStab = hReal
-	if hs < e.Stats.HStabMin {
-		e.Stats.HStabMin = hs
-	}
-	e.driftAccum = 0
-	e.sinceStab = 0
-	e.Stats.StabilityRecomputes++
 	return nil
 }
 
@@ -308,16 +349,23 @@ func (e *Engine) jacChange() float64 {
 	return worst
 }
 
-// solveY eliminates the non-state variables at the current point:
-// Jyy*y = -(Jyx*x + Ey) (paper Eq. 4).
-func (e *Engine) solveY() error {
+// yElimRHS forms the elimination right-hand side -(Jyx*x + Ey) into
+// yRHS. Split from solveY so EnsembleEngine can batch K members' RHS
+// vectors into one la.SolveColumns call per shared factorisation.
+func (e *Engine) yElimRHS() {
 	s := e.Sys
 	s.Jyx.MulVec(e.yRHS, e.x)
 	for i := range e.yRHS {
 		e.yRHS[i] = -(e.yRHS[i] + s.Ey[i])
 	}
 	e.Stats.YSolves++
-	return e.luYY.Solve(e.y, e.yRHS)
+}
+
+// solveY eliminates the non-state variables at the current point:
+// Jyy*y = -(Jyx*x + Ey) (paper Eq. 4).
+func (e *Engine) solveY() error {
+	e.yElimRHS()
+	return e.luRef.Solve(e.y, e.yRHS)
 }
 
 // deriv computes xdot = Jxx*x + Jxy*y + Ex into e.f.
@@ -335,6 +383,22 @@ func (e *Engine) deriv() {
 // the first consistent linearisation. After Begin the engine is stepped
 // with Step until done, then closed with Finish; Run does all three.
 func (e *Engine) Begin(t0, tEnd float64) error {
+	if err := e.beginPrepared(t0, tEnd); err != nil {
+		return err
+	}
+	if err := e.solveY(); err != nil {
+		return err
+	}
+	return e.beginFinish()
+}
+
+// beginPrepared runs Begin up to (but not including) the initial
+// terminal-variable elimination: workspace binding, state reset, first
+// linearisation and factorisation refresh. It is the seam the ensemble
+// lockstep engine uses to batch the K members' initial eliminations
+// through one shared factorisation; Begin is exactly beginPrepared +
+// solveY + beginFinish.
+func (e *Engine) beginPrepared(t0, tEnd float64) error {
 	if tEnd <= t0 {
 		return fmt.Errorf("core: empty time span [%g, %g]", t0, tEnd)
 	}
@@ -362,9 +426,12 @@ func (e *Engine) Begin(t0, tEnd float64) error {
 	if _, err := e.refresh(true); err != nil {
 		return err
 	}
-	if err := e.solveY(); err != nil {
-		return err
-	}
+	return nil
+}
+
+// beginFinish completes Begin after the initial elimination: the
+// optional segment-resolution pass and the first step-size choice.
+func (e *Engine) beginFinish() error {
 	if e.ResolveSegments {
 		if e.Sys.Linearise(e.t, e.x, e.y) {
 			if _, err := e.refresh(true); err != nil {
@@ -376,7 +443,7 @@ func (e *Engine) Begin(t0, tEnd float64) error {
 		}
 	}
 
-	e.h = e.Ctl.Clamp(math.Min(e.Ctl.HMax, (tEnd-t0)/10), e.stabCap())
+	e.h = e.Ctl.Clamp(math.Min(e.Ctl.HMax, (e.tEnd-e.t0)/10), e.stabCap())
 	e.hSum = 0
 	e.shrinkNext = 1.0
 	e.running = true

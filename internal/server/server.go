@@ -62,6 +62,10 @@ type Options struct {
 	// KeepFinished bounds how many finished sweeps stay queryable;
 	// oldest are dropped first. 0 = 128.
 	KeepFinished int
+	// NoLockstep disables the ensemble-lockstep dispatch server-wide
+	// (requests may also opt out individually; either switch wins).
+	// Results are bit-identical either way.
+	NoLockstep bool
 }
 
 func (o Options) maxActive() int {
@@ -285,6 +289,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		SettleFrac: req.SettleFrac,
 		Cache:      s.cache,
 		Pools:      s.pools,
+		NoLockstep: req.NoLockstep || s.opt.NoLockstep,
 	}
 	// The batch layer stamps each Result with the content-address key it
 	// computed for its cache lookup, so the hook only converts — no

@@ -19,6 +19,10 @@ type SweepRequest struct {
 	// own per-request maximum and cancels the sweep's context when it
 	// expires. 0 selects the server's maximum.
 	BudgetMS int64 `json:"budget_ms,omitempty"`
+	// NoLockstep disables the ensemble-lockstep dispatch for this sweep
+	// (every job simulates independently). Results are bit-identical
+	// either way; the switch exists for A/B timing and bisection.
+	NoLockstep bool `json:"no_lockstep,omitempty"`
 }
 
 // SweepAccepted is the 202 response to a submitted sweep.

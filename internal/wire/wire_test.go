@@ -268,3 +268,49 @@ func TestEngineNames(t *testing.T) {
 		}
 	}
 }
+
+// TestNonFiniteResultStreamSafe pins the NDJSON audit for ensemble
+// statistics: a NaN or ±Inf metric in a batch Result (or a summary's
+// MaxMetric) must survive the wire encode/decode round trip rather than
+// making json.Marshal fail — which would silently drop a stream line or
+// kill the stream mid-sweep. All metric fields are wire.Float, whose
+// codec turns non-finite values into the strings "NaN"/"+Inf"/"-Inf";
+// this test exists so a field can never quietly regress to a raw
+// float64.
+func TestNonFiniteResultStreamSafe(t *testing.T) {
+	r := batch.Result{
+		Index:     3,
+		Name:      "nan-case",
+		Metric:    math.NaN(),
+		RMSPower:  math.Inf(1),
+		MeanPower: math.Inf(-1),
+		FinalVc:   math.NaN(),
+	}
+	line, err := json.Marshal(ResultOf(r))
+	if err != nil {
+		t.Fatalf("marshal non-finite result: %v", err)
+	}
+	var back Result
+	if err := json.Unmarshal(line, &back); err != nil {
+		t.Fatalf("unmarshal non-finite result: %v", err)
+	}
+	if !math.IsNaN(float64(back.Metric)) {
+		t.Errorf("Metric round trip: got %v, want NaN", back.Metric)
+	}
+	if !math.IsInf(float64(back.RMSPower), 1) {
+		t.Errorf("RMSPower round trip: got %v, want +Inf", back.RMSPower)
+	}
+	if !math.IsInf(float64(back.MeanPower), -1) {
+		t.Errorf("MeanPower round trip: got %v, want -Inf", back.MeanPower)
+	}
+	if !math.IsNaN(float64(back.FinalVc)) {
+		t.Errorf("FinalVc round trip: got %v, want NaN", back.FinalVc)
+	}
+
+	// A summary over non-finite metrics must encode too. (All jobs
+	// successful, so MaxMetric keeps whatever the metric extremum is.)
+	sum := SummaryOf([]batch.Result{r}, 0)
+	if _, err := json.Marshal(sum); err != nil {
+		t.Fatalf("marshal summary over non-finite metrics: %v", err)
+	}
+}
