@@ -1,0 +1,100 @@
+// Command coord runs the sharded sweep coordinator: it fronts a fleet
+// of sweep services (cmd/serve) behind the same versioned wire API a
+// single worker speaks, partitions each sweep across the fleet by
+// consistent hash on the jobs' content-address keys (each design point
+// lands on the worker whose cache already holds it), merges the
+// per-worker NDJSON streams into one globally indexed stream, and
+// re-shards the unfinished jobs of a worker lost mid-sweep onto the
+// survivors. Clients cannot tell it from a single cmd/serve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"harvsim"
+)
+
+const usageFooter = `
+Quickstart (three workers and a coordinator):
+  serve -addr 127.0.0.1:8081 -cache-dir /tmp/hs-w1 &
+  serve -addr 127.0.0.1:8082 -cache-dir /tmp/hs-w2 &
+  serve -addr 127.0.0.1:8083 -cache-dir /tmp/hs-w3 &
+  coord -addr 127.0.0.1:8080 \
+    -workers http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083 &
+
+  curl -s localhost:8080/v1/workers            # fleet health
+  curl -s -X POST localhost:8080/v1/sweep -d @spec.json
+  curl -sN localhost:8080/v1/jobs/co-1/stream  # one merged NDJSON stream
+
+The coordinator accepts the exact spec a single worker accepts; the
+merged stream is bit-identical to a single-host run of the same spec,
+even when a worker dies mid-sweep (its unfinished jobs are re-sharded
+onto the survivors). See README.md "Running a fleet".
+`
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(),
+		"Usage: coord -workers <url,url,...> [flags]\n\nSharded sweep coordinator over a fleet of sweep services.\n\nFlags:\n")
+	flag.PrintDefaults()
+	fmt.Fprint(flag.CommandLine.Output(), usageFooter)
+}
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port; the chosen address is printed)")
+		workers       = flag.String("workers", "", "comma-separated base URLs of the worker fleet (required)")
+		maxJobs       = flag.Int("max-jobs", 0, "per-request expanded job budget across the whole fleet (0 = 4096)")
+		maxTime       = flag.Duration("max-request-time", 0, "per-request wall-clock budget ceiling (0 = 2m)")
+		healthTimeout = flag.Duration("health-timeout", 0, "per-probe worker health-check timeout (0 = 2s)")
+		maxRetries    = flag.Int("max-retries", 0, "stream-resume attempts against a worker that still answers health checks before it is declared lost (0 = 2)")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "coord: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var fleet []string
+	for _, w := range strings.Split(*workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			fleet = append(fleet, strings.TrimRight(w, "/"))
+		}
+	}
+	if len(fleet) == 0 {
+		fmt.Fprintln(os.Stderr, "coord: -workers is required (comma-separated worker base URLs)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	coord := harvsim.Coordinate(harvsim.CoordinateOptions{
+		Workers:        fleet,
+		MaxJobs:        *maxJobs,
+		MaxRequestTime: *maxTime,
+		HealthTimeout:  *healthTimeout,
+		MaxRetries:     *maxRetries,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coord: %v\n", err)
+		os.Exit(1)
+	}
+	// Printed (not logged) so scripts can capture the resolved address
+	// when -addr used port 0.
+	fmt.Printf("listening on %s\n", ln.Addr())
+	fmt.Printf("fleet of %d workers: %s\n", len(fleet), strings.Join(fleet, " "))
+
+	hs := &http.Server{Handler: coord.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "coord: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -13,8 +13,7 @@ import (
 	"os"
 	"time"
 
-	"harvsim/internal/batch"
-	"harvsim/internal/server"
+	"harvsim"
 )
 
 const usageFooter = `
@@ -64,19 +63,19 @@ func main() {
 		os.Exit(2)
 	}
 
-	var cache *batch.Cache
+	var cache *harvsim.Cache
 	var err error
 	if *cacheDir != "" {
-		cache, err = batch.NewDiskCache(*cacheCap, *cacheDir)
+		cache, err = harvsim.NewDiskCache(*cacheCap, *cacheDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 			os.Exit(1)
 		}
 	} else {
-		cache = batch.NewCache(*cacheCap)
+		cache = harvsim.NewCache(*cacheCap)
 	}
 
-	srv := server.New(server.Options{
+	srv := harvsim.Serve(harvsim.ServeOptions{
 		Workers:        *workers,
 		MaxActive:      *maxActive,
 		MaxJobs:        *maxJobs,

@@ -17,7 +17,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -290,6 +289,7 @@ func remoteSpec(simFor, vc float64, k3s []float64, noiseSd uint64, seeds int) wi
 	}
 	spec := wire.Spec{
 		Name:     "dickson",
+		V:        wire.Version,
 		Scenario: sc,
 		Metric:   wire.MetricPStoreMeanSettled,
 		Axes: []wire.Axis{
@@ -332,6 +332,16 @@ func runRemote(w io.Writer, baseURL string, simFor, vc float64, workers, topK in
 	if resp.StatusCode != http.StatusAccepted {
 		msg, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
+		// Every non-2xx carries the canonical envelope; surface its stable
+		// code (and whether a retry can help) rather than raw HTTP noise.
+		var e wire.Error
+		if json.Unmarshal(msg, &e) == nil && e.Error.Code != "" {
+			hint := ""
+			if e.Error.Retryable {
+				hint = "; retrying may succeed"
+			}
+			return fmt.Errorf("server refused sweep [%s]: %s%s", e.Error.Code, e.Error.Message, hint)
+		}
 		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
 	}
 	err = json.NewDecoder(resp.Body).Decode(&acc)
@@ -369,23 +379,7 @@ func runRemote(w io.Writer, baseURL string, simFor, vc float64, workers, topK in
 			if err := json.Unmarshal(scanner.Bytes(), &r); err != nil {
 				return err
 			}
-			br := batch.Result{
-				Index:     r.Index,
-				Name:      r.Name,
-				Job:       batch.Job{Name: r.Name, Group: r.Group, Seed: uint64(r.Seed)},
-				Elapsed:   time.Duration(r.ElapsedUS) * time.Microsecond,
-				FinalVc:   float64(r.FinalVc),
-				RMSPower:  float64(r.RMSPower),
-				MeanPower: float64(r.MeanPower),
-				Metric:    float64(r.Metric),
-				Cached:    r.Cached,
-				Shared:    r.Shared,
-			}
-			br.Stats.Steps = r.Steps
-			if r.Error != "" {
-				br.Err = errors.New(r.Error)
-			}
-			results = append(results, br)
+			results = append(results, wire.BatchResultOf(r))
 		case wire.LineSummary:
 			s := wire.Summary{}
 			if err := json.Unmarshal(scanner.Bytes(), &s); err != nil {
@@ -441,6 +435,20 @@ func runRemote(w io.Writer, baseURL string, simFor, vc float64, workers, topK in
 	}
 	fmt.Fprintf(w, "server: %d/%d cache hits (%d in-flight shares)\n",
 		summary.CacheHits, summary.Jobs, summary.Shared)
+	// A shard coordinator's summary carries fleet counters; a plain
+	// worker omits them — -remote works against either transparently.
+	if summary.Workers > 0 {
+		noun := "workers"
+		if summary.Workers == 1 {
+			noun = "worker"
+		}
+		fmt.Fprintf(w, "fleet: %d %s", summary.Workers, noun)
+		if summary.LostWorkers > 0 || summary.Resharded > 0 || summary.Retries > 0 {
+			fmt.Fprintf(w, " (%d lost, %d jobs re-sharded, %d stream retries)",
+				summary.LostWorkers, summary.Resharded, summary.Retries)
+		}
+		fmt.Fprintln(w)
+	}
 	if failed := report(w, ordered, wall, topK, seeds, vc, simFor, cacheStats, verbose); failed > 0 {
 		return fmt.Errorf("%d of %d jobs failed server-side", failed, acc.Jobs)
 	}

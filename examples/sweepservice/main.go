@@ -106,7 +106,7 @@ func main() {
 	// The server: one shared cache and workspace-pool set for its whole
 	// lifetime. Embedding it is one Handler() mount; cmd/serve is the
 	// standalone flavour of the same thing.
-	srv := harvsim.NewSweepServer(harvsim.SweepServerOptions{})
+	srv := harvsim.Serve(harvsim.ServeOptions{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)

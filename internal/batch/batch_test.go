@@ -77,6 +77,69 @@ func TestSweepEmptyAxisRejected(t *testing.T) {
 	}
 }
 
+// TestJobsAtMatchesJobs pins the selective expansion against the full
+// one: the shard coordinator sends workers index subsets, and the jobs a
+// worker materialises via JobsAt must be identical — name, group, seed
+// and content-addressed identity — to the same indices of Jobs().
+func TestJobsAtMatchesJobs(t *testing.T) {
+	spec := SweepSpec{
+		Base: Job{Name: "grid", Scenario: harvester.ChargeScenario(1)},
+		Axes: []Axis{
+			FloatAxis("rc", []float64{100, 200, 300}, func(j *Job, v float64) {
+				j.Scenario.Cfg.Microgen.Rc = v
+			}),
+			SeedAxis("seed", []uint64{1, 2}, func(j *Job, s uint64) {
+				j.Scenario.Cfg.VibNoise.Seed = s
+			}),
+			IntAxis("stages", []int{3, 4}, func(j *Job, v int) {
+				j.Scenario.Cfg.Dickson.Stages = v
+			}),
+		},
+	}
+	all, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	indices := []int{0, 3, 7, len(all) - 1}
+	subset, err := spec.JobsAt(indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subset) != len(indices) {
+		t.Fatalf("JobsAt expanded %d jobs, want %d", len(subset), len(indices))
+	}
+	opt := Options{}
+	for i, gi := range indices {
+		got, want := subset[i], all[gi]
+		if got.Name != want.Name || got.Group != want.Group || got.Seed != want.Seed {
+			t.Fatalf("JobsAt[%d] labels = (%q,%q,%d), want Jobs[%d] = (%q,%q,%d)",
+				i, got.Name, got.Group, got.Seed, gi, want.Name, want.Group, want.Seed)
+		}
+		if KeyOf(got, opt) != KeyOf(want, opt) {
+			t.Fatalf("JobsAt[%d] identity differs from Jobs[%d]", i, gi)
+		}
+	}
+	for _, bad := range [][]int{{-1}, {len(all)}} {
+		if _, err := spec.JobsAt(bad); err == nil {
+			t.Fatalf("JobsAt(%v) must reject out-of-range index", bad)
+		}
+	}
+}
+
+// TestKeys pins the exported key-string list the coordinator hashes:
+// cacheable jobs yield their KeyOf hex, uncacheable jobs yield "".
+func TestKeys(t *testing.T) {
+	jobs := []Job{chargeJob(1), chargeJob(2)}
+	jobs[1].Probe = func(h *harvester.Harvester, eng harvester.Engine) {} // side effects → uncacheable
+	keys := Keys(jobs, Options{})
+	if keys[0] != KeyOf(jobs[0], Options{}).String() {
+		t.Fatalf("Keys[0] = %q, want KeyOf hex", keys[0])
+	}
+	if keys[1] != "" {
+		t.Fatalf("Keys[1] = %q for uncacheable job, want empty", keys[1])
+	}
+}
+
 func TestSweepCloneNoAliasing(t *testing.T) {
 	base := Job{Scenario: harvester.Scenario1(harvester.Quick)}
 	spec := SweepSpec{

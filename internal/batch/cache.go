@@ -56,6 +56,21 @@ func Cacheable(job Job, opt Options) bool {
 	return true
 }
 
+// Keys returns the stable key string of every job under opt — the
+// lowercase-hex content address for cacheable jobs, "" for jobs whose
+// identity cannot be captured by value (see Cacheable). The shard
+// coordinator hashes these strings to place jobs on workers, so a
+// design point always lands where its disk-cache entry lives.
+func Keys(jobs []Job, opt Options) []string {
+	keys := make([]string, len(jobs))
+	for i, job := range jobs {
+		if Cacheable(job, opt) {
+			keys[i] = KeyOf(job, opt).String()
+		}
+	}
+	return keys
+}
+
 // KeyOf computes the job's cache key under opt. Jobs with equal keys
 // produce bit-identical Results (the determinism contract the root
 // determinism suite pins); labels — Job.Name, Job.Group, Job.Seed,

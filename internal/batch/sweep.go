@@ -110,40 +110,59 @@ func (s SweepSpec) Size() int {
 	return n
 }
 
+// checkAxes rejects unexpandable specs (an empty axis would make the
+// cartesian product empty, which is always a caller bug, not a sweep).
+func (s SweepSpec) checkAxes() error {
+	for _, ax := range s.Axes {
+		if len(ax.Points) == 0 {
+			return fmt.Errorf("batch: axis %q has no points", ax.Name)
+		}
+	}
+	return nil
+}
+
+// jobAt materialises the job at the given axis coordinates: a
+// deep-cloned Scenario with every axis point applied, named
+// "base[axis=label ...]", grouped by the design (non-Ensemble) axes.
+// Jobs and JobsAt both build through here, so a selectively expanded
+// job is identical — name, group and content-addressed identity — to
+// the same index of a full expansion.
+func (s SweepSpec) jobAt(idx []int) Job {
+	job := s.Base
+	job.Scenario = s.Base.Scenario.Clone()
+	base := jobName(s.Base)
+	var labels, groupLabels []string
+	for a, ax := range s.Axes {
+		pt := ax.Points[idx[a]]
+		pt.Apply(&job)
+		labels = append(labels, ax.Name+"="+pt.Label)
+		if !ax.Ensemble {
+			groupLabels = append(groupLabels, ax.Name+"="+pt.Label)
+		}
+	}
+	if len(labels) > 0 {
+		job.Name = base + "[" + strings.Join(labels, " ") + "]"
+	}
+	job.Group = base
+	if len(groupLabels) > 0 {
+		job.Group = base + "[" + strings.Join(groupLabels, " ") + "]"
+	}
+	return job
+}
+
 // Jobs expands the sweep into its job list. Each job gets a deep-cloned
 // Scenario (no Shifts/Chirp aliasing with the base or its siblings) and
 // a name of the form "base[axis=label ...]". Job.Group is the same name
 // built from the design (non-Ensemble) axes only, so every realisation
 // an ensemble axis spawns for one design point shares its Group.
 func (s SweepSpec) Jobs() ([]Job, error) {
-	for _, ax := range s.Axes {
-		if len(ax.Points) == 0 {
-			return nil, fmt.Errorf("batch: axis %q has no points", ax.Name)
-		}
+	if err := s.checkAxes(); err != nil {
+		return nil, err
 	}
 	jobs := make([]Job, 0, s.Size())
 	idx := make([]int, len(s.Axes))
-	base := jobName(s.Base)
 	for {
-		job := s.Base
-		job.Scenario = s.Base.Scenario.Clone()
-		var labels, groupLabels []string
-		for a, ax := range s.Axes {
-			pt := ax.Points[idx[a]]
-			pt.Apply(&job)
-			labels = append(labels, ax.Name+"="+pt.Label)
-			if !ax.Ensemble {
-				groupLabels = append(groupLabels, ax.Name+"="+pt.Label)
-			}
-		}
-		if len(labels) > 0 {
-			job.Name = base + "[" + strings.Join(labels, " ") + "]"
-		}
-		job.Group = base
-		if len(groupLabels) > 0 {
-			job.Group = base + "[" + strings.Join(groupLabels, " ") + "]"
-		}
-		jobs = append(jobs, job)
+		jobs = append(jobs, s.jobAt(idx))
 		// Odometer increment, last axis fastest.
 		a := len(idx) - 1
 		for ; a >= 0; a-- {
@@ -157,6 +176,35 @@ func (s SweepSpec) Jobs() ([]Job, error) {
 			return jobs, nil
 		}
 	}
+}
+
+// JobsAt expands only the jobs at the given row-major indices of the
+// full cartesian expansion — the shard subset a coordinated worker was
+// assigned. Cost is proportional to len(indices), not to Size, so a
+// worker can execute a thin slice of a grid whose full expansion would
+// exceed its memory budget. Each returned job is bit-identical (name,
+// group, content-addressed identity) to Jobs()[index].
+func (s SweepSpec) JobsAt(indices []int) ([]Job, error) {
+	if err := s.checkAxes(); err != nil {
+		return nil, err
+	}
+	size := s.Size()
+	jobs := make([]Job, 0, len(indices))
+	idx := make([]int, len(s.Axes))
+	for _, index := range indices {
+		if index < 0 || index >= size {
+			return nil, fmt.Errorf("batch: job index %d outside the %d-job expansion", index, size)
+		}
+		// Row-major coordinates: the last axis varies fastest.
+		rem := index
+		for a := len(s.Axes) - 1; a >= 0; a-- {
+			n := len(s.Axes[a].Points)
+			idx[a] = rem % n
+			rem /= n
+		}
+		jobs = append(jobs, s.jobAt(idx))
+	}
+	return jobs, nil
 }
 
 // Sweep expands the spec and runs it across the pool.

@@ -14,10 +14,15 @@
 //	POST   /v1/sweep            submit a wire.SweepRequest; returns 202 + job id
 //	GET    /v1/jobs/{id}        job status (add ?results=1 for the full list when done)
 //	GET    /v1/jobs/{id}/stream NDJSON: one wire.Result line per job as it
-//	                            completes, then one wire.Summary line
+//	                            completes, then one wire.Summary line;
+//	                            ?from=<n> skips the first n replay lines
 //	DELETE /v1/jobs/{id}        cancel a running sweep
 //	GET    /v1/cache/stats      shared cache counters
 //	GET    /healthz             liveness
+//
+// Every non-2xx response carries the canonical JSON error envelope
+// {"error":{"code","message","retryable"}} (see wire.Error), including
+// mux-generated 404/405s — the CanonicalErrors middleware guarantees it.
 //
 // Budgets: a request's expansion is bounded by Options.MaxJobs and its
 // wall clock by Options.MaxRequestTime (clients may ask for less via
@@ -25,16 +30,22 @@
 // cancellation into batch.Run, so an expired sweep stops between jobs
 // and reports the unstarted remainder as cancelled. Options.MaxActive
 // bounds how many sweeps simulate concurrently; excess sweeps queue.
+//
+// Sharding: a request may carry "indices" — a strictly increasing subset
+// of the spec's row-major expansion — and the server then expands and
+// runs only those jobs (batch.SweepSpec.JobsAt), while result lines keep
+// the global expansion indices. That is the worker half of the shard
+// coordinator protocol (internal/shard): the full grid must still clear
+// this server's MaxJobs budget, because the declared axis product is
+// validated before compilation either way.
 package server
 
 import (
 	"context"
 	"encoding/json"
-	"fmt"
+	"errors"
 	"net/http"
 	"runtime"
-	"strconv"
-	"sync"
 	"time"
 
 	"harvsim/internal/batch"
@@ -89,84 +100,19 @@ func (o Options) maxRequestTime() time.Duration {
 	return 120 * time.Second
 }
 
-func (o Options) keepFinished() int {
-	if o.KeepFinished > 0 {
-		return o.KeepFinished
-	}
-	return 128
-}
-
 // maxRequestBody bounds a sweep request's JSON body. Specs are small
 // (names and number lists); a megabyte is orders of magnitude of
 // headroom, not a DoS surface.
 const maxRequestBody = 1 << 20
 
-// sweepRun is one submitted sweep's lifecycle state. results accumulates
-// in completion order (the stream order); done flips exactly once, after
-// the last result is recorded. cond (over mu) wakes streamers on every
-// append and on completion.
-type sweepRun struct {
-	id      string
-	total   int
-	started time.Time
-	cancel  context.CancelFunc
-
-	mu      sync.Mutex
-	cond    *sync.Cond
-	results []wire.Result
-	failed  int
-	hits    int
-	shared  int
-	done    bool
-	summary wire.Summary
-}
-
-func newSweepRun(id string, total int, cancel context.CancelFunc) *sweepRun {
-	sw := &sweepRun{id: id, total: total, started: time.Now(), cancel: cancel}
-	sw.cond = sync.NewCond(&sw.mu)
-	return sw
-}
-
-// record appends one completed job's wire result (the batch OnResult
-// hook; called concurrently from every worker).
-func (sw *sweepRun) record(r wire.Result) {
-	sw.mu.Lock()
-	sw.results = append(sw.results, r)
-	if r.Error != "" {
-		sw.failed++
-	}
-	if r.Cached {
-		sw.hits++
-	}
-	if r.Shared {
-		sw.shared++
-	}
-	sw.mu.Unlock()
-	sw.cond.Broadcast()
-}
-
-// finish marks the run complete.
-func (sw *sweepRun) finish(summary wire.Summary) {
-	sw.mu.Lock()
-	sw.summary = summary
-	sw.done = true
-	sw.mu.Unlock()
-	sw.cond.Broadcast()
-}
-
 // Server is the sweep service. Create with New, mount via Handler.
 type Server struct {
-	opt   Options
-	cache *batch.Cache
-	pools *batch.PoolCache
-	sem   chan struct{}
-	mux   *http.ServeMux
-
-	mu   sync.Mutex
-	seq  int64
-	jobs map[string]*sweepRun
-	// finished ids in completion order, for KeepFinished eviction.
-	doneOrder []string
+	opt     Options
+	cache   *batch.Cache
+	pools   *batch.PoolCache
+	sem     chan struct{}
+	runs    *Runs
+	handler http.Handler
 }
 
 // New builds a server. The cache (Options.Cache or a fresh in-memory
@@ -178,7 +124,7 @@ func New(opt Options) *Server {
 		cache: opt.Cache,
 		pools: batch.NewPoolCache(),
 		sem:   make(chan struct{}, opt.maxActive()),
-		jobs:  make(map[string]*sweepRun),
+		runs:  NewRuns("sw-", opt.KeepFinished),
 	}
 	if s.cache == nil {
 		s.cache = batch.NewCache(0)
@@ -190,7 +136,7 @@ func New(opt Options) *Server {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux = mux
+	s.handler = CanonicalErrors(mux)
 	return s
 }
 
@@ -199,22 +145,10 @@ func New(opt Options) *Server {
 func (s *Server) Cache() *batch.Cache { return s.cache }
 
 // Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // ServeHTTP lets the Server be mounted directly.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
-
-// writeJSON writes a JSON response body.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-// writeError writes the JSON error envelope.
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, wire.Error{Error: fmt.Sprintf(format, args...)})
-}
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // handleSweep validates, compiles and launches a sweep, replying 202
 // with the job id before any simulation work happens.
@@ -223,35 +157,58 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		WriteError(w, http.StatusBadRequest, wire.CodeBadRequest, false, "bad request body: %v", err)
+		return
+	}
+	if err := req.Spec.CheckVersion(); err != nil {
+		WriteError(w, http.StatusBadRequest, wire.CodeUnsupportedVersion, false, "%v", err)
 		return
 	}
 	// Budget-check the declared size BEFORE compiling: Compile
 	// materialises seed lists and Jobs clones a Config per job, so a
 	// few hundred bytes of hostile axis product must be rejected while
 	// it is still arithmetic (Size saturates instead of overflowing).
+	// A sharded request only runs its indices, but its declared grid
+	// must clear the same bar, for the same reason.
 	if n := req.Spec.Size(); n > s.opt.maxJobs() {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		WriteError(w, http.StatusRequestEntityTooLarge, wire.CodeTooManyJobs, false,
 			"sweep would expand to %d jobs, server budget is %d", n, s.opt.maxJobs())
 		return
 	}
+	for i, ix := range req.Indices {
+		if i > 0 && ix <= req.Indices[i-1] {
+			WriteError(w, http.StatusBadRequest, wire.CodeBadRequest, false,
+				"indices must be strictly increasing: indices[%d]=%d after %d", i, ix, req.Indices[i-1])
+			return
+		}
+	}
 	bspec, err := req.Spec.Compile()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		code := wire.CodeBadRequest
+		if errors.Is(err, wire.ErrUnsupportedVersion) {
+			code = wire.CodeUnsupportedVersion
+		}
+		WriteError(w, http.StatusBadRequest, code, false, "%v", err)
 		return
 	}
-	jobs, err := bspec.Jobs()
+	var jobs []batch.Job
+	if len(req.Indices) > 0 {
+		jobs, err = bspec.JobsAt(req.Indices)
+	} else {
+		jobs, err = bspec.Jobs()
+	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		WriteError(w, http.StatusBadRequest, wire.CodeBadRequest, false, "%v", err)
 		return
 	}
 	if len(jobs) > s.opt.maxJobs() {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		WriteError(w, http.StatusRequestEntityTooLarge, wire.CodeTooManyJobs, false,
 			"sweep expands to %d jobs, server budget is %d", len(jobs), s.opt.maxJobs())
 		return
 	}
 	if req.SettleFrac < 0 || req.SettleFrac >= 1 {
-		writeError(w, http.StatusBadRequest, "settle_frac must be in [0, 1), got %g", req.SettleFrac)
+		WriteError(w, http.StatusBadRequest, wire.CodeBadRequest, false,
+			"settle_frac must be in [0, 1), got %g", req.SettleFrac)
 		return
 	}
 
@@ -277,12 +234,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), budget)
-	s.mu.Lock()
-	s.seq++
-	id := "sw-" + strconv.FormatInt(s.seq, 10)
-	sw := newSweepRun(id, len(jobs), cancel)
-	s.jobs[id] = sw
-	s.mu.Unlock()
+	run := s.runs.New(len(jobs), cancel)
 
 	opt := batch.Options{
 		Workers:    workers,
@@ -293,24 +245,31 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	// The batch layer stamps each Result with the content-address key it
 	// computed for its cache lookup, so the hook only converts — no
-	// second reflection hash on the worker's critical path.
+	// second reflection hash on the worker's critical path. For a shard
+	// subset, local slice positions are remapped to the global expansion
+	// indices the coordinator merges by.
+	indices := req.Indices
 	opt.OnResult = func(r batch.Result) {
-		sw.record(wire.ResultOf(r))
+		wr := wire.ResultOf(r)
+		if len(indices) > 0 {
+			wr.Index = indices[r.Index]
+		}
+		run.Record(wr)
 	}
-	go s.run(ctx, sw, jobs, opt)
+	go s.run(ctx, run, jobs, opt)
 
-	writeJSON(w, http.StatusAccepted, wire.SweepAccepted{
-		ID:        id,
+	WriteJSON(w, http.StatusAccepted, wire.SweepAccepted{
+		ID:        run.ID,
 		Jobs:      len(jobs),
-		StatusURL: "/v1/jobs/" + id,
-		StreamURL: "/v1/jobs/" + id + "/stream",
+		StatusURL: "/v1/jobs/" + run.ID,
+		StreamURL: "/v1/jobs/" + run.ID + "/stream",
 	})
 }
 
 // run executes a submitted sweep under the concurrency semaphore and
 // finalises its state.
-func (s *Server) run(ctx context.Context, sw *sweepRun, jobs []batch.Job, opt batch.Options) {
-	defer sw.cancel()
+func (s *Server) run(ctx context.Context, run *Run, jobs []batch.Job, opt batch.Options) {
+	defer run.Cancel()
 	// Queue for an execution slot; an expired budget while queued still
 	// runs batch.Run, which then reports every job cancelled (so streams
 	// and status always resolve).
@@ -320,158 +279,60 @@ func (s *Server) run(ctx context.Context, sw *sweepRun, jobs []batch.Job, opt ba
 	case <-ctx.Done():
 	}
 	results := batch.Run(ctx, jobs, opt)
-	sw.finish(wire.SummaryOf(results, time.Since(sw.started)))
-	s.retire(sw.id)
-}
-
-// retire records a finished sweep and evicts the oldest finished ones
-// beyond the retention bound.
-func (s *Server) retire(id string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.doneOrder = append(s.doneOrder, id)
-	for len(s.doneOrder) > s.opt.keepFinished() {
-		delete(s.jobs, s.doneOrder[0])
-		s.doneOrder = s.doneOrder[1:]
-	}
+	run.Finish(wire.SummaryOf(results, time.Since(run.Started)))
+	s.runs.Retire(run.ID)
 }
 
 // lookup resolves a job id.
-func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *sweepRun {
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *Run {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	sw := s.jobs[id]
-	s.mu.Unlock()
-	if sw == nil {
-		writeError(w, http.StatusNotFound, "unknown job %q", id)
+	run := s.runs.Lookup(id)
+	if run == nil {
+		WriteError(w, http.StatusNotFound, wire.CodeNotFound, false, "unknown job %q", id)
 	}
-	return sw
+	return run
 }
 
 // handleJob reports a sweep's status; ?results=1 includes the full
 // result list once done.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	sw := s.lookup(w, r)
-	if sw == nil {
+	run := s.lookup(w, r)
+	if run == nil {
 		return
 	}
-	sw.mu.Lock()
-	st := wire.JobStatus{
-		ID:        sw.id,
-		State:     wire.StateRunning,
-		Jobs:      sw.total,
-		Completed: len(sw.results),
-		Failed:    sw.failed,
-		CacheHits: sw.hits,
-		Shared:    sw.shared,
-		ElapsedMS: time.Since(sw.started).Milliseconds(),
-	}
-	if sw.done {
-		st.State = wire.StateDone
-		st.ElapsedMS = sw.summary.WallMS
-		sum := sw.summary
-		st.Summary = &sum
-		if r.URL.Query().Get("results") == "1" {
-			st.Results = append([]wire.Result(nil), sw.results...)
-		}
-	}
-	sw.mu.Unlock()
-	writeJSON(w, http.StatusOK, st)
+	WriteJSON(w, http.StatusOK, run.Status(r.URL.Query().Get("results") == "1"))
 }
 
-// handleStream writes NDJSON: every result line as it completes (replayed
-// from the start for late subscribers), then the summary line. Large
-// grids render progressively because each line is flushed as written.
+// handleStream streams a run as NDJSON (see ServeStream).
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	sw := s.lookup(w, r)
-	if sw == nil {
+	run := s.lookup(w, r)
+	if run == nil {
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("Cache-Control", "no-store")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-
-	// A disconnecting client must unblock the cond wait below. The
-	// monitor takes sw.mu before broadcasting so the wake-up cannot slip
-	// into the gap between the loop's ctx.Err() check and its
-	// cond.Wait registration (a lost wake-up would strand the handler
-	// until the sweep's next result).
-	ctx := r.Context()
-	go func() {
-		<-ctx.Done()
-		sw.mu.Lock()
-		//lint:ignore SA2001 empty critical section on purpose: it
-		// serialises with the check-then-Wait window before waking.
-		sw.mu.Unlock()
-		sw.cond.Broadcast()
-	}()
-
-	next := 0
-	for {
-		sw.mu.Lock()
-		for next >= len(sw.results) && !sw.done && ctx.Err() == nil {
-			sw.cond.Wait()
-		}
-		chunk := sw.results[next:len(sw.results):len(sw.results)]
-		next += len(chunk)
-		done := sw.done && next == len(sw.results)
-		summary := sw.summary
-		sw.mu.Unlock()
-
-		if ctx.Err() != nil {
-			return
-		}
-		for _, line := range chunk {
-			if enc.Encode(line) != nil {
-				return // client went away
-			}
-		}
-		if done {
-			enc.Encode(summary)
-			if flusher != nil {
-				flusher.Flush()
-			}
-			return
-		}
-		if flusher != nil && len(chunk) > 0 {
-			flusher.Flush()
-		}
-	}
+	ServeStream(w, r, run)
 }
 
 // handleCancel cancels a running sweep's context. Running jobs finish
 // (engines are non-preemptible); unstarted jobs report cancellation.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	sw := s.lookup(w, r)
-	if sw == nil {
+	run := s.lookup(w, r)
+	if run == nil {
 		return
 	}
-	sw.cancel()
-	writeJSON(w, http.StatusOK, map[string]string{"id": sw.id, "status": "cancelling"})
+	run.Cancel()
+	WriteJSON(w, http.StatusOK, map[string]string{"id": run.ID, "status": "cancelling"})
 }
 
 // handleCacheStats reports the shared cache's counters.
 func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, wire.CacheStatsOf(s.cache))
+	WriteJSON(w, http.StatusOK, wire.CacheStatsOf(s.cache))
 }
 
 // handleHealth is the liveness probe.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	active := 0
-	for _, sw := range s.jobs {
-		sw.mu.Lock()
-		if !sw.done {
-			active++
-		}
-		sw.mu.Unlock()
-	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, wire.Health{
+	WriteJSON(w, http.StatusOK, wire.Health{
 		Status:       "ok",
-		ActiveSweeps: active,
+		ActiveSweeps: s.runs.Active(),
 		CacheEntries: s.cache.Stats().Entries,
 	})
 }

@@ -290,7 +290,8 @@ func TestBudgetMaxJobs(t *testing.T) {
 		t.Fatalf("status %s, want 413", resp.Status)
 	}
 	var e wire.Error
-	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "64") {
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil ||
+		e.Error.Code != wire.CodeTooManyJobs || !strings.Contains(e.Error.Message, "64") {
 		t.Fatalf("error envelope %+v, %v", e, err)
 	}
 
@@ -420,7 +421,8 @@ func TestRequestValidation(t *testing.T) {
 		var e wire.Error
 		err := json.NewDecoder(resp.Body).Decode(&e)
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest || err != nil || e.Error == "" {
+		if resp.StatusCode != http.StatusBadRequest || err != nil ||
+			e.Error.Code != wire.CodeBadRequest || e.Error.Message == "" {
 			t.Errorf("%s: status %s envelope %+v err %v", name, resp.Status, e, err)
 		}
 	}
@@ -431,6 +433,197 @@ func TestRequestValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown job: %s, want 404", resp.Status)
+	}
+}
+
+// TestErrorEnvelopeEverywhere is the error-surface contract: every
+// non-2xx response on every route — including the 404/405s the ServeMux
+// generates itself — is application/json carrying the canonical
+// {"error":{"code","message","retryable"}} envelope with the expected
+// stable code.
+func TestErrorEnvelopeEverywhere(t *testing.T) {
+	srv := New(Options{MaxJobs: 10})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// One live job so the ?from validation path is reachable.
+	acc := postSweep(t, ts, wire.SweepRequest{
+		Spec: wire.Spec{Scenario: wire.Scenario{Kind: "charge", DurationS: 0.1}}})
+	streamSweep(t, ts, acc)
+
+	big, _ := json.Marshal(wire.SweepRequest{Spec: grid64Spec(0.25)})
+	futureSpec := grid64Spec(0.25)
+	futureSpec.V = wire.Version + 1
+	future, _ := json.Marshal(wire.SweepRequest{Spec: futureSpec})
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"malformed body", "POST", "/v1/sweep", "{", http.StatusBadRequest, wire.CodeBadRequest},
+		{"unknown field", "POST", "/v1/sweep", `{"spec":{"scenario":{"kind":"charge","duration_s":1}},"frobnicate":1}`, http.StatusBadRequest, wire.CodeBadRequest},
+		{"invalid spec", "POST", "/v1/sweep", `{"spec":{"scenario":{"kind":"warp","duration_s":1}}}`, http.StatusBadRequest, wire.CodeBadRequest},
+		{"future version", "POST", "/v1/sweep", string(future), http.StatusBadRequest, wire.CodeUnsupportedVersion},
+		{"over budget", "POST", "/v1/sweep", string(big), http.StatusRequestEntityTooLarge, wire.CodeTooManyJobs},
+		{"bad indices order", "POST", "/v1/sweep", `{"spec":{"scenario":{"kind":"charge","duration_s":1}},"indices":[1,1]}`, http.StatusBadRequest, wire.CodeBadRequest},
+		{"indices out of range", "POST", "/v1/sweep", `{"spec":{"scenario":{"kind":"charge","duration_s":1}},"indices":[5]}`, http.StatusBadRequest, wire.CodeBadRequest},
+		{"unknown job status", "GET", "/v1/jobs/nope", "", http.StatusNotFound, wire.CodeNotFound},
+		{"unknown job stream", "GET", "/v1/jobs/nope/stream", "", http.StatusNotFound, wire.CodeNotFound},
+		{"unknown job cancel", "DELETE", "/v1/jobs/nope", "", http.StatusNotFound, wire.CodeNotFound},
+		{"bad from cursor", "GET", acc.StreamURL + "?from=x", "", http.StatusBadRequest, wire.CodeBadRequest},
+		{"negative from cursor", "GET", acc.StreamURL + "?from=-1", "", http.StatusBadRequest, wire.CodeBadRequest},
+		{"unknown route", "GET", "/v1/frobnicate", "", http.StatusNotFound, wire.CodeNotFound},
+		{"mux wrong method", "PUT", "/v1/sweep", "", http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed},
+		{"mux wrong method on jobs", "POST", "/v1/jobs/nope", "", http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		var body io.Reader
+		if tc.body != "" {
+			body = strings.NewReader(tc.body)
+		}
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s: status %s, want %d (body %q)", tc.name, resp.Status, tc.wantStatus, raw)
+			continue
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: Content-Type %q, want application/json", tc.name, ct)
+		}
+		var e wire.Error
+		if err := json.Unmarshal(raw, &e); err != nil {
+			t.Errorf("%s: body %q is not the error envelope: %v", tc.name, raw, err)
+			continue
+		}
+		if e.Error.Code != tc.wantCode || e.Error.Message == "" {
+			t.Errorf("%s: envelope %+v, want code %q and a message", tc.name, e, tc.wantCode)
+		}
+	}
+}
+
+// TestStreamFromCursor: ?from=<n> skips the first n lines of the
+// completion-ordered replay — the coordinator's resume path after a
+// stream dies mid-shard.
+func TestStreamFromCursor(t *testing.T) {
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	acc := postSweep(t, ts, wire.SweepRequest{Spec: wire.Spec{
+		Scenario: wire.Scenario{Kind: "charge", DurationS: 0.25},
+		Axes:     []wire.Axis{{Kind: wire.AxisInt, Param: "dickson.stages", Ints: []int{3, 4, 5, 6}}},
+	}})
+	full, fullSummary := streamSweep(t, ts, acc)
+	if len(full) != 4 {
+		t.Fatalf("full stream delivered %d results", len(full))
+	}
+
+	resp, err := http.Get(ts.URL + acc.StreamURL + "?from=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tail []wire.Result
+	var tailSummary wire.Summary
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatal(err)
+		}
+		if probe.Type == wire.LineSummary {
+			if err := json.Unmarshal(sc.Bytes(), &tailSummary); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var r wire.Result
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatal(err)
+		}
+		tail = append(tail, r)
+	}
+	if len(tail) != 2 {
+		t.Fatalf("?from=2 delivered %d results, want 2", len(tail))
+	}
+	for i, r := range tail {
+		if r.Index != full[2+i].Index || r.Name != full[2+i].Name {
+			t.Errorf("resumed line %d = %s (index %d), want replay line %d (%s)",
+				i, r.Name, r.Index, 2+i, full[2+i].Name)
+		}
+	}
+	if tailSummary.Jobs != fullSummary.Jobs || tailSummary.V != wire.Version {
+		t.Errorf("resumed summary %+v, want jobs %d v %d", tailSummary, fullSummary.Jobs, wire.Version)
+	}
+
+	// A cursor at (or past) the end skips straight to the summary.
+	respEnd, err := http.Get(ts.URL + acc.StreamURL + "?from=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respEnd.Body.Close()
+	lines := 0
+	scEnd := bufio.NewScanner(respEnd.Body)
+	for scEnd.Scan() {
+		lines++
+	}
+	if lines != 1 {
+		t.Errorf("?from=4 delivered %d lines, want summary only", lines)
+	}
+}
+
+// TestShardIndicesSubset: a request carrying indices runs exactly that
+// subset of the row-major expansion, and result lines keep the GLOBAL
+// indices with physics bit-identical to the full run — the worker half
+// of the shard coordinator protocol.
+func TestShardIndicesSubset(t *testing.T) {
+	spec := grid64Spec(0.25)
+	srvFull := New(Options{})
+	tsFull := httptest.NewServer(srvFull.Handler())
+	defer tsFull.Close()
+	full, _ := streamSweep(t, tsFull, postSweep(t, tsFull, wire.SweepRequest{Spec: spec}))
+	fullM := metricsByIndex(full)
+
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	indices := []int{0, 7, 13, 42, 63}
+	acc := postSweep(t, ts, wire.SweepRequest{Spec: spec, Indices: indices})
+	if acc.Jobs != len(indices) {
+		t.Fatalf("shard request accepted %d jobs, want %d", acc.Jobs, len(indices))
+	}
+	shard, summary := streamSweep(t, ts, acc)
+	if len(shard) != len(indices) || summary.Jobs != len(indices) {
+		t.Fatalf("shard delivered %d results, summary %+v", len(shard), summary)
+	}
+	got := map[int]bool{}
+	for _, r := range shard {
+		got[r.Index] = true
+	}
+	for _, ix := range indices {
+		if !got[ix] {
+			t.Fatalf("global index %d missing from shard stream (got %v)", ix, got)
+		}
+	}
+	shardM := metricsByIndex(shard)
+	for _, ix := range indices {
+		if shardM[ix] != fullM[ix] {
+			t.Errorf("index %d: shard metrics %v != full-run %v", ix, shardM[ix], fullM[ix])
+		}
 	}
 }
 

@@ -1,0 +1,573 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"harvsim/internal/batch"
+	"harvsim/internal/server"
+	"harvsim/internal/wire"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Workers is the fleet: base URLs of running sweep servers
+	// (e.g. "http://10.0.0.1:8080"). At least one is required.
+	Workers []string
+	// MaxJobs rejects sweeps expanding beyond this many jobs (413).
+	// 0 = 4096. The coordinator expands the full grid to place jobs, so
+	// this is its own memory bound, independent of the workers'.
+	MaxJobs int
+	// MaxRequestTime is the wall-clock ceiling per sweep. 0 = 120s.
+	MaxRequestTime time.Duration
+	// KeepFinished bounds how many finished sweeps stay queryable. 0 = 128.
+	KeepFinished int
+	// HealthTimeout bounds one worker health probe. 0 = 2s.
+	HealthTimeout time.Duration
+	// MaxRetries bounds per-shard stream resumes (?from cursor) against
+	// a worker that still answers its health probe, before the worker is
+	// declared lost. 0 = 2.
+	MaxRetries int
+	// Client performs all worker HTTP calls; nil uses a dedicated
+	// keep-alive client. Streams are long-lived, so the client must not
+	// carry an overall timeout (per-call deadlines come from contexts).
+	Client *http.Client
+}
+
+func (o Options) maxJobs() int {
+	if o.MaxJobs > 0 {
+		return o.MaxJobs
+	}
+	return 4096
+}
+
+func (o Options) maxRequestTime() time.Duration {
+	if o.MaxRequestTime > 0 {
+		return o.MaxRequestTime
+	}
+	return 120 * time.Second
+}
+
+func (o Options) healthTimeout() time.Duration {
+	if o.HealthTimeout > 0 {
+		return o.HealthTimeout
+	}
+	return 2 * time.Second
+}
+
+func (o Options) maxRetries() int {
+	if o.MaxRetries > 0 {
+		return o.MaxRetries
+	}
+	return 2
+}
+
+// Coordinator fronts a worker fleet behind the same wire API a single
+// sweep server speaks: POST /v1/sweep accepts the identical
+// wire.SweepRequest, GET /v1/jobs/{id}/stream delivers one globally
+// indexed NDJSON stream with a single summary line. A client cannot
+// tell a coordinator from a worker except by the fleet fields its
+// summaries carry. Create with New, mount via Handler.
+type Coordinator struct {
+	opt     Options
+	client  *http.Client
+	runs    *server.Runs
+	handler http.Handler
+}
+
+// New builds a coordinator over the configured fleet.
+func New(opt Options) *Coordinator {
+	c := &Coordinator{
+		opt:    opt,
+		client: opt.Client,
+		runs:   server.NewRuns("co-", opt.KeepFinished),
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweep", c.handleSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", c.handleStream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
+	mux.HandleFunc("GET /v1/workers", c.handleWorkers)
+	mux.HandleFunc("GET /healthz", c.handleHealth)
+	c.handler = server.CanonicalErrors(mux)
+	return c
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.handler }
+
+// ServeHTTP lets the Coordinator be mounted directly.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.handler.ServeHTTP(w, r)
+}
+
+// healthy probes one worker's liveness endpoint.
+func (c *Coordinator) healthy(ctx context.Context, worker string) error {
+	ctx, cancel := context.WithTimeout(ctx, c.opt.healthTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %s", resp.Status)
+	}
+	return nil
+}
+
+// probeFleet health-checks every configured worker concurrently.
+func (c *Coordinator) probeFleet(ctx context.Context) []wire.WorkerStatus {
+	out := make([]wire.WorkerStatus, len(c.opt.Workers))
+	var wg sync.WaitGroup
+	for i, w := range c.opt.Workers {
+		i, w := i, w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = wire.WorkerStatus{URL: w, Healthy: true}
+			if err := c.healthy(ctx, w); err != nil {
+				out[i] = wire.WorkerStatus{URL: w, Error: err.Error()}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// handleSweep validates the sweep, places its jobs on the healthy
+// fleet, and replies 202 before any dispatch work happens. Validation
+// mirrors the single-host server exactly — same envelope, same codes —
+// so clients need no coordinator-specific error handling.
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req wire.SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		server.WriteError(w, http.StatusBadRequest, wire.CodeBadRequest, false, "bad request body: %v", err)
+		return
+	}
+	if err := req.Spec.CheckVersion(); err != nil {
+		server.WriteError(w, http.StatusBadRequest, wire.CodeUnsupportedVersion, false, "%v", err)
+		return
+	}
+	if len(req.Indices) > 0 {
+		server.WriteError(w, http.StatusBadRequest, wire.CodeBadRequest, false,
+			"indices are a worker-protocol field; submit whole sweeps to a coordinator")
+		return
+	}
+	if n := req.Spec.Size(); n > c.opt.maxJobs() {
+		server.WriteError(w, http.StatusRequestEntityTooLarge, wire.CodeTooManyJobs, false,
+			"sweep would expand to %d jobs, coordinator budget is %d", n, c.opt.maxJobs())
+		return
+	}
+	bspec, err := req.Spec.Compile()
+	if err != nil {
+		code := wire.CodeBadRequest
+		if errors.Is(err, wire.ErrUnsupportedVersion) {
+			code = wire.CodeUnsupportedVersion
+		}
+		server.WriteError(w, http.StatusBadRequest, code, false, "%v", err)
+		return
+	}
+	jobs, err := bspec.Jobs()
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, wire.CodeBadRequest, false, "%v", err)
+		return
+	}
+	if req.SettleFrac < 0 || req.SettleFrac >= 1 {
+		server.WriteError(w, http.StatusBadRequest, wire.CodeBadRequest, false,
+			"settle_frac must be in [0, 1), got %g", req.SettleFrac)
+		return
+	}
+
+	// Health-check the fleet before accepting: a sweep with nowhere to
+	// run is a 503 now, not a stream of failures later.
+	var alive []string
+	for _, ws := range c.probeFleet(r.Context()) {
+		if ws.Healthy {
+			alive = append(alive, ws.URL)
+		}
+	}
+	if len(alive) == 0 {
+		server.WriteError(w, http.StatusServiceUnavailable, wire.CodeNoWorkers, true,
+			"none of the %d configured workers answered a health probe", len(c.opt.Workers))
+		return
+	}
+
+	// Placement keys: content-address where the job has one (so a design
+	// point lands where its disk cache lives), index fallback otherwise.
+	keys := batch.Keys(jobs, batch.Options{SettleFrac: req.SettleFrac})
+	names := make([]string, len(jobs))
+	for i, j := range jobs {
+		names[i] = j.Name
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), c.opt.maxRequestTime())
+	run := c.runs.New(len(jobs), cancel)
+	go c.dispatch(ctx, run, req, keys, names, alive)
+
+	server.WriteJSON(w, http.StatusAccepted, wire.SweepAccepted{
+		ID:        run.ID,
+		Jobs:      len(jobs),
+		StatusURL: "/v1/jobs/" + run.ID,
+		StreamURL: "/v1/jobs/" + run.ID + "/stream",
+	})
+}
+
+// sweepState is the shared bookkeeping of one coordinated sweep's
+// dispatch: which global indices have been delivered (the exactly-once
+// guard), the recorded lines for the merged summary, the live ring, and
+// the fleet counters the summary reports.
+type sweepState struct {
+	run   *server.Run
+	req   wire.SweepRequest
+	keys  []string
+	names []string
+
+	wg sync.WaitGroup
+
+	mu        sync.Mutex
+	ring      *Ring
+	delivered map[int]bool
+	recorded  []wire.Result
+	lost      map[string]bool
+	resharded int
+	retries   int
+}
+
+// record delivers one global-index line exactly once; duplicates (a
+// resumed stream replaying a line that raced the cursor) are dropped.
+func (st *sweepState) record(r wire.Result) {
+	st.mu.Lock()
+	if st.delivered[r.Index] {
+		st.mu.Unlock()
+		return
+	}
+	st.delivered[r.Index] = true
+	st.recorded = append(st.recorded, r)
+	st.mu.Unlock()
+	st.run.Record(r)
+}
+
+// undelivered filters a shard's indices down to those not yet recorded.
+func (st *sweepState) undelivered(indices []int) []int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []int
+	for _, ix := range indices {
+		if !st.delivered[ix] {
+			out = append(out, ix)
+		}
+	}
+	return out
+}
+
+// fail records a synthetic failed result for every given index — the
+// terminal accounting when no worker can run them (so the merged stream
+// still resolves with every job accounted for, like a cancelled local
+// sweep does).
+func (st *sweepState) fail(indices []int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	for _, ix := range indices {
+		st.record(wire.Result{Type: wire.LineResult, Index: ix, Name: st.names[ix], Error: msg})
+	}
+}
+
+// dispatch fans the sweep out over the fleet and finishes the run with
+// the merged summary. It returns only when every global index has been
+// recorded (delivered by a worker, or failed terminally).
+func (c *Coordinator) dispatch(ctx context.Context, run *server.Run, req wire.SweepRequest, keys, names []string, alive []string) {
+	defer run.Cancel()
+	st := &sweepState{
+		run:       run,
+		req:       req,
+		keys:      keys,
+		names:     names,
+		ring:      NewRing(alive),
+		delivered: make(map[int]bool, len(keys)),
+		lost:      make(map[string]bool),
+	}
+	for worker, indices := range st.ring.Assign(keys) {
+		st.wg.Add(1)
+		go c.runShard(ctx, st, worker, indices)
+	}
+	st.wg.Wait()
+
+	// Anything still undelivered (cancellation, total fleet loss) gets
+	// terminal accounting before the summary.
+	all := make([]int, len(keys))
+	for i := range all {
+		all[i] = i
+	}
+	if missing := st.undelivered(all); len(missing) != 0 {
+		reason := "sweep aborted before the job ran"
+		if err := ctx.Err(); err != nil {
+			reason = err.Error()
+		}
+		st.fail(missing, "%s", reason)
+	}
+
+	// Merged summary: reconstruct the batch view of every line, order by
+	// global index, and reduce through the same SummaryOf a single host
+	// uses. Floats round-tripped bit-exactly, so max_metric/argmax agree
+	// bit for bit with a single-host run of the same grid.
+	st.mu.Lock()
+	lines := append([]wire.Result(nil), st.recorded...)
+	resharded, retries, lost := st.resharded, st.retries, len(st.lost)
+	st.mu.Unlock()
+	sort.Slice(lines, func(i, j int) bool { return lines[i].Index < lines[j].Index })
+	results := make([]batch.Result, len(lines))
+	for i, ln := range lines {
+		results[i] = wire.BatchResultOf(ln)
+	}
+	summary := wire.SummaryOf(results, time.Since(run.Started))
+	summary.Workers = len(alive)
+	summary.Resharded = resharded
+	summary.Retries = retries
+	summary.LostWorkers = lost
+	run.Finish(summary)
+	c.runs.Retire(run.ID)
+}
+
+// postShard submits one shard sub-sweep to a worker. A connection-level
+// failure returns err; an HTTP rejection returns the worker's envelope.
+func (c *Coordinator) postShard(ctx context.Context, worker string, req wire.SweepRequest) (wire.SweepAccepted, *wire.ErrorDetail, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return wire.SweepAccepted{}, nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return wire.SweepAccepted{}, nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		return wire.SweepAccepted{}, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e wire.Error
+		if json.NewDecoder(resp.Body).Decode(&e) != nil || e.Error.Code == "" {
+			e = wire.Errorf(wire.CodeInternal, true, "worker replied %s", resp.Status)
+		}
+		d := e.Error
+		return wire.SweepAccepted{}, &d, nil
+	}
+	var acc wire.SweepAccepted
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		return wire.SweepAccepted{}, nil, err
+	}
+	return acc, nil, nil
+}
+
+// errTruncated marks a shard stream that ended without its summary line
+// — the worker died or the connection dropped mid-stream.
+var errTruncated = errors.New("shard stream truncated before its summary")
+
+// streamShard consumes one worker job's NDJSON stream from *received
+// onward, recording result lines (exactly-once via sweepState). It
+// bumps *received per result line so a retry resumes with ?from exactly
+// past what this coordinator has already read. nil return means the
+// summary line arrived — the shard is complete.
+func (c *Coordinator) streamShard(ctx context.Context, st *sweepState, worker string, acc wire.SweepAccepted, received *int) error {
+	url := fmt.Sprintf("%s%s?from=%d", worker, acc.StreamURL, *received)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("stream: worker replied %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			return fmt.Errorf("bad stream line: %w", err)
+		}
+		switch probe.Type {
+		case wire.LineResult:
+			var r wire.Result
+			if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+				return fmt.Errorf("bad result line: %w", err)
+			}
+			*received++
+			st.record(r)
+		case wire.LineSummary:
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return errTruncated
+}
+
+// runShard drives one worker's shard to completion: submit, stream,
+// resume on transient drops, and on worker loss re-shard the
+// undelivered indices onto the survivors. wg accounting: the goroutine
+// holds its own count while spawning replacements, so Wait cannot fire
+// between hand-offs.
+func (c *Coordinator) runShard(ctx context.Context, st *sweepState, worker string, indices []int) {
+	defer st.wg.Done()
+	req := wire.SweepRequest{
+		Spec:       st.req.Spec,
+		Indices:    indices,
+		Workers:    st.req.Workers,
+		SettleFrac: st.req.SettleFrac,
+		BudgetMS:   st.req.BudgetMS,
+		NoLockstep: st.req.NoLockstep,
+	}
+	acc, envErr, err := c.postShard(ctx, worker, req)
+	if err != nil {
+		c.loseWorker(ctx, st, worker, indices, err)
+		return
+	}
+	if envErr != nil {
+		if envErr.Retryable {
+			c.loseWorker(ctx, st, worker, indices, fmt.Errorf("%s: %s", envErr.Code, envErr.Message))
+			return
+		}
+		// The request itself was refused (bad spec, over budget): every
+		// worker would refuse it the same way, so re-sharding only loops.
+		st.fail(indices, "worker %s refused shard: %s: %s", worker, envErr.Code, envErr.Message)
+		return
+	}
+	received := 0
+	for attempt := 0; ; attempt++ {
+		err := c.streamShard(ctx, st, worker, acc, &received)
+		if err == nil {
+			return
+		}
+		if ctx.Err() != nil {
+			return // cancelled/expired; dispatch accounts the remainder
+		}
+		// Transient drop vs dead worker: if the worker still answers its
+		// health probe, resume the same job's stream past what we have.
+		if attempt < c.opt.maxRetries() && c.healthy(ctx, worker) == nil {
+			st.mu.Lock()
+			st.retries++
+			st.mu.Unlock()
+			continue
+		}
+		c.loseWorker(ctx, st, worker, indices, err)
+		return
+	}
+}
+
+// loseWorker declares a worker dead: removes it from the ring and
+// re-shards its undelivered indices over the survivors (each key moving
+// to its rendezvous second choice). With no survivors the remainder
+// fails terminally.
+func (c *Coordinator) loseWorker(ctx context.Context, st *sweepState, worker string, indices []int, cause error) {
+	st.mu.Lock()
+	if !st.lost[worker] {
+		st.lost[worker] = true
+		st.ring.Remove(worker)
+	}
+	ring := NewRing(st.ring.Workers())
+	st.mu.Unlock()
+
+	missing := st.undelivered(indices)
+	if len(missing) == 0 {
+		return
+	}
+	if ring.Len() == 0 {
+		st.fail(missing, "worker %s lost (%v) and no survivors remain", worker, cause)
+		return
+	}
+	st.mu.Lock()
+	st.resharded += len(missing)
+	st.mu.Unlock()
+
+	assign := make(map[string][]int, ring.Len())
+	for _, ix := range missing {
+		w := ring.Owner(JobKey(ix, st.keys[ix]))
+		assign[w] = append(assign[w], ix)
+	}
+	for w, ixs := range assign {
+		st.wg.Add(1)
+		go c.runShard(ctx, st, w, ixs)
+	}
+}
+
+// handleJob reports a sweep's status; ?results=1 includes the full list
+// once done.
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	run := c.lookup(w, r)
+	if run == nil {
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, run.Status(r.URL.Query().Get("results") == "1"))
+}
+
+// handleStream streams the merged run as NDJSON (same semantics as a
+// worker's stream, ?from cursor included).
+func (c *Coordinator) handleStream(w http.ResponseWriter, r *http.Request) {
+	run := c.lookup(w, r)
+	if run == nil {
+		return
+	}
+	server.ServeStream(w, r, run)
+}
+
+// handleCancel cancels a running coordinated sweep. Shard streams abort
+// via context; the workers' sub-sweeps run to their own budgets.
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	run := c.lookup(w, r)
+	if run == nil {
+		return
+	}
+	run.Cancel()
+	server.WriteJSON(w, http.StatusOK, map[string]string{"id": run.ID, "status": "cancelling"})
+}
+
+// handleWorkers reports a live health probe of the configured fleet.
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	server.WriteJSON(w, http.StatusOK, wire.FleetStatus{V: wire.Version, Workers: c.probeFleet(r.Context())})
+}
+
+// handleHealth is the liveness probe.
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	server.WriteJSON(w, http.StatusOK, wire.Health{
+		Status:       "ok",
+		ActiveSweeps: c.runs.Active(),
+		Workers:      len(c.opt.Workers),
+	})
+}
+
+func (c *Coordinator) lookup(w http.ResponseWriter, r *http.Request) *server.Run {
+	id := r.PathValue("id")
+	run := c.runs.Lookup(id)
+	if run == nil {
+		server.WriteError(w, http.StatusNotFound, wire.CodeNotFound, false, "unknown job %q", id)
+	}
+	return run
+}

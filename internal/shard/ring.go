@@ -1,0 +1,123 @@
+// Package shard is the fleet layer: a coordinator that partitions one
+// sweep across N single-host sweep servers (internal/server) by
+// consistent hash on the jobs' content-address keys, fans the shards out
+// over the existing POST /v1/sweep + NDJSON stream protocol, merges the
+// per-worker streams into one globally indexed stream, and survives
+// worker loss mid-sweep by re-sharding the undelivered jobs onto the
+// survivors.
+//
+// Placement uses rendezvous (highest-random-weight) hashing rather than
+// a virtual-node ring: every key independently ranks the workers by
+// hash(worker, key) and lands on the max. That gives the two exact
+// invariants the failure model needs — removing a worker moves exactly
+// the keys it owned (each to its second-ranked worker) and nothing
+// else, and adding a worker steals only the keys that now rank it
+// first — with no tuning knob (virtual-node count) to get wrong.
+// Hashing the CONTENT key (not the grid index) means a design point
+// lands on the same worker across sweeps of any shape, so that
+// worker's disk cache accumulates exactly the points it will be asked
+// for again.
+package shard
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring places string keys on a set of workers by rendezvous hashing.
+// The zero Ring is empty; it is not safe for concurrent mutation.
+type Ring struct {
+	workers []string
+}
+
+// NewRing builds a ring over the given worker identities (base URLs).
+// Order does not matter: placement depends only on the set.
+func NewRing(workers []string) *Ring {
+	r := &Ring{workers: append([]string(nil), workers...)}
+	sort.Strings(r.workers)
+	return r
+}
+
+// Workers returns the current member set (sorted, shared slice —
+// callers must not mutate).
+func (r *Ring) Workers() []string { return r.workers }
+
+// Len reports the member count.
+func (r *Ring) Len() int { return len(r.workers) }
+
+// Remove drops a worker from the ring. Keys it owned re-rank onto their
+// second choice; every other key keeps its owner (the rendezvous
+// minimal-movement property the re-shard path relies on).
+func (r *Ring) Remove(worker string) {
+	for i, w := range r.workers {
+		if w == worker {
+			r.workers = append(r.workers[:i], r.workers[i+1:]...)
+			return
+		}
+	}
+}
+
+// Add inserts a worker (no-op if present). Only keys that rank the
+// newcomer first move; nothing shuffles between existing workers.
+func (r *Ring) Add(worker string) {
+	for _, w := range r.workers {
+		if w == worker {
+			return
+		}
+	}
+	r.workers = append(r.workers, worker)
+	sort.Strings(r.workers)
+}
+
+// score is the rendezvous weight of key on worker: a 64-bit FNV-1a over
+// worker NUL key. FNV is not cryptographic, but placement only needs
+// uniformity against non-adversarial keys — and the keys here are
+// SHA-256 hex strings already.
+func score(worker, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(worker))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Owner returns the worker the key lands on: the member with the
+// highest rendezvous score (ties broken by worker identity, which the
+// sorted member list makes deterministic). Empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	best, bestScore := "", uint64(0)
+	for _, w := range r.workers {
+		if s := score(w, key); best == "" || s > bestScore {
+			best, bestScore = w, s
+		}
+	}
+	return best
+}
+
+// JobKey is the placement key of job index i given its content-address
+// key (possibly "" for uncacheable jobs, which fall back to the index —
+// stable within a sweep, meaningless across sweeps, exactly the cache
+// utility such a job has).
+func JobKey(index int, contentKey string) string {
+	if contentKey != "" {
+		return contentKey
+	}
+	return "idx:" + strconv.Itoa(index)
+}
+
+// Assign partitions job indices 0..len(keys)-1 (keys[i] the content key
+// of job i, "" allowed) over the ring's workers. The returned index
+// lists are ascending — the strictly-increasing form wire.SweepRequest
+// requires. Empty ring returns nil.
+func (r *Ring) Assign(keys []string) map[string][]int {
+	if r.Len() == 0 {
+		return nil
+	}
+	out := make(map[string][]int, r.Len())
+	for i, k := range keys {
+		w := r.Owner(JobKey(i, k))
+		out[w] = append(out[w], i)
+	}
+	return out
+}

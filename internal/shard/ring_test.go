@@ -1,0 +1,162 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func fleet(n int) []string {
+	ws := make([]string, n)
+	for i := range ws {
+		ws[i] = fmt.Sprintf("http://worker-%d:8080", i)
+	}
+	return ws
+}
+
+func randomKeys(rng *rand.Rand, n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%016x%016x", rng.Uint64(), rng.Uint64())
+	}
+	return keys
+}
+
+// TestRingRemoveMovesOnlyOrphans is the rendezvous minimal-movement
+// property the re-shard path relies on: over random fleets and key
+// sets, removing a worker relocates exactly the keys it owned — every
+// other key keeps its owner bit for bit.
+func TestRingRemoveMovesOnlyOrphans(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(9) // 2..10 workers
+		workers := fleet(n)
+		keys := randomKeys(rng, 500)
+		ring := NewRing(workers)
+		before := make([]string, len(keys))
+		for i, k := range keys {
+			before[i] = ring.Owner(k)
+		}
+		victim := workers[rng.Intn(n)]
+		ring.Remove(victim)
+		moved := 0
+		for i, k := range keys {
+			after := ring.Owner(k)
+			if before[i] == victim {
+				moved++
+				if after == victim {
+					t.Fatalf("trial %d: key %s still owned by removed worker", trial, k)
+				}
+			} else if after != before[i] {
+				t.Fatalf("trial %d: key %s moved %s -> %s though its owner survived",
+					trial, k, before[i], after)
+			}
+		}
+		if moved == 0 {
+			t.Fatalf("trial %d: removed worker owned no keys (500 keys, %d workers) — suspicious hash", trial, n)
+		}
+	}
+}
+
+// TestRingAddMovesOnlyToNewcomer: adding a worker steals keys for the
+// newcomer only; no key shuffles between existing workers. The stolen
+// share is ~1/(n+1) of the keys.
+func TestRingAddMovesOnlyToNewcomer(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(9)
+		workers := fleet(n)
+		keys := randomKeys(rng, 1000)
+		ring := NewRing(workers)
+		before := make([]string, len(keys))
+		for i, k := range keys {
+			before[i] = ring.Owner(k)
+		}
+		newcomer := "http://worker-new:8080"
+		ring.Add(newcomer)
+		moved := 0
+		for i, k := range keys {
+			after := ring.Owner(k)
+			if after != before[i] {
+				moved++
+				if after != newcomer {
+					t.Fatalf("trial %d: key %s moved %s -> %s, not to the newcomer",
+						trial, k, before[i], after)
+				}
+			}
+		}
+		// Expect ~1000/(n+1) moves; allow a wide band (binomial spread).
+		want := 1000 / (n + 1)
+		if moved < want/2 || moved > want*2 {
+			t.Errorf("trial %d (%d workers): %d keys moved to newcomer, want ~%d",
+				trial, n, moved, want)
+		}
+	}
+}
+
+// TestRingBalance: uniform keys spread roughly evenly (no worker gets
+// more than ~2x its fair share over a large key set).
+func TestRingBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	workers := fleet(5)
+	keys := randomKeys(rng, 5000)
+	ring := NewRing(workers)
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[ring.Owner(k)]++
+	}
+	fair := len(keys) / len(workers)
+	for w, n := range counts {
+		if n < fair/2 || n > fair*2 {
+			t.Errorf("worker %s owns %d keys, fair share %d", w, n, fair)
+		}
+	}
+	if len(counts) != len(workers) {
+		t.Errorf("only %d/%d workers own any keys", len(counts), len(workers))
+	}
+}
+
+// TestRingDeterminism: placement depends only on the member set, not
+// construction order or process state.
+func TestRingDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	keys := randomKeys(rng, 100)
+	a := NewRing([]string{"http://w1", "http://w2", "http://w3"})
+	b := NewRing([]string{"http://w3", "http://w1", "http://w2"})
+	for _, k := range keys {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %s differs by construction order", k)
+		}
+	}
+}
+
+// TestAssignPartition: Assign covers every index exactly once, each
+// list strictly increasing (the wire.SweepRequest.Indices contract),
+// and uncacheable jobs (empty keys) still place via the index fallback.
+func TestAssignPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	keys := randomKeys(rng, 200)
+	keys[3], keys[77] = "", "" // uncacheable jobs
+	ring := NewRing(fleet(4))
+	assign := ring.Assign(keys)
+	seen := make([]int, len(keys))
+	for w, ixs := range assign {
+		for i, ix := range ixs {
+			if ix < 0 || ix >= len(keys) {
+				t.Fatalf("worker %s assigned out-of-range index %d", w, ix)
+			}
+			seen[ix]++
+			if i > 0 && ixs[i-1] >= ix {
+				t.Fatalf("worker %s indices not strictly increasing: %v", w, ixs)
+			}
+		}
+	}
+	for ix, n := range seen {
+		if n != 1 {
+			t.Fatalf("index %d assigned %d times, want exactly once", ix, n)
+		}
+	}
+	if NewRing(nil).Assign(keys) != nil {
+		t.Fatal("empty ring must return nil assignment")
+	}
+}

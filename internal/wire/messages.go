@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"harvsim/internal/batch"
@@ -9,6 +11,13 @@ import (
 // SweepRequest is the body of POST /v1/sweep.
 type SweepRequest struct {
 	Spec Spec `json:"spec"`
+	// Indices, when non-empty, restricts execution to these indices of
+	// the spec's full row-major expansion — the shard subset a
+	// coordinator assigns one worker. They must be strictly increasing
+	// and in range. Result lines keep the global expansion indices, so
+	// a coordinator can merge shard streams into one globally indexed
+	// stream; jobs outside the subset are neither expanded nor run.
+	Indices []int `json:"indices,omitempty"`
 	// Workers requests a pool size; the server clamps it to its own
 	// per-request cap. 0 selects the server's default.
 	Workers int `json:"workers,omitempty"`
@@ -91,9 +100,12 @@ func ResultOf(r batch.Result) Result {
 }
 
 // Summary is the final NDJSON stream line (Type == "summary") and the
-// aggregate block of a finished job's status.
+// aggregate block of a finished job's status. The fleet fields
+// (Workers, Resharded, Retries, LostWorkers) are filled by the shard
+// coordinator only; a single worker's summary omits them.
 type Summary struct {
 	Type      string `json:"type,omitempty"`
+	V         int    `json:"v"`
 	Jobs      int    `json:"jobs"`
 	Failed    int    `json:"failed"`
 	CacheHits int    `json:"cache_hits"`
@@ -103,6 +115,17 @@ type Summary struct {
 	CPUMS     int64  `json:"cpu_ms"`
 	MaxMetric Float  `json:"max_metric"`
 	ArgMax    string `json:"argmax,omitempty"`
+
+	// Workers is the fleet size that started serving the sweep.
+	Workers int `json:"workers,omitempty"`
+	// Resharded counts jobs re-assigned to surviving workers after a
+	// worker was lost mid-sweep.
+	Resharded int `json:"resharded,omitempty"`
+	// Retries counts stream reconnects (?from cursor resumes) that
+	// recovered a shard without re-sharding it.
+	Retries int `json:"retries,omitempty"`
+	// LostWorkers counts workers declared dead during the sweep.
+	LostWorkers int `json:"lost_workers,omitempty"`
 }
 
 // SummaryOf reduces a finished sweep for the wire.
@@ -110,6 +133,7 @@ func SummaryOf(results []batch.Result, wall time.Duration) Summary {
 	s := batch.Summarize(results)
 	out := Summary{
 		Type:      LineSummary,
+		V:         Version,
 		Jobs:      s.Jobs,
 		Failed:    s.Failed,
 		CacheHits: s.CacheHits,
@@ -178,14 +202,91 @@ func CacheStatsOf(c *batch.Cache) CacheStats {
 	}
 }
 
-// Error is the JSON error envelope every non-2xx response carries.
-type Error struct {
-	Error string `json:"error"`
+// Error codes: the stable machine-readable identifiers of the canonical
+// error envelope. Clients branch on Code, never on Message text.
+const (
+	CodeBadRequest         = "bad_request"         // malformed body or invalid spec
+	CodeUnsupportedVersion = "unsupported_version" // wire version mismatch (see Version)
+	CodeTooManyJobs        = "too_many_jobs"       // expansion exceeds the server's job budget
+	CodeNotFound           = "not_found"           // unknown job id or route
+	CodeMethodNotAllowed   = "method_not_allowed"  // known route, wrong HTTP method
+	CodeNoWorkers          = "no_workers"          // coordinator: no healthy worker to dispatch to
+	CodeInternal           = "internal"            // unexpected server-side failure
+)
+
+// ErrorDetail is the body of the canonical error envelope.
+type ErrorDetail struct {
+	// Code is a stable identifier from the Code* set.
+	Code string `json:"code"`
+	// Message is the human-readable explanation.
+	Message string `json:"message"`
+	// Retryable reports whether the identical request may succeed later
+	// (transient overload, fleet churn) — false means the request itself
+	// is wrong and retrying is pointless.
+	Retryable bool `json:"retryable"`
 }
 
-// Health is the GET /healthz response.
+// Error is the canonical JSON error envelope every non-2xx response
+// from the sweep service and the shard coordinator carries:
+// {"error": {"code", "message", "retryable"}}.
+type Error struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// Errorf builds an error envelope.
+func Errorf(code string, retryable bool, format string, args ...any) Error {
+	return Error{Error: ErrorDetail{
+		Code:      code,
+		Message:   fmt.Sprintf(format, args...),
+		Retryable: retryable,
+	}}
+}
+
+// Health is the GET /healthz response. Workers is reported by the
+// coordinator only (its configured fleet size).
 type Health struct {
 	Status       string `json:"status"`
 	ActiveSweeps int    `json:"active_sweeps"`
-	CacheEntries int    `json:"cache_entries"`
+	CacheEntries int    `json:"cache_entries,omitempty"`
+	Workers      int    `json:"workers,omitempty"`
+}
+
+// WorkerStatus is one worker's probe outcome in GET /v1/workers.
+type WorkerStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+}
+
+// FleetStatus is the coordinator's GET /v1/workers response.
+type FleetStatus struct {
+	V       int            `json:"v"`
+	Workers []WorkerStatus `json:"workers"`
+}
+
+// BatchResultOf reconstructs the batch-layer view of a wire result — the
+// inverse of ResultOf over the fields the wire carries. Remote clients
+// (cmd/sweep -remote) and the shard coordinator reduce streams through
+// it so rankings and summaries run the exact code path a local run uses;
+// metric floats round-trip bit-exactly, so the reductions agree bit for
+// bit with a local sweep.
+func BatchResultOf(r Result) batch.Result {
+	br := batch.Result{
+		Index:     r.Index,
+		Name:      r.Name,
+		Job:       batch.Job{Name: r.Name, Group: r.Group, Seed: uint64(r.Seed)},
+		Key:       r.Key,
+		Elapsed:   time.Duration(r.ElapsedUS) * time.Microsecond,
+		FinalVc:   float64(r.FinalVc),
+		RMSPower:  float64(r.RMSPower),
+		MeanPower: float64(r.MeanPower),
+		Metric:    float64(r.Metric),
+		Cached:    r.Cached,
+		Shared:    r.Shared,
+	}
+	br.Stats.Steps = r.Steps
+	if r.Error != "" {
+		br.Err = errors.New(r.Error)
+	}
+	return br
 }

@@ -22,6 +22,7 @@ package wire
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -30,6 +31,20 @@ import (
 	"harvsim/internal/batch"
 	"harvsim/internal/harvester"
 )
+
+// Version is the wire schema version this build speaks. Every Spec and
+// every NDJSON summary line carries it as "v". The compatibility rule
+// (documented in DESIGN.md) is exact-match with a zero escape hatch: a
+// component accepts v == Version and treats an absent/zero v as Version
+// (specs written before versioning existed), and rejects anything else
+// with the canonical error envelope, code "unsupported_version". Bump
+// Version only on breaking schema changes; additive omitempty fields do
+// not bump it.
+const Version = 1
+
+// ErrUnsupportedVersion is wrapped by version-mismatch errors, so
+// front-ends can map them onto CodeUnsupportedVersion with errors.Is.
+var ErrUnsupportedVersion = errors.New("unsupported wire version")
 
 // Seed is a uint64 that survives JSON intermediaries: it marshals as a
 // decimal string and unmarshals from either a string or a number.
@@ -402,6 +417,12 @@ func metricFor(name string, sc harvester.Scenario) (func(*harvester.Harvester, h
 // Spec is the wire form of a full sweep: base scenario, solver, metric
 // and axes. It is the unit a client POSTs and a coordinator routes.
 type Spec struct {
+	// V is the wire schema version (see Version). 0 means "written
+	// before versioning" and is accepted as the current version; any
+	// other mismatch is rejected. The version is transport metadata, not
+	// physics: it never enters the content-addressed job identity, so
+	// cache entries survive a version bump that leaves physics alone.
+	V int `json:"v,omitempty"`
 	// Name labels the base job (result names become
 	// "name[axis=value ...]"); defaults to the scenario kind.
 	Name     string   `json:"name,omitempty"`
@@ -412,10 +433,24 @@ type Spec struct {
 	Axes     []Axis   `json:"axes,omitempty"`
 }
 
+// CheckVersion applies the compatibility rule: nil for v == Version and
+// for the pre-versioning zero, ErrUnsupportedVersion (wrapped) for
+// everything else.
+func (s Spec) CheckVersion() error {
+	if s.V != 0 && s.V != Version {
+		return fmt.Errorf("%w: spec declares v=%d, this build speaks v=%d",
+			ErrUnsupportedVersion, s.V, Version)
+	}
+	return nil
+}
+
 // Compile lowers the spec into an executable batch sweep. The result is
 // deterministic: equal specs compile to job lists with equal
 // content-addressed identities on every host.
 func (s Spec) Compile() (batch.SweepSpec, error) {
+	if err := s.CheckVersion(); err != nil {
+		return batch.SweepSpec{}, err
+	}
 	sc, err := s.Scenario.build()
 	if err != nil {
 		return batch.SweepSpec{}, err

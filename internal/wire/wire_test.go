@@ -2,8 +2,10 @@ package wire
 
 import (
 	"encoding/json"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"harvsim/internal/batch"
 	"harvsim/internal/harvester"
@@ -52,6 +54,7 @@ func roundTrip(t *testing.T, spec Spec) Spec {
 // float encoding), int, engine and seed (full-range uint64 base).
 func TestRoundTripKeyIdentity(t *testing.T) {
 	spec := Spec{
+		V:    Version,
 		Name: "grid",
 		Scenario: Scenario{
 			Kind:       "noise",
@@ -73,7 +76,22 @@ func TestRoundTripKeyIdentity(t *testing.T) {
 	opt := batch.Options{}
 
 	want := keysOf(t, spec, opt)
-	got := keysOf(t, roundTrip(t, spec), opt)
+	back := roundTrip(t, spec)
+	if back.V != Version {
+		t.Errorf("version field dropped across round-trip: got v=%d, want v=%d", back.V, Version)
+	}
+	got := keysOf(t, back, opt)
+
+	// The version is transport metadata, never physics: an unversioned
+	// (pre-versioning) spec must compile to the same identities, or a
+	// version stamp would invalidate every existing cache entry.
+	unversioned := spec
+	unversioned.V = 0
+	for i, k := range keysOf(t, unversioned, opt) {
+		if k != want[i] {
+			t.Errorf("job %d: v=0 key differs from v=%d key", i, Version)
+		}
+	}
 
 	if len(want) != len(got) {
 		t.Fatalf("job count changed across round-trip: %d vs %d", len(want), len(got))
@@ -203,14 +221,15 @@ func TestFloatNonFinite(t *testing.T) {
 // errors, not compiled into surprising sweeps.
 func TestValidationErrors(t *testing.T) {
 	cases := map[string]Spec{
-		"unknown kind":       {Scenario: Scenario{Kind: "warp", DurationS: 1}},
-		"missing duration":   {Scenario: Scenario{Kind: "charge"}},
-		"unknown engine":     {Scenario: Scenario{Kind: "charge", DurationS: 1}, Engine: "spice"},
-		"unknown metric":     {Scenario: Scenario{Kind: "charge", DurationS: 1}, Metric: "vibes"},
-		"unknown param":      {Scenario: Scenario{Kind: "charge", DurationS: 1, Set: map[string]float64{"dickson.stagecoach": 3}}},
-		"fractional int set": {Scenario: Scenario{Kind: "charge", DurationS: 1, Set: map[string]float64{"dickson.stages": 2.5}}},
-		"bad fidelity":       {Scenario: Scenario{Kind: "scenario1", Fidelity: "medium"}},
-		"negative decimate":  {Scenario: Scenario{Kind: "charge", DurationS: 1}, Decimate: -1},
+		"future wire version": {V: Version + 1, Scenario: Scenario{Kind: "charge", DurationS: 1}},
+		"unknown kind":        {Scenario: Scenario{Kind: "warp", DurationS: 1}},
+		"missing duration":    {Scenario: Scenario{Kind: "charge"}},
+		"unknown engine":      {Scenario: Scenario{Kind: "charge", DurationS: 1}, Engine: "spice"},
+		"unknown metric":      {Scenario: Scenario{Kind: "charge", DurationS: 1}, Metric: "vibes"},
+		"unknown param":       {Scenario: Scenario{Kind: "charge", DurationS: 1, Set: map[string]float64{"dickson.stagecoach": 3}}},
+		"fractional int set":  {Scenario: Scenario{Kind: "charge", DurationS: 1, Set: map[string]float64{"dickson.stages": 2.5}}},
+		"bad fidelity":        {Scenario: Scenario{Kind: "scenario1", Fidelity: "medium"}},
+		"negative decimate":   {Scenario: Scenario{Kind: "charge", DurationS: 1}, Decimate: -1},
 		"empty float axis": {Scenario: Scenario{Kind: "charge", DurationS: 1},
 			Axes: []Axis{{Kind: AxisFloat, Param: "microgen.k3"}}},
 		"int param on float axis": {Scenario: Scenario{Kind: "charge", DurationS: 1},
@@ -228,6 +247,90 @@ func TestValidationErrors(t *testing.T) {
 		if _, err := spec.Compile(); err == nil {
 			t.Errorf("%s: Compile accepted the spec", name)
 		}
+	}
+}
+
+// TestVersionCheck pins the compatibility rule: v==0 (pre-versioning)
+// and v==Version compile; any other version is rejected with an error
+// that unwraps to ErrUnsupportedVersion (the hook front-ends map onto
+// the "unsupported_version" envelope code).
+func TestVersionCheck(t *testing.T) {
+	base := Spec{Scenario: Scenario{Kind: "charge", DurationS: 1}}
+	for _, v := range []int{0, Version} {
+		s := base
+		s.V = v
+		if err := s.CheckVersion(); err != nil {
+			t.Errorf("v=%d rejected: %v", v, err)
+		}
+		if _, err := s.Compile(); err != nil {
+			t.Errorf("v=%d failed to compile: %v", v, err)
+		}
+	}
+	for _, v := range []int{-1, Version + 1, 99} {
+		s := base
+		s.V = v
+		err := s.CheckVersion()
+		if !errors.Is(err, ErrUnsupportedVersion) {
+			t.Errorf("v=%d: CheckVersion = %v, want ErrUnsupportedVersion", v, err)
+		}
+		if _, err := s.Compile(); !errors.Is(err, ErrUnsupportedVersion) {
+			t.Errorf("v=%d: Compile = %v, want ErrUnsupportedVersion", v, err)
+		}
+	}
+}
+
+// TestErrorEnvelopeShape pins the canonical error envelope JSON layout
+// every non-2xx response carries: {"error":{"code","message","retryable"}}.
+func TestErrorEnvelopeShape(t *testing.T) {
+	data, err := json.Marshal(Errorf(CodeTooManyJobs, false, "sweep would expand to %d jobs", 1000000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Error struct {
+			Code      string `json:"code"`
+			Message   string `json:"message"`
+			Retryable *bool  `json:"retryable"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Error.Code != CodeTooManyJobs || decoded.Error.Message == "" || decoded.Error.Retryable == nil {
+		t.Fatalf("envelope %s missing canonical fields", data)
+	}
+}
+
+// TestBatchResultRoundTrip: BatchResultOf inverts ResultOf over the
+// wire-carried fields, bit-exactly for the metric floats — what lets a
+// remote client and the coordinator reduce summaries identically to a
+// local run.
+func TestBatchResultRoundTrip(t *testing.T) {
+	in := batch.Result{
+		Index: 7, Name: "grid[stages=4]",
+		Job:       batch.Job{Name: "grid[stages=4]", Group: "grid", Seed: 42},
+		Key:       "abc123",
+		Elapsed:   1500 * time.Microsecond,
+		FinalVc:   2.5000000000000004,
+		RMSPower:  1e-6,
+		MeanPower: 0.1 + 0.2,
+		Metric:    3.3e-7,
+		Cached:    true,
+		Shared:    true,
+	}
+	in.Stats.Steps = 1234
+	out := BatchResultOf(ResultOf(in))
+	if out.Index != in.Index || out.Name != in.Name || out.Key != in.Key ||
+		out.Job.Group != in.Job.Group || out.Job.Seed != in.Job.Seed ||
+		out.Elapsed != in.Elapsed || out.FinalVc != in.FinalVc ||
+		out.RMSPower != in.RMSPower || out.MeanPower != in.MeanPower ||
+		out.Metric != in.Metric || out.Cached != in.Cached || out.Shared != in.Shared ||
+		out.Stats.Steps != in.Stats.Steps || out.Err != nil {
+		t.Fatalf("round trip changed the result:\n in %+v\nout %+v", in, out)
+	}
+	in.Err = errors.New("boom")
+	if out := BatchResultOf(ResultOf(in)); out.Err == nil || out.Err.Error() != "boom" {
+		t.Fatalf("error not carried: %v", out.Err)
 	}
 }
 

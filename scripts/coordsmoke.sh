@@ -1,0 +1,126 @@
+#!/usr/bin/env sh
+# End-to-end smoke of the sharded sweep coordinator against real
+# binaries: builds cmd/serve and cmd/coord, starts THREE workers and a
+# coordinator fronting them, streams a 64-point noise-ensemble grid
+# through the coordinator, and kill -9's one worker while its shard is
+# mid-stream. Asserts:
+#   - every one of the 64 design points is delivered exactly once;
+#   - the summary reports the loss (lost_workers >= 1, resharded > 0);
+#   - the merged metrics are bit-identical to a single-host run of the
+#     same spec — the fleet-level restatement of the determinism
+#     contract.
+# Requires curl and jq (both present on the CI runners).
+set -e
+
+WORK=$(mktemp -d)
+trap 'kill "$W1_PID" "$W2_PID" "$W3_PID" "$SOLO_PID" "$COORD_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/serve" ./cmd/serve
+go build -o "$WORK/coord" ./cmd/coord
+
+# The server prints its resolved address; wait for it.
+wait_addr() {
+  ADDR=
+  for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on //p' "$1")
+    [ -n "$ADDR" ] && return 0
+    sleep 0.1
+  done
+  echo "coordsmoke: $2 did not start" >&2
+  cat "$1" >&2
+  exit 1
+}
+
+"$WORK/serve" -addr 127.0.0.1:0 > "$WORK/w1.log" 2>&1 &
+W1_PID=$!
+"$WORK/serve" -addr 127.0.0.1:0 > "$WORK/w2.log" 2>&1 &
+W2_PID=$!
+"$WORK/serve" -addr 127.0.0.1:0 > "$WORK/w3.log" 2>&1 &
+W3_PID=$!
+"$WORK/serve" -addr 127.0.0.1:0 > "$WORK/solo.log" 2>&1 &
+SOLO_PID=$!
+wait_addr "$WORK/w1.log" worker1; W1=$ADDR
+wait_addr "$WORK/w2.log" worker2; W2=$ADDR
+wait_addr "$WORK/w3.log" worker3; W3=$ADDR
+wait_addr "$WORK/solo.log" solo;  SOLO=$ADDR
+
+"$WORK/coord" -addr 127.0.0.1:0 \
+  -workers "http://$W1,http://$W2,http://$W3" > "$WORK/coord.log" 2>&1 &
+COORD_PID=$!
+wait_addr "$WORK/coord.log" coordinator; COORD=$ADDR
+
+curl -fsS "http://$COORD/healthz" | jq -e '.status == "ok" and .workers == 3' > /dev/null
+curl -fsS "http://$COORD/v1/workers" | jq -e '[.workers[].healthy] == [true,true,true]' > /dev/null
+
+# A 64-point ensemble grid: 4 coil resistances x 4 multiplier stages x
+# 4 noise-realisation seeds over the band-limited-noise scenario. The
+# seed axis expands server-side from base_seed, so every host derives
+# the identical job list. duration_s is sized so each job simulates for
+# a noticeable fraction of a second: the victim's shard is still
+# streaming when the kill lands, forcing a real re-shard.
+SPEC='{"spec":{"v":1,"name":"fleet","scenario":{"kind":"noise","duration_s":2.0,"noise_flo_hz":40,"noise_fhi_hz":80,"set":{"initial_vc":2.5}},"axes":[{"kind":"float","param":"microgen.rc","values":[100,320,1000,3200]},{"kind":"int","param":"dickson.stages","ints":[3,5,7,9]},{"kind":"seed","base_seed":"12345","count":4}]}}'
+
+# Single-host baseline on a worker the coordinator never touches.
+SOLO_ID=$(curl -fsS -X POST "http://$SOLO/v1/sweep" -H 'Content-Type: application/json' -d "$SPEC" | jq -r .id)
+curl -fsSN "http://$SOLO/v1/jobs/$SOLO_ID/stream" > "$WORK/solo.ndjson"
+
+# The coordinated run: start the stream, then kill -9 worker 1 once a
+# few results have arrived (so every shard is provably mid-flight).
+ACC=$(curl -fsS -X POST "http://$COORD/v1/sweep" -H 'Content-Type: application/json' -d "$SPEC")
+echo "$ACC" | jq -e '.jobs == 64' > /dev/null
+ID=$(echo "$ACC" | jq -r .id)
+curl -fsSN "http://$COORD/v1/jobs/$ID/stream" > "$WORK/merged.ndjson" &
+CURL_PID=$!
+
+for _ in $(seq 1 200); do
+  LINES=$(grep -c '"type":"result"' "$WORK/merged.ndjson" 2>/dev/null || true)
+  [ "${LINES:-0}" -ge 3 ] && break
+  sleep 0.05
+done
+kill -9 "$W1_PID"
+echo "coordsmoke: killed worker 1 after $LINES streamed results"
+
+wait "$CURL_PID"
+
+# Exactly-once delivery: 64 results, 64 distinct indices, none failed.
+summary() { jq -s 'map(select(.type=="summary"))[0]' "$1"; }
+RESULTS=$(jq -s 'map(select(.type=="result")) | length' "$WORK/merged.ndjson")
+DISTINCT=$(jq -s 'map(select(.type=="result") | .index) | unique | length' "$WORK/merged.ndjson")
+if [ "$RESULTS" != "64" ] || [ "$DISTINCT" != "64" ]; then
+  echo "coordsmoke: want 64 results delivered exactly once, got $RESULTS lines over $DISTINCT indices" >&2
+  exit 1
+fi
+FAILED=$(summary "$WORK/merged.ndjson" | jq .failed)
+if [ "$FAILED" != "0" ]; then
+  echo "coordsmoke: $FAILED jobs failed after re-shard, want 0" >&2
+  summary "$WORK/merged.ndjson" >&2
+  exit 1
+fi
+
+# The loss must be visible in the summary: the worker was declared
+# lost and its unfinished jobs re-sharded onto the survivors.
+LOST=$(summary "$WORK/merged.ndjson" | jq '.lost_workers // 0')
+RESHARDED=$(summary "$WORK/merged.ndjson" | jq '.resharded // 0')
+if [ "$LOST" -lt 1 ] || [ "$RESHARDED" -lt 1 ]; then
+  echo "coordsmoke: summary reports lost_workers=$LOST resharded=$RESHARDED, want both >= 1" >&2
+  summary "$WORK/merged.ndjson" >&2
+  exit 1
+fi
+summary "$WORK/merged.ndjson" | jq -e '.v == 1' > /dev/null
+
+# Bit-identical physics across the fleet, worker death included: the
+# metric fields and content-address keys of the merged stream must
+# equal the single-host baseline, job for job. Timing and cache markers
+# are excluded — those legitimately differ.
+extract() {
+  jq -c 'select(.type=="result") | [.index,.metric,.rms_power,.mean_power,.final_vc,.key]' "$1" | sort
+}
+extract "$WORK/solo.ndjson" > "$WORK/solo.metrics"
+extract "$WORK/merged.ndjson" > "$WORK/merged.metrics"
+if ! cmp -s "$WORK/solo.metrics" "$WORK/merged.metrics"; then
+  echo "coordsmoke: merged metrics differ from single-host baseline:" >&2
+  diff "$WORK/solo.metrics" "$WORK/merged.metrics" >&2 || true
+  exit 1
+fi
+
+echo "coordsmoke OK: 64/64 delivered exactly once, $LOST worker lost, $RESHARDED jobs re-sharded, metrics bit-identical to single host"

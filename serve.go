@@ -1,0 +1,70 @@
+package harvsim
+
+// This file is the service sub-surface of the facade: the HTTP sweep
+// server a single host runs (Serve) and the shard coordinator that
+// fronts a fleet of them (Coordinate). Both speak the same versioned
+// wire API (internal/wire, WireVersion): POST /v1/sweep in, one
+// NDJSON stream of results plus a summary line out, every non-2xx
+// response carrying the canonical {"error":{"code","message",
+// "retryable"}} envelope. See harvsim.go for the core model and
+// sweep.go for the batch layer.
+
+import (
+	"harvsim/internal/server"
+	"harvsim/internal/shard"
+	"harvsim/internal/wire"
+)
+
+// WireVersion is the wire-schema version this build speaks. Specs and
+// summary lines carry it as "v"; a mismatched spec is rejected with
+// code "unsupported_version" (see DESIGN.md for the compatibility
+// rule).
+const WireVersion = wire.Version
+
+// ServeOptions configures a sweep service (worker cap, concurrency,
+// budgets, shared cache); the zero value is ready to use.
+type ServeOptions = server.Options
+
+// SweepService is the long-lived single-host sweep service: an
+// HTTP/JSON front-end over the batch layer with one result cache and
+// one workspace-pool set shared across every request, NDJSON streaming
+// of per-job results (resumable via a ?from cursor), per-request
+// budgets and in-flight deduplication of identical jobs. Mount
+// Handler on any mux, or run the standalone cmd/serve binary.
+type SweepService = server.Server
+
+// Serve builds the sweep service around a shared cache
+// (ServeOptions.Cache, or a fresh in-memory one).
+func Serve(opt ServeOptions) *SweepService { return server.New(opt) }
+
+// CoordinateOptions configures a shard coordinator: the worker fleet
+// (base URLs of running sweep services), budgets and failure-handling
+// knobs.
+type CoordinateOptions = shard.Options
+
+// Coordinator partitions one sweep across a fleet of sweep services by
+// consistent (rendezvous) hash on the jobs' content-address keys, fans
+// the shards out over the same wire API a client would use, merges the
+// per-worker streams into one globally indexed stream, and re-shards
+// the unfinished jobs of a worker lost mid-sweep onto the survivors.
+// Clients talk to it exactly as they would to a single SweepService.
+type Coordinator = shard.Coordinator
+
+// Coordinate builds a shard coordinator over the configured fleet.
+// Mount Handler on any mux, or run the standalone cmd/coord binary.
+func Coordinate(opt CoordinateOptions) *Coordinator { return shard.New(opt) }
+
+// SweepServer is the previous name of SweepService.
+//
+// Deprecated: Use SweepService.
+type SweepServer = server.Server
+
+// SweepServerOptions is the previous name of ServeOptions.
+//
+// Deprecated: Use ServeOptions.
+type SweepServerOptions = server.Options
+
+// NewSweepServer is the previous name of Serve.
+//
+// Deprecated: Use Serve.
+func NewSweepServer(opt SweepServerOptions) *SweepServer { return server.New(opt) }
