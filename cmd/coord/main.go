@@ -28,14 +28,18 @@ Quickstart (three workers and a coordinator):
   coord -addr 127.0.0.1:8080 \
     -workers http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083 &
 
-  curl -s localhost:8080/v1/workers            # fleet health
+  curl -s localhost:8080/v1/workers            # states: live | draining | lost
   curl -s -X POST localhost:8080/v1/sweep -d @spec.json
   curl -sN localhost:8080/v1/jobs/co-1/stream  # one merged NDJSON stream
+  curl -s localhost:8080/metrics               # fleet counters, per-worker latency
+  curl -s -X POST 'localhost:8080/v1/workers/drain?worker=http://127.0.0.1:8082'
 
-The coordinator accepts the exact spec a single worker accepts; the
+A draining worker takes no new shards but finishes its in-flight ones
+(planned maintenance without tripping the loss machinery). The
+coordinator accepts the exact spec a single worker accepts; the
 merged stream is bit-identical to a single-host run of the same spec,
 even when a worker dies mid-sweep (its unfinished jobs are re-sharded
-onto the survivors). See README.md "Running a fleet".
+onto the survivors). See README.md "Operating the fleet".
 `
 
 func usage() {

@@ -32,6 +32,7 @@ Quickstart:
   }'
   curl -sN localhost:8080/v1/jobs/sw-1/stream     # NDJSON, one line per result
   curl -s localhost:8080/v1/cache/stats
+  curl -s localhost:8080/metrics                  # Prometheus text exposition
 
 A repeated POST of the same spec is served entirely from the cache
 (zero engine runs, bit-identical metrics); see README.md.

@@ -238,6 +238,12 @@ type Options struct {
 	// reuse a long-lived sweep service wants. Ignored under
 	// NoWorkspaceReuse.
 	Pools *PoolCache
+
+	// Metrics, when set, accumulates per-job counters and engine-run
+	// latency into a process-wide instrument bundle (see NewMetrics).
+	// Like Cache and Pools it is meant to be shared across Run calls by
+	// a long-lived front-end; nil records nothing.
+	Metrics *Metrics
 }
 
 // EffectiveWorkers resolves the pool size the options select: Workers
@@ -291,6 +297,7 @@ func Run(ctx context.Context, jobs []Job, opt Options) []Result {
 			for _, unit := range units[u:] {
 				for _, j := range unit {
 					results[j] = Result{Index: j, Name: jobName(jobs[j]), Job: jobs[j], Err: ctx.Err()}
+					opt.Metrics.observe(results[j])
 					if opt.OnResult != nil {
 						opt.OnResult(results[j])
 					}
@@ -486,6 +493,7 @@ func runFresh(res *Result, job Job, opt Options, pool *core.WorkspacePool) {
 		return
 	}
 	res.Elapsed = time.Since(start)
+	opt.Metrics.observeEngineRun(res.Elapsed)
 
 	_, res.FinalVc = h.VcTrace.Last()
 	res.FinalState = append([]float64(nil), eng.State()...)

@@ -74,12 +74,17 @@ func runUnit(unit []int, jobs []Job, opt Options, results []Result, pool *core.W
 	if len(unit) == 1 {
 		i := unit[0]
 		results[i] = runOne(i, jobs[i], opt, pool)
+		opt.Metrics.observe(results[i])
 		if opt.OnResult != nil {
 			opt.OnResult(results[i])
 		}
 		return
 	}
+	opt.Metrics.observeLockstepUnit(len(unit))
 	runLockstep(unit, jobs, opt, results)
+	for _, i := range unit {
+		opt.Metrics.observe(results[i])
+	}
 	if opt.OnResult != nil {
 		for _, i := range unit {
 			opt.OnResult(results[i])
@@ -149,6 +154,9 @@ func runLockstep(unit []int, jobs []Job, opt Options, results []Result) {
 		}
 	}
 	errs := harvester.RunEnsemble(hs, engs, scs[0].Duration)
+	// One engine-run observation per unit: the members marched as a
+	// single shared-factorisation pass, not len(pending) separate runs.
+	opt.Metrics.observeEngineRun(time.Since(start))
 
 	for k, i := range pending {
 		res := &results[i]

@@ -1,0 +1,455 @@
+// Package metrics is a small, dependency-free metrics registry that
+// renders the Prometheus text exposition format (version 0.0.4) — the
+// observability layer of the sweep fabric. The service processes
+// (internal/server, internal/shard) each own one Registry and mount its
+// Handler on GET /metrics; the batch layer increments counters through
+// it on the worker hot path.
+//
+// Three live instrument kinds are supported — monotonic Counter,
+// settable Gauge, fixed-bucket Histogram — plus single-label vector
+// variants (CounterVec, HistogramVec) and collect-time callbacks
+// (CounterFunc, GaugeFunc) for counters another subsystem already
+// maintains, such as batch.Cache.Stats. All instruments are safe for
+// concurrent use; Counter and Gauge updates are lock-free atomics so
+// instrumenting a per-job path costs nanoseconds, not a mutex convoy.
+//
+// The deliberate non-goals that keep this package ~300 lines instead of
+// a client_golang dependency: no multi-label vectors (one label is
+// enough to split by worker), no summaries (histograms aggregate across
+// scrapes and fleets; quantile sketches don't), no push gateways, no
+// metric expiry. Collect output is deterministic — families sorted by
+// name, children by label value — so tests can compare it textually.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready
+// to use, but counters should be created through a Registry so they are
+// exported.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n.Add(1)
+}
+
+// Add adds delta (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(delta int64) {
+	if c == nil || delta < 0 {
+		return
+	}
+	c.n.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add offsets the value by delta (CAS loop; safe for concurrent use).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution: observation counts per
+// upper bound plus sum and total count. Buckets are set at registration
+// and never change; the +Inf bucket is implicit.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds, +Inf excluded
+	counts []int64   // len(bounds)+1; last is the +Inf overflow
+	sum    float64
+	total  int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// DefBuckets are the default latency buckets, in seconds: wide enough
+// to span a cache-warm lookup (~sub-millisecond) and a budget-ceiling
+// sweep (two minutes).
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+
+// CounterVec is a family of counters split by one label. Children are
+// created on first use and live forever (the label space here — worker
+// URLs — is small and bounded by configuration).
+type CounterVec struct {
+	mu       sync.Mutex
+	label    string
+	children map[string]*Counter
+}
+
+// With returns the child counter for the label value.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &Counter{}
+		v.children[value] = c
+	}
+	return c
+}
+
+// HistogramVec is a family of histograms split by one label, sharing
+// one bucket layout.
+type HistogramVec struct {
+	mu       sync.Mutex
+	label    string
+	bounds   []float64
+	children map[string]*Histogram
+}
+
+// With returns the child histogram for the label value.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[value]
+	if !ok {
+		h = newHistogram(v.bounds)
+		v.children[value] = h
+	}
+	return h
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// family is one registered metric family: name, help, type and the
+// instrument that renders its samples.
+type family struct {
+	name string
+	help string
+	typ  string // "counter" | "gauge" | "histogram"
+
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+	counterFn func() int64
+	gaugeFn   func() float64
+	cvec      *CounterVec
+	hvec      *HistogramVec
+}
+
+// Registry holds metric families and renders them. Create with
+// NewRegistry; instruments are registered at construction time and
+// collected on every scrape. Registration panics on duplicate or
+// invalid names — both are programmer errors a service should fail
+// loudly on at startup, not at scrape time.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	order []string // kept sorted for deterministic Collect output
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) register(f *family) {
+	if !validName(f.name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", f.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fams[f.name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric name %q", f.name))
+	}
+	r.fams[f.name] = f
+	i := sort.SearchStrings(r.order, f.name)
+	r.order = append(r.order, "")
+	copy(r.order[i+1:], r.order[i:])
+	r.order[i] = f.name
+}
+
+// validName checks the Prometheus metric/label name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&family{name: name, help: help, typ: "counter", counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// collect time — the bridge for counters another subsystem already
+// maintains (e.g. batch.CacheStats).
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.register(&family{name: name, help: help, typ: "counter", counterFn: fn})
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, typ: "gauge", gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge read from fn at collect time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: "gauge", gaugeFn: fn})
+}
+
+// Histogram registers and returns a fixed-bucket histogram. Bucket
+// upper bounds must be strictly ascending; nil selects DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(checkBuckets(name, buckets))
+	r.register(&family{name: name, help: help, typ: "histogram", hist: h})
+	return h
+}
+
+// CounterVec registers a single-label counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if !validName(label) {
+		panic(fmt.Sprintf("metrics: invalid label name %q", label))
+	}
+	v := &CounterVec{label: label, children: make(map[string]*Counter)}
+	r.register(&family{name: name, help: help, typ: "counter", cvec: v})
+	return v
+}
+
+// HistogramVec registers a single-label histogram family with one
+// shared bucket layout (nil selects DefBuckets).
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	if !validName(label) {
+		panic(fmt.Sprintf("metrics: invalid label name %q", label))
+	}
+	v := &HistogramVec{label: label, bounds: checkBuckets(name, buckets), children: make(map[string]*Histogram)}
+	r.register(&family{name: name, help: help, typ: "histogram", hvec: v})
+	return v
+}
+
+func checkBuckets(name string, buckets []float64) []float64 {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: %s: buckets must be strictly ascending", name))
+		}
+	}
+	if n := len(buckets); n > 0 && math.IsInf(buckets[n-1], 1) {
+		buckets = buckets[:n-1] // +Inf is implicit
+	}
+	return append([]float64(nil), buckets...)
+}
+
+// Collect renders every registered family in the Prometheus text
+// exposition format, families sorted by name, vector children by label
+// value.
+func (r *Registry) Collect(w io.Writer) error {
+	r.mu.Lock()
+	order := append([]string(nil), r.order...)
+	fams := make([]*family, len(order))
+	for i, name := range order {
+		fams[i] = r.fams[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		switch {
+		case f.counter != nil:
+			fmt.Fprintf(&b, "%s %d\n", f.name, f.counter.Value())
+		case f.counterFn != nil:
+			fmt.Fprintf(&b, "%s %d\n", f.name, f.counterFn())
+		case f.gauge != nil:
+			fmt.Fprintf(&b, "%s %s\n", f.name, fmtFloat(f.gauge.Value()))
+		case f.gaugeFn != nil:
+			fmt.Fprintf(&b, "%s %s\n", f.name, fmtFloat(f.gaugeFn()))
+		case f.hist != nil:
+			writeHistogram(&b, f.name, "", f.hist)
+		case f.cvec != nil:
+			f.cvec.mu.Lock()
+			for _, lv := range sortedKeys(f.cvec.children) {
+				fmt.Fprintf(&b, "%s{%s=\"%s\"} %d\n", f.name, f.cvec.label, escapeLabel(lv), f.cvec.children[lv].Value())
+			}
+			f.cvec.mu.Unlock()
+		case f.hvec != nil:
+			f.hvec.mu.Lock()
+			for _, lv := range sortedKeys(f.hvec.children) {
+				label := fmt.Sprintf("%s=\"%s\"", f.hvec.label, escapeLabel(lv))
+				writeHistogram(&b, f.name, label, f.hvec.children[lv])
+			}
+			f.hvec.mu.Unlock()
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram's cumulative bucket series plus
+// _sum and _count; extraLabel (may be empty) is the vector label pair.
+func writeHistogram(b *strings.Builder, name, extraLabel string, h *Histogram) {
+	h.mu.Lock()
+	bounds := h.bounds
+	counts := append([]int64(nil), h.counts...)
+	sum, total := h.sum, h.total
+	h.mu.Unlock()
+
+	sep := ""
+	if extraLabel != "" {
+		sep = ","
+	}
+	cum := int64(0)
+	for i, ub := range bounds {
+		cum += counts[i]
+		fmt.Fprintf(b, "%s_bucket{%s%sle=\"%s\"} %d\n", name, extraLabel, sep, fmtFloat(ub), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, extraLabel, sep, total)
+	if extraLabel == "" {
+		fmt.Fprintf(b, "%s_sum %s\n", name, fmtFloat(sum))
+		fmt.Fprintf(b, "%s_count %d\n", name, total)
+	} else {
+		fmt.Fprintf(b, "%s_sum{%s} %s\n", name, extraLabel, fmtFloat(sum))
+		fmt.Fprintf(b, "%s_count{%s} %d\n", name, extraLabel, total)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fmtFloat renders a sample value: shortest round-trip form, with the
+// exposition format's spellings for non-finite values.
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`).Replace(s)
+}
+
+// escapeHelp escapes a help string per the exposition format.
+func escapeHelp(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
+// Handler returns an http.Handler serving the registry — the body of
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.Collect(w)
+	})
+}

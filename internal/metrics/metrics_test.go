@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func collect(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.Collect(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestCounterGaugeExposition pins the exact text exposition of the
+// scalar instruments, including HELP/TYPE headers and sort order.
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("zz_jobs_total", "Jobs run.")
+	g := r.Gauge("aa_active", "Active sweeps.")
+	c.Add(3)
+	c.Inc()
+	c.Add(-5) // ignored: counters only go up
+	g.Set(2)
+	g.Add(0.5)
+
+	want := "# HELP aa_active Active sweeps.\n" +
+		"# TYPE aa_active gauge\n" +
+		"aa_active 2.5\n" +
+		"# HELP zz_jobs_total Jobs run.\n" +
+		"# TYPE zz_jobs_total counter\n" +
+		"zz_jobs_total 4\n"
+	if got := collect(t, r); got != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestCollectTimeCallbacks: CounterFunc/GaugeFunc read their source at
+// every scrape, so the bridge to externally maintained counters (cache
+// stats) needs no synchronisation hooks.
+func TestCollectTimeCallbacks(t *testing.T) {
+	r := NewRegistry()
+	n := int64(0)
+	r.CounterFunc("hits_total", "Cache hits.", func() int64 { return n })
+	r.GaugeFunc("entries", "Cache entries.", func() float64 { return float64(n) * 2 })
+
+	if got := collect(t, r); !strings.Contains(got, "hits_total 0\n") {
+		t.Errorf("first scrape:\n%s", got)
+	}
+	n = 7
+	got := collect(t, r)
+	if !strings.Contains(got, "hits_total 7\n") || !strings.Contains(got, "entries 14\n") {
+		t.Errorf("second scrape did not re-read the source:\n%s", got)
+	}
+}
+
+// TestHistogramExposition pins the cumulative bucket rendering: each
+// le bound counts observations <= it, +Inf counts everything, and
+// _sum/_count close the family.
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	want := "# HELP latency_seconds Latency.\n" +
+		"# TYPE latency_seconds histogram\n" +
+		"latency_seconds_bucket{le=\"0.1\"} 2\n" + // 0.05 and the exactly-equal 0.1
+		"latency_seconds_bucket{le=\"1\"} 3\n" +
+		"latency_seconds_bucket{le=\"10\"} 4\n" +
+		"latency_seconds_bucket{le=\"+Inf\"} 5\n" +
+		"latency_seconds_sum 55.65\n" +
+		"latency_seconds_count 5\n"
+	if got := collect(t, r); got != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+	if h.Count() != 5 || h.Sum() != 55.65 {
+		t.Errorf("Count/Sum = %d/%g", h.Count(), h.Sum())
+	}
+}
+
+// TestVecExposition: single-label families render one series per child,
+// sorted by label value, with label values escaped.
+func TestVecExposition(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("shards_total", "Shards per worker.", "worker")
+	cv.With("http://b:1").Inc()
+	cv.With("http://a:1").Add(2)
+	cv.With("weird\"\n\\value").Inc()
+	hv := r.HistogramVec("shard_seconds", "Shard latency per worker.", "worker", []float64{1})
+	hv.With("w1").Observe(0.5)
+	hv.With("w1").Observe(2)
+
+	got := collect(t, r)
+	wantLines := []string{
+		`shards_total{worker="http://a:1"} 2`,
+		`shards_total{worker="http://b:1"} 1`,
+		`shards_total{worker="weird\"\n\\value"} 1`,
+		`shard_seconds_bucket{worker="w1",le="1"} 1`,
+		`shard_seconds_bucket{worker="w1",le="+Inf"} 2`,
+		`shard_seconds_sum{worker="w1"} 2.5`,
+		`shard_seconds_count{worker="w1"} 2`,
+	}
+	for _, line := range wantLines {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("missing line %q in:\n%s", line, got)
+		}
+	}
+	// Children sorted by label value.
+	if strings.Index(got, `worker="http://a:1"`) > strings.Index(got, `worker="http://b:1"`) {
+		t.Errorf("children not sorted by label value:\n%s", got)
+	}
+}
+
+// TestNonFiniteGauge: non-finite samples use the exposition spellings.
+func TestNonFiniteGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("weird", "")
+	g.Set(1)
+	g.Add(1e308)
+	g.Add(1e308) // overflows to +Inf
+	if got := collect(t, r); !strings.Contains(got, "weird +Inf\n") {
+		t.Errorf("exposition:\n%s", got)
+	}
+}
+
+// TestRegistrationPanics: invalid and duplicate names fail at startup.
+func TestRegistrationPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("ok_total", "")
+	expectPanic("duplicate", func() { r.Counter("ok_total", "") })
+	expectPanic("invalid name", func() { r.Counter("0bad", "") })
+	expectPanic("invalid label", func() { r.CounterVec("v_total", "", "0bad") })
+	expectPanic("unordered buckets", func() { r.Histogram("h", "", []float64{1, 1}) })
+}
+
+// TestHandler serves the exposition over HTTP with the 0.0.4 content
+// type.
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.").Inc()
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(string(body), "x_total 1\n") {
+		t.Errorf("body:\n%s", body)
+	}
+}
+
+// TestConcurrentUse hammers every instrument kind from many goroutines
+// (meaningful under -race) and checks the totals add up.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", nil)
+	cv := r.CounterVec("cv_total", "", "k")
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.01)
+				cv.With("a").Inc()
+				if i%100 == 0 {
+					var sink strings.Builder
+					r.Collect(&sink)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*perWorker || g.Value() != workers*perWorker ||
+		h.Count() != workers*perWorker || cv.With("a").Value() != workers*perWorker {
+		t.Errorf("lost updates: c=%d g=%g h=%d cv=%d", c.Value(), g.Value(), h.Count(), cv.With("a").Value())
+	}
+}
+
+// TestNilInstrumentsAreSafe: a nil instrument (unset Options.Metrics in
+// the batch layer) must be a no-op, not a crash, on the worker hot path.
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var cv *CounterVec
+	var hv *HistogramVec
+	c.Inc()
+	c.Add(1)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	cv.With("x").Inc()
+	hv.With("x").Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments reported values")
+	}
+}

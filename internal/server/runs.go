@@ -90,7 +90,9 @@ func (run *Run) Status(withResults bool) wire.JobStatus {
 	}
 	if run.done {
 		st.State = wire.StateDone
-		st.ElapsedMS = run.summary.WallMS
+		// End-to-end elapsed: queue wait plus execution wall (they are
+		// reported separately in the summary).
+		st.ElapsedMS = run.summary.QueuedMS + run.summary.WallMS
 		sum := run.summary
 		st.Summary = &sum
 		if withResults {

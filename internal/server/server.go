@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"harvsim/internal/batch"
+	"harvsim/internal/metrics"
 	"harvsim/internal/wire"
 )
 
@@ -107,12 +108,15 @@ const maxRequestBody = 1 << 20
 
 // Server is the sweep service. Create with New, mount via Handler.
 type Server struct {
-	opt     Options
-	cache   *batch.Cache
-	pools   *batch.PoolCache
-	sem     chan struct{}
-	runs    *Runs
-	handler http.Handler
+	opt      Options
+	cache    *batch.Cache
+	pools    *batch.PoolCache
+	sem      chan struct{}
+	runs     *Runs
+	handler  http.Handler
+	registry *metrics.Registry
+	metrics  *serverMetrics
+	batchM   *batch.Metrics
 }
 
 // New builds a server. The cache (Options.Cache or a fresh in-memory
@@ -129,16 +133,25 @@ func New(opt Options) *Server {
 	if s.cache == nil {
 		s.cache = batch.NewCache(0)
 	}
+	s.registry = metrics.NewRegistry()
+	s.batchM = batch.NewMetrics(s.registry)
+	s.metrics = newServerMetrics(s.registry, s.runs, s.cache)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
+	mux.Handle("GET /metrics", s.registry.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.handler = CanonicalErrors(mux)
 	return s
 }
+
+// Metrics exposes the server's metric registry — the same one GET
+// /metrics collects — so an embedding process can register its own
+// instruments alongside the service's.
+func (s *Server) Metrics() *metrics.Registry { return s.registry }
 
 // Cache exposes the shared result cache (for priming or inspection by
 // an embedding process).
@@ -162,6 +175,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := req.Spec.CheckVersion(); err != nil {
 		WriteError(w, http.StatusBadRequest, wire.CodeUnsupportedVersion, false, "%v", err)
+		return
+	}
+	// Scalar-field validation comes before any expansion work: a bad
+	// settle_frac must cost a comparison, not a Compile plus one Config
+	// clone per grid point.
+	if req.SettleFrac < 0 || req.SettleFrac >= 1 {
+		WriteError(w, http.StatusBadRequest, wire.CodeBadRequest, false,
+			"settle_frac must be in [0, 1), got %g", req.SettleFrac)
 		return
 	}
 	// Budget-check the declared size BEFORE compiling: Compile
@@ -206,11 +227,6 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			"sweep expands to %d jobs, server budget is %d", len(jobs), s.opt.maxJobs())
 		return
 	}
-	if req.SettleFrac < 0 || req.SettleFrac >= 1 {
-		WriteError(w, http.StatusBadRequest, wire.CodeBadRequest, false,
-			"settle_frac must be in [0, 1), got %g", req.SettleFrac)
-		return
-	}
 
 	// Budgets: the client may shrink, never grow, the server's ceiling.
 	// Compare in the millisecond domain first so an absurd BudgetMS
@@ -242,6 +258,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Cache:      s.cache,
 		Pools:      s.pools,
 		NoLockstep: req.NoLockstep || s.opt.NoLockstep,
+		Metrics:    s.batchM,
 	}
 	// The batch layer stamps each Result with the content-address key it
 	// computed for its cache lookup, so the hook only converts — no
@@ -278,8 +295,21 @@ func (s *Server) run(ctx context.Context, run *Run, jobs []batch.Job, opt batch.
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
 	}
+	// The clock a summary reports splits here: queued covers the
+	// semaphore wait since submission, wall covers execution only. A
+	// sweep queued behind MaxActive used to fold its wait into WallMS,
+	// which both misled clients and would poison the latency histograms
+	// under contention.
+	queued := time.Since(run.Started)
+	execStart := time.Now()
 	results := batch.Run(ctx, jobs, opt)
-	run.Finish(wire.SummaryOf(results, time.Since(run.Started)))
+	wall := time.Since(execStart)
+	sum := wire.SummaryOf(results, wall)
+	sum.QueuedMS = queued.Milliseconds()
+	run.Finish(sum)
+	s.metrics.finished.Inc()
+	s.metrics.queueSeconds.Observe(queued.Seconds())
+	s.metrics.execSeconds.Observe(wall.Seconds())
 	s.runs.Retire(run.ID)
 }
 
@@ -313,14 +343,22 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleCancel cancels a running sweep's context. Running jobs finish
-// (engines are non-preemptible); unstarted jobs report cancellation.
+// (engines are non-preemptible); unstarted jobs report cancellation. A
+// finished run reports "done" instead of pretending to cancel — client
+// and coordinator retry logic must not misread a completed sweep as
+// still winding down.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	run := s.lookup(w, r)
 	if run == nil {
 		return
 	}
-	run.Cancel()
-	WriteJSON(w, http.StatusOK, map[string]string{"id": run.ID, "status": "cancelling"})
+	status := "cancelling"
+	if run.Done() {
+		status = "done"
+	} else {
+		run.Cancel()
+	}
+	WriteJSON(w, http.StatusOK, map[string]string{"id": run.ID, "status": status})
 }
 
 // handleCacheStats reports the shared cache's counters.

@@ -10,10 +10,12 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"harvsim/internal/batch"
+	"harvsim/internal/metrics"
 	"harvsim/internal/server"
 	"harvsim/internal/wire"
 )
@@ -71,6 +73,13 @@ func (o Options) maxRetries() int {
 	return 2
 }
 
+// maxIdleConnsPerWorker sizes the keep-alive pool per worker host. A
+// coordinator multiplexes every shard submit, stream and health probe
+// over one client, so it must hold at least as many idle connections
+// per worker as it has concurrent shard streams — Go's default of 2
+// would close and re-dial on every retry/resume wave.
+const maxIdleConnsPerWorker = 64
+
 // Coordinator fronts a worker fleet behind the same wire API a single
 // sweep server speaks: POST /v1/sweep accepts the identical
 // wire.SweepRequest, GET /v1/jobs/{id}/stream delivers one globally
@@ -78,31 +87,67 @@ func (o Options) maxRetries() int {
 // tell a coordinator from a worker except by the fleet fields its
 // summaries carry. Create with New, mount via Handler.
 type Coordinator struct {
-	opt     Options
-	client  *http.Client
-	runs    *server.Runs
-	handler http.Handler
+	opt      Options
+	client   *http.Client
+	runs     *server.Runs
+	handler  http.Handler
+	registry *metrics.Registry
+	metrics  *coordMetrics
+
+	// mu guards the drain set. Draining is coordinator-local lifecycle
+	// state, not a probe outcome: a draining worker is excluded from new
+	// shard placement (re-shards included) while its in-flight streams
+	// run to completion.
+	mu       sync.Mutex
+	draining map[string]bool
 }
 
 // New builds a coordinator over the configured fleet.
 func New(opt Options) *Coordinator {
 	c := &Coordinator{
-		opt:    opt,
-		client: opt.Client,
-		runs:   server.NewRuns("co-", opt.KeepFinished),
+		opt:      opt,
+		client:   opt.Client,
+		runs:     server.NewRuns("co-", opt.KeepFinished),
+		draining: make(map[string]bool),
 	}
 	if c.client == nil {
-		c.client = &http.Client{}
+		// The promised dedicated keep-alive client: without the tuned
+		// transport, net/http keeps only 2 idle connections per host, so
+		// a many-shard fleet against few workers would churn TCP
+		// connections on every retry/resume and health-probe wave.
+		c.client = &http.Client{Transport: &http.Transport{
+			Proxy:               http.ProxyFromEnvironment,
+			MaxIdleConnsPerHost: maxIdleConnsPerWorker,
+			MaxIdleConns:        0, // no global cap; the per-host bound governs
+			IdleConnTimeout:     90 * time.Second,
+		}}
 	}
+	c.registry = metrics.NewRegistry()
+	c.metrics = newCoordMetrics(c.registry, c)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweep", c.handleSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", c.handleStream)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
 	mux.HandleFunc("GET /v1/workers", c.handleWorkers)
+	mux.HandleFunc("POST /v1/workers/drain", c.handleDrain)
+	mux.Handle("GET /metrics", c.registry.Handler())
 	mux.HandleFunc("GET /healthz", c.handleHealth)
 	c.handler = server.CanonicalErrors(mux)
 	return c
+}
+
+// Metrics exposes the coordinator's metric registry — the same one GET
+// /metrics collects.
+func (c *Coordinator) Metrics() *metrics.Registry { return c.registry }
+
+// isDraining reports whether a worker is marked draining. URLs are
+// compared with trailing slashes trimmed, matching handleDrain's
+// normalisation.
+func (c *Coordinator) isDraining(worker string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining[strings.TrimRight(worker, "/")]
 }
 
 // Handler returns the coordinator's HTTP handler.
@@ -168,6 +213,14 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, http.StatusBadRequest, wire.CodeUnsupportedVersion, false, "%v", err)
 		return
 	}
+	// Scalar-field validation before any expansion work — mirrors the
+	// single-host server's order so both reject a bad settle_frac for
+	// the cost of a comparison.
+	if req.SettleFrac < 0 || req.SettleFrac >= 1 {
+		server.WriteError(w, http.StatusBadRequest, wire.CodeBadRequest, false,
+			"settle_frac must be in [0, 1), got %g", req.SettleFrac)
+		return
+	}
 	if len(req.Indices) > 0 {
 		server.WriteError(w, http.StatusBadRequest, wire.CodeBadRequest, false,
 			"indices are a worker-protocol field; submit whole sweeps to a coordinator")
@@ -192,23 +245,20 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, http.StatusBadRequest, wire.CodeBadRequest, false, "%v", err)
 		return
 	}
-	if req.SettleFrac < 0 || req.SettleFrac >= 1 {
-		server.WriteError(w, http.StatusBadRequest, wire.CodeBadRequest, false,
-			"settle_frac must be in [0, 1), got %g", req.SettleFrac)
-		return
-	}
 
 	// Health-check the fleet before accepting: a sweep with nowhere to
-	// run is a 503 now, not a stream of failures later.
+	// run is a 503 now, not a stream of failures later. Draining workers
+	// are excluded up front — they may be healthy, but they take no new
+	// shards.
 	var alive []string
 	for _, ws := range c.probeFleet(r.Context()) {
-		if ws.Healthy {
+		if ws.Healthy && !c.isDraining(ws.URL) {
 			alive = append(alive, ws.URL)
 		}
 	}
 	if len(alive) == 0 {
 		server.WriteError(w, http.StatusServiceUnavailable, wire.CodeNoWorkers, true,
-			"none of the %d configured workers answered a health probe", len(c.opt.Workers))
+			"none of the %d configured workers is live (healthy and not draining)", len(c.opt.Workers))
 		return
 	}
 
@@ -241,6 +291,7 @@ type sweepState struct {
 	req   wire.SweepRequest
 	keys  []string
 	names []string
+	m     *coordMetrics
 
 	wg sync.WaitGroup
 
@@ -264,6 +315,7 @@ func (st *sweepState) record(r wire.Result) {
 	st.delivered[r.Index] = true
 	st.recorded = append(st.recorded, r)
 	st.mu.Unlock()
+	st.m.results.Inc()
 	st.run.Record(r)
 }
 
@@ -301,6 +353,7 @@ func (c *Coordinator) dispatch(ctx context.Context, run *server.Run, req wire.Sw
 		req:       req,
 		keys:      keys,
 		names:     names,
+		m:         c.metrics,
 		ring:      NewRing(alive),
 		delivered: make(map[int]bool, len(keys)),
 		lost:      make(map[string]bool),
@@ -344,6 +397,7 @@ func (c *Coordinator) dispatch(ctx context.Context, run *server.Run, req wire.Sw
 	summary.Retries = retries
 	summary.LostWorkers = lost
 	run.Finish(summary)
+	c.metrics.finished.Inc()
 	c.runs.Retire(run.ID)
 }
 
@@ -437,6 +491,7 @@ func (c *Coordinator) streamShard(ctx context.Context, st *sweepState, worker st
 // between hand-offs.
 func (c *Coordinator) runShard(ctx context.Context, st *sweepState, worker string, indices []int) {
 	defer st.wg.Done()
+	start := time.Now()
 	req := wire.SweepRequest{
 		Spec:       st.req.Spec,
 		Indices:    indices,
@@ -464,6 +519,7 @@ func (c *Coordinator) runShard(ctx context.Context, st *sweepState, worker strin
 	for attempt := 0; ; attempt++ {
 		err := c.streamShard(ctx, st, worker, acc, &received)
 		if err == nil {
+			c.metrics.shardSeconds.With(worker).Observe(time.Since(start).Seconds())
 			return
 		}
 		if ctx.Err() != nil {
@@ -475,6 +531,7 @@ func (c *Coordinator) runShard(ctx context.Context, st *sweepState, worker strin
 			st.mu.Lock()
 			st.retries++
 			st.mu.Unlock()
+			c.metrics.retries.Inc()
 			continue
 		}
 		c.loseWorker(ctx, st, worker, indices, err)
@@ -484,15 +541,24 @@ func (c *Coordinator) runShard(ctx context.Context, st *sweepState, worker strin
 
 // loseWorker declares a worker dead: removes it from the ring and
 // re-shards its undelivered indices over the survivors (each key moving
-// to its rendezvous second choice). With no survivors the remainder
-// fails terminally.
+// to its rendezvous second choice). Survivors marked draining since the
+// sweep started are excluded — a re-shard is new placement, and drain
+// means no new shards. With no eligible survivors the remainder fails
+// terminally.
 func (c *Coordinator) loseWorker(ctx context.Context, st *sweepState, worker string, indices []int, cause error) {
 	st.mu.Lock()
 	if !st.lost[worker] {
 		st.lost[worker] = true
 		st.ring.Remove(worker)
+		c.metrics.lostWorkers.Inc()
 	}
-	ring := NewRing(st.ring.Workers())
+	var survivors []string
+	for _, w := range st.ring.Workers() {
+		if !c.isDraining(w) {
+			survivors = append(survivors, w)
+		}
+	}
+	ring := NewRing(survivors)
 	st.mu.Unlock()
 
 	missing := st.undelivered(indices)
@@ -500,12 +566,13 @@ func (c *Coordinator) loseWorker(ctx context.Context, st *sweepState, worker str
 		return
 	}
 	if ring.Len() == 0 {
-		st.fail(missing, "worker %s lost (%v) and no survivors remain", worker, cause)
+		st.fail(missing, "worker %s lost (%v) and no live survivors remain", worker, cause)
 		return
 	}
 	st.mu.Lock()
 	st.resharded += len(missing)
 	st.mu.Unlock()
+	c.metrics.resharded.Add(int64(len(missing)))
 
 	assign := make(map[string][]int, ring.Len())
 	for _, ix := range missing {
@@ -539,19 +606,67 @@ func (c *Coordinator) handleStream(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleCancel cancels a running coordinated sweep. Shard streams abort
-// via context; the workers' sub-sweeps run to their own budgets.
+// via context; the workers' sub-sweeps run to their own budgets. A
+// finished run reports "done" — same contract as the single-host server.
 func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
 	run := c.lookup(w, r)
 	if run == nil {
 		return
 	}
-	run.Cancel()
-	server.WriteJSON(w, http.StatusOK, map[string]string{"id": run.ID, "status": "cancelling"})
+	status := "cancelling"
+	if run.Done() {
+		status = "done"
+	} else {
+		run.Cancel()
+	}
+	server.WriteJSON(w, http.StatusOK, map[string]string{"id": run.ID, "status": status})
 }
 
-// handleWorkers reports a live health probe of the configured fleet.
+// handleWorkers reports a live health probe of the configured fleet,
+// annotated with each worker's placement state: live, draining or lost.
 func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
-	server.WriteJSON(w, http.StatusOK, wire.FleetStatus{V: wire.Version, Workers: c.probeFleet(r.Context())})
+	workers := c.probeFleet(r.Context())
+	for i := range workers {
+		switch {
+		case c.isDraining(workers[i].URL):
+			workers[i].State = wire.WorkerDraining
+		case workers[i].Healthy:
+			workers[i].State = wire.WorkerLive
+		default:
+			workers[i].State = wire.WorkerLost
+		}
+	}
+	server.WriteJSON(w, http.StatusOK, wire.FleetStatus{V: wire.Version, Workers: workers})
+}
+
+// handleDrain marks a configured worker draining for planned
+// maintenance: it takes no new shards (fresh sweeps and mid-sweep
+// re-shards alike) while its in-flight shard streams run to completion —
+// so draining mid-sweep never loses or recomputes work, unlike killing
+// the worker. The flag is coordinator-local and sticky until restart.
+func (c *Coordinator) handleDrain(w http.ResponseWriter, r *http.Request) {
+	worker := strings.TrimRight(r.URL.Query().Get("worker"), "/")
+	if worker == "" {
+		server.WriteError(w, http.StatusBadRequest, wire.CodeBadRequest, false,
+			"drain requires a ?worker=<url> parameter")
+		return
+	}
+	known := false
+	for _, u := range c.opt.Workers {
+		if strings.TrimRight(u, "/") == worker {
+			known = true
+			break
+		}
+	}
+	if !known {
+		server.WriteError(w, http.StatusNotFound, wire.CodeNotFound, false,
+			"worker %q is not in the configured fleet", worker)
+		return
+	}
+	c.mu.Lock()
+	c.draining[worker] = true
+	c.mu.Unlock()
+	server.WriteJSON(w, http.StatusOK, wire.DrainStatus{V: wire.Version, Worker: worker, State: wire.WorkerDraining})
 }
 
 // handleHealth is the liveness probe.

@@ -111,8 +111,8 @@ func stream(t *testing.T, base string, acc wire.SweepAccepted, onLine func(n int
 	return results, summary
 }
 
-// metrics projects the bit-identity fields per global index.
-func metrics(results []wire.Result) map[int][5]string {
+// identityFields projects the bit-identity fields per global index.
+func identityFields(results []wire.Result) map[int][5]string {
 	out := make(map[int][5]string, len(results))
 	for _, r := range results {
 		m := func(f wire.Float) string {
@@ -164,7 +164,7 @@ func TestCoordinatorMatchesSingleHost(t *testing.T) {
 			t.Fatalf("index %d delivered %d times, want exactly once", ix, seen[ix])
 		}
 	}
-	base, got := metrics(baseline), metrics(results)
+	base, got := identityFields(baseline), identityFields(results)
 	for ix, want := range base {
 		if got[ix] != want {
 			t.Errorf("index %d: coordinated metrics %v != single-host %v", ix, got[ix], want)
@@ -228,7 +228,7 @@ func TestCoordinatorSurvivesWorkerLoss(t *testing.T) {
 	if summary.LostWorkers == 0 || summary.Resharded == 0 {
 		t.Errorf("loss not reported: %+v", summary)
 	}
-	base, got := metrics(baseline), metrics(results)
+	base, got := identityFields(baseline), identityFields(results)
 	for ix, want := range base {
 		if got[ix] != want {
 			t.Errorf("index %d: post-loss metrics %v != single-host %v", ix, got[ix], want)

@@ -111,7 +111,13 @@ type Summary struct {
 	CacheHits int    `json:"cache_hits"`
 	Shared    int    `json:"shared"`
 	Steps     int    `json:"steps"`
+	// WallMS is execution wall time only. A sweep that waited for an
+	// execution slot (server MaxActive backlog) reports that wait in
+	// QueuedMS instead of folding it in here, so latency accounting and
+	// benchmark numbers stay meaningful under contention; end-to-end
+	// client-visible time is QueuedMS + WallMS.
 	WallMS    int64  `json:"wall_ms"`
+	QueuedMS  int64  `json:"queued_ms,omitempty"`
 	CPUMS     int64  `json:"cpu_ms"`
 	MaxMetric Float  `json:"max_metric"`
 	ArgMax    string `json:"argmax,omitempty"`
@@ -251,17 +257,39 @@ type Health struct {
 	Workers      int    `json:"workers,omitempty"`
 }
 
+// Worker lifecycle states reported by GET /v1/workers.
+const (
+	// WorkerLive: the worker answers health probes and receives shards.
+	WorkerLive = "live"
+	// WorkerDraining: planned maintenance — excluded from new shard
+	// placement (re-shards included) while in-flight streams finish.
+	WorkerDraining = "draining"
+	// WorkerLost: the worker failed its health probe.
+	WorkerLost = "lost"
+)
+
 // WorkerStatus is one worker's probe outcome in GET /v1/workers.
 type WorkerStatus struct {
 	URL     string `json:"url"`
 	Healthy bool   `json:"healthy"`
-	Error   string `json:"error,omitempty"`
+	// State is the coordinator's placement view of the worker:
+	// WorkerLive, WorkerDraining or WorkerLost. Draining wins over the
+	// probe outcome — a draining worker may still be healthy.
+	State string `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // FleetStatus is the coordinator's GET /v1/workers response.
 type FleetStatus struct {
 	V       int            `json:"v"`
 	Workers []WorkerStatus `json:"workers"`
+}
+
+// DrainStatus acknowledges POST /v1/workers/drain.
+type DrainStatus struct {
+	V      int    `json:"v"`
+	Worker string `json:"worker"`
+	State  string `json:"state"`
 }
 
 // BatchResultOf reconstructs the batch-layer view of a wire result — the

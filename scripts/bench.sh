@@ -3,8 +3,8 @@
 # Used by the CI bench job and for regenerating the committed baseline:
 #
 #   ./scripts/bench.sh > bench.out
-#   go run ./cmd/benchgate -parse bench.out -baseline BENCH_7.json            # gate
-#   go run ./cmd/benchgate -parse bench.out -baseline BENCH_7.json -write-baseline  # refresh
+#   go run ./cmd/benchgate -parse bench.out -baseline BENCH_8.json            # gate
+#   go run ./cmd/benchgate -parse bench.out -baseline BENCH_8.json -write-baseline  # refresh
 #
 # The table/sweep benchmarks are full simulations (hundreds of ms per
 # op), so one timed iteration is already stable; the warm-step

@@ -9,6 +9,11 @@
 #   - the merged metrics are bit-identical to a single-host run of the
 #     same spec — the fleet-level restatement of the determinism
 #     contract.
+# A second phase then drains a surviving worker mid-sweep (planned
+# maintenance, not a kill): the in-flight sweep completes bit-identically
+# with lost_workers == 0, GET /v1/workers reports all three lifecycle
+# states (lost / draining / live), and the coordinator's /metrics
+# counters agree with both streamed summaries.
 # Requires curl and jq (both present on the CI runners).
 set -e
 
@@ -123,4 +128,78 @@ if ! cmp -s "$WORK/solo.metrics" "$WORK/merged.metrics"; then
   exit 1
 fi
 
-echo "coordsmoke OK: 64/64 delivered exactly once, $LOST worker lost, $RESHARDED jobs re-sharded, metrics bit-identical to single host"
+echo "coordsmoke: kill phase OK ($LOST worker lost, $RESHARDED jobs re-sharded)"
+
+# --- Drain phase: planned maintenance on the surviving fleet ---------
+# A fresh 64-point grid (different base_seed, so cold everywhere) runs
+# on the two survivors; mid-stream, worker 2 is DRAINED — unlike the
+# kill above, its in-flight shard must finish and nothing re-shards.
+SPEC2='{"spec":{"v":1,"name":"fleet2","scenario":{"kind":"noise","duration_s":2.0,"noise_flo_hz":40,"noise_fhi_hz":80,"set":{"initial_vc":2.5}},"axes":[{"kind":"float","param":"microgen.rc","values":[100,320,1000,3200]},{"kind":"int","param":"dickson.stages","ints":[3,5,7,9]},{"kind":"seed","base_seed":"777","count":4}]}}'
+
+SOLO_ID2=$(curl -fsS -X POST "http://$SOLO/v1/sweep" -H 'Content-Type: application/json' -d "$SPEC2" | jq -r .id)
+curl -fsSN "http://$SOLO/v1/jobs/$SOLO_ID2/stream" > "$WORK/solo2.ndjson"
+
+ACC2=$(curl -fsS -X POST "http://$COORD/v1/sweep" -H 'Content-Type: application/json' -d "$SPEC2")
+ID2=$(echo "$ACC2" | jq -r .id)
+curl -fsSN "http://$COORD/v1/jobs/$ID2/stream" > "$WORK/drain.ndjson" &
+CURL2_PID=$!
+
+for _ in $(seq 1 200); do
+  LINES=$(grep -c '"type":"result"' "$WORK/drain.ndjson" 2>/dev/null || true)
+  [ "${LINES:-0}" -ge 3 ] && break
+  sleep 0.05
+done
+curl -fsS -X POST "http://$COORD/v1/workers/drain?worker=http://$W2" \
+  | jq -e '.state == "draining"' > /dev/null
+echo "coordsmoke: drained worker 2 after $LINES streamed results"
+
+wait "$CURL2_PID"
+
+RESULTS2=$(jq -s 'map(select(.type=="result")) | length' "$WORK/drain.ndjson")
+DISTINCT2=$(jq -s 'map(select(.type=="result") | .index) | unique | length' "$WORK/drain.ndjson")
+FAILED2=$(summary "$WORK/drain.ndjson" | jq .failed)
+LOST2=$(summary "$WORK/drain.ndjson" | jq '.lost_workers // 0')
+RESHARDED2=$(summary "$WORK/drain.ndjson" | jq '.resharded // 0')
+if [ "$RESULTS2" != "64" ] || [ "$DISTINCT2" != "64" ] || [ "$FAILED2" != "0" ]; then
+  echo "coordsmoke: drained sweep delivered $RESULTS2 lines / $DISTINCT2 indices, $FAILED2 failed" >&2
+  exit 1
+fi
+if [ "$LOST2" != "0" ] || [ "$RESHARDED2" != "0" ]; then
+  echo "coordsmoke: drain triggered loss handling (lost_workers=$LOST2 resharded=$RESHARDED2, want 0/0)" >&2
+  summary "$WORK/drain.ndjson" >&2
+  exit 1
+fi
+extract "$WORK/solo2.ndjson" > "$WORK/solo2.metrics"
+extract "$WORK/drain.ndjson" > "$WORK/drain.metrics"
+if ! cmp -s "$WORK/solo2.metrics" "$WORK/drain.metrics"; then
+  echo "coordsmoke: drained-sweep metrics differ from single-host baseline:" >&2
+  diff "$WORK/solo2.metrics" "$WORK/drain.metrics" >&2 || true
+  exit 1
+fi
+
+# All three lifecycle states visible at once: worker 1 was killed
+# (lost), worker 2 is draining, worker 3 serves on (live).
+curl -fsS "http://$COORD/v1/workers" > "$WORK/fleet.json"
+state_of() { jq -r --arg u "http://$1" '.workers[] | select(.url == $u) | .state' "$WORK/fleet.json"; }
+if [ "$(state_of "$W1")" != "lost" ] || [ "$(state_of "$W2")" != "draining" ] || [ "$(state_of "$W3")" != "live" ]; then
+  echo "coordsmoke: fleet states wrong:" >&2
+  cat "$WORK/fleet.json" >&2
+  exit 1
+fi
+
+# The coordinator's /metrics must agree with the two streamed
+# summaries: one worker lost, the kill phase's re-shards, two finished
+# sweeps, 128 exactly-once result lines, one worker draining.
+curl -fsS "http://$COORD/metrics" > "$WORK/coord-metrics.txt"
+cmetric() { sed -n "s/^$1 //p" "$WORK/coord-metrics.txt"; }
+if [ "$(cmetric harvsim_coord_lost_workers_total)" != "$LOST" ] || \
+   [ "$(cmetric harvsim_coord_resharded_total)" != "$RESHARDED" ] || \
+   [ "$(cmetric harvsim_coord_sweeps_finished_total)" != "2" ] || \
+   [ "$(cmetric harvsim_coord_results_total)" != "128" ] || \
+   [ "$(cmetric harvsim_coord_workers_draining)" != "1" ]; then
+  echo "coordsmoke: coordinator /metrics disagrees with the summaries:" >&2
+  cat "$WORK/coord-metrics.txt" >&2
+  exit 1
+fi
+
+echo "coordsmoke OK: kill phase ($LOST lost, $RESHARDED re-sharded) and drain phase (0 lost, in-flight finished) both bit-identical to single host; /metrics consistent"

@@ -2,7 +2,8 @@
 # End-to-end smoke of the sweep service: builds cmd/serve, starts it on
 # a kernel-assigned loopback port, POSTs the 64-point benchmark grid
 # twice and asserts the warm repeat is served entirely from the shared
-# cache (64/64 hits, zero engine runs) with bit-identical metrics.
+# cache (64/64 hits, zero engine runs) with bit-identical metrics, and
+# that the /metrics exposition agrees with the streamed summaries.
 # Requires curl and jq (both present on the CI runners).
 set -e
 
@@ -70,4 +71,27 @@ fi
 
 curl -fsS "$BASE/v1/cache/stats" | jq -e '.entries == 64 and .hits >= 64' > /dev/null
 
-echo "serversmoke OK: warm repeat $HITS/$JOBS cache hits, metrics bit-identical"
+# The Prometheus exposition must agree with the NDJSON summaries of the
+# sweeps this same process just ran: two 64-job sweeps, the warm one a
+# full cache serve, and the collect-time cache bridge matching
+# /v1/cache/stats.
+curl -fsS "$BASE/metrics" > "$WORK/metrics.txt"
+metric() { sed -n "s/^$1 //p" "$WORK/metrics.txt"; }
+BATCH_JOBS=$(metric harvsim_batch_jobs_total)
+BATCH_HITS=$(metric harvsim_batch_cache_hits_total)
+FINISHED=$(metric harvsim_server_sweeps_finished_total)
+EXECS=$(metric harvsim_server_sweep_exec_seconds_count)
+if [ "$BATCH_JOBS" != "128" ] || [ "$BATCH_HITS" != "$HITS" ] || \
+   [ "$FINISHED" != "2" ] || [ "$EXECS" != "2" ]; then
+  echo "serversmoke: /metrics disagrees with the streams: jobs=$BATCH_JOBS (want 128)" \
+       "cache_hits=$BATCH_HITS (want $HITS) finished=$FINISHED execs=$EXECS (want 2)" >&2
+  cat "$WORK/metrics.txt" >&2
+  exit 1
+fi
+STATS_HITS=$(curl -fsS "$BASE/v1/cache/stats" | jq .hits)
+if [ "$(metric harvsim_cache_hits_total)" != "$STATS_HITS" ]; then
+  echo "serversmoke: harvsim_cache_hits_total != /v1/cache/stats hits ($STATS_HITS)" >&2
+  exit 1
+fi
+
+echo "serversmoke OK: warm repeat $HITS/$JOBS cache hits, metrics bit-identical, /metrics consistent"
