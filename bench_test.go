@@ -381,6 +381,62 @@ func BenchmarkEnsembleLockstep_Lockstep(b *testing.B) {
 	}
 }
 
+// benchBistableScenario is the double-well workload the gated benchmark
+// set tracks from PR 9 on: inter-well jumps under seeded band-limited
+// noise with displacement-dependent coupling — the configuration where
+// the retangent policy must survive basin hopping rather than drift
+// around one operating point.
+func benchBistableScenario(duration float64) harvester.Scenario {
+	return harvester.BistableScenario(duration,
+		harvester.BistableWellM, harvester.BistableBarrierJ, 120, -3.4e4, 8, 40, 42)
+}
+
+func BenchmarkBistable_Proposed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchBistableScenario(benchTable1Sim)
+		if _, _, err := harvester.RunScenario(sc, harvester.Proposed, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBistable_Implicit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchBistableScenario(benchTable1Sim)
+		if _, _, err := harvester.RunScenario(sc, harvester.ExistingTrap, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBistableBasinReduction isolates the basin-aware ensemble
+// reduction (high-orbit fraction, mean transits, per-basin Student-t
+// statistics) over a 64-member bistable ensemble: the post-processing
+// cost the sweep summary pays per design point, measured apart from the
+// simulation itself.
+func BenchmarkBistableBasinReduction(b *testing.B) {
+	jobs := make([]batch.Job, 64)
+	for i, seed := range batch.Seeds(13, 64) {
+		sc := benchBistableScenario(0.25)
+		sc.Cfg.VibNoise.Seed = seed
+		jobs[i] = batch.Job{Name: "bi", Group: "pt", Seed: seed, Scenario: sc, Engine: harvester.Proposed}
+	}
+	results := batch.RunSerial(jobs, batch.Options{})
+	for _, r := range results {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points := batch.Ensembles(results)
+		if len(points) != 1 || len(points[0].Basins) == 0 {
+			b.Fatalf("reduction lost the basins: %+v", points)
+		}
+	}
+}
+
 // BenchmarkWarmStep measures one warm steady-state step of the proposed
 // engine — the unit of cost the paper's speedup lives in. Its allocs/op
 // baseline is zero, and the CI bench gate (cmd/benchgate vs

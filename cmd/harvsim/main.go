@@ -27,6 +27,7 @@ Scenarios (-scenario):
   track     slow linear chirp the controller must track repeatedly
   duffing   charge-up with a cubic (Duffing) spring (default k3 1e9 N/m^3)
   noise     charge-up under seeded band-limited noise excitation
+  bistable  double-well (bistable) device under seeded noise excitation
 
 Engines (-engine):
   proposed  explicit linearised state-space technique (the paper's)
@@ -37,6 +38,7 @@ Engines (-engine):
 Examples:
   harvsim -scenario s1 -engine proposed -out s1.csv
   harvsim -scenario noise -noise-lo 55 -noise-hi 85 -noise-seed 7 -k3 1e9
+  harvsim -scenario bistable -well 5e-4 -barrier 2e-6 -noise-seed 7
 `
 
 func usage() {
@@ -48,7 +50,7 @@ func usage() {
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "s1", "scenario: charge, s1 (1 Hz retune), s2 (14 Hz retune), track (chirp tracking), duffing (nonlinear spring), noise (stochastic wideband)")
+		scenario = flag.String("scenario", "s1", "scenario: charge, s1 (1 Hz retune), s2 (14 Hz retune), track (chirp tracking), duffing (nonlinear spring), noise (stochastic wideband), bistable (double well)")
 		engine   = flag.String("engine", "proposed", "engine: proposed, trap, bdf2, be")
 		fidelity = flag.String("fidelity", "quick", "scenario timing: quick, paper")
 		duration = flag.Float64("duration", 0, "override simulated span [s] (0 = scenario default)")
@@ -60,8 +62,12 @@ func main() {
 		k3       = flag.Float64("k3", 0, "cubic (Duffing) spring coefficient [N/m^3] applied to the chosen scenario (duffing scenario default: 1e9)")
 		noiseLo  = flag.Float64("noise-lo", 55, "noise scenario: band lower edge [Hz]")
 		noiseHi  = flag.Float64("noise-hi", 85, "noise scenario: band upper edge [Hz]")
-		noiseRMS = flag.Float64("noise-rms", 0.59, "noise scenario: RMS base acceleration [m/s^2]")
+		noiseRMS = flag.Float64("noise-rms", 0.59, "noise scenario: RMS base acceleration [m/s^2] (bistable scenario default: 0.5)")
 		noiseSd  = flag.Uint64("noise-seed", 1, "noise scenario: realisation seed")
+		wellM    = flag.Float64("well", harvester.BistableWellM, "bistable scenario: well displacement [m]")
+		barrierJ = flag.Float64("barrier", harvester.BistableBarrierJ, "bistable scenario: double-well barrier height [J]")
+		xi1      = flag.Float64("xi1", 0, "bistable scenario: linear coupling correction [1/m]")
+		xi2      = flag.Float64("xi2", 0, "bistable scenario: quadratic coupling correction [1/m^2]")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -85,6 +91,14 @@ func main() {
 	if *noiseRMS < 0 {
 		usageErr("-noise-rms must be >= 0 (got %g)", *noiseRMS)
 	}
+	if *wellM < 0 || *barrierJ < 0 {
+		usageErr("-well and -barrier must be >= 0 (got %g, %g)", *wellM, *barrierJ)
+	}
+	// Track which noise knobs were set explicitly: the bistable scenario
+	// has its own band and drive defaults (in-well resonance ~18 Hz sits
+	// far below the monostable band), overridden only by explicit flags.
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
 	var fid harvester.Fidelity
 	switch *fidelity {
@@ -130,8 +144,24 @@ func main() {
 		}
 		sc = harvester.NoiseScenario(d, *noiseLo, *noiseHi, *noiseSd)
 		sc.Cfg.VibNoise.RMS = *noiseRMS
+	case "bistable":
+		d := *duration
+		if d == 0 {
+			d = 10
+		}
+		fLo, fHi := 8.0, 40.0 // band around the default in-well resonance
+		if setFlags["noise-lo"] {
+			fLo = *noiseLo
+		}
+		if setFlags["noise-hi"] {
+			fHi = *noiseHi
+		}
+		sc = harvester.BistableScenario(d, *wellM, *barrierJ, *xi1, *xi2, fLo, fHi, *noiseSd)
+		if setFlags["noise-rms"] {
+			sc.Cfg.VibNoise.RMS = *noiseRMS
+		}
 	default:
-		usageErr("unknown -scenario %q (want charge, s1, s2, track, duffing or noise)", *scenario)
+		usageErr("unknown -scenario %q (want charge, s1, s2, track, duffing, noise or bistable)", *scenario)
 	}
 	if *duration > 0 {
 		sc.Duration = *duration
@@ -166,6 +196,11 @@ func main() {
 
 	_, vcEnd := h.VcTrace.Last()
 	fmt.Printf("final supercap voltage: %.4f V\n", vcEnd)
+	if sc.Cfg.Microgen.Bistable() {
+		bs := h.BasinStats()
+		fmt.Printf("basins: %d inter-well transits (%d settled), final basin %+d\n",
+			bs.Transits, bs.SettledTransits, bs.FinalBasin)
+	}
 	fmt.Printf("energy: harvested %.4g J, to store %.4g J, load %.4g J, stored %+.4g J\n",
 		h.Energy.Harvested, h.Energy.ToStore, h.Energy.Load,
 		h.Energy.StoredT1-h.Energy.StoredT0)

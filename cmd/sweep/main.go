@@ -32,10 +32,15 @@ import (
 )
 
 const usageFooter = `
-Base workloads (chosen by flags, both sweep the Dickson multiplier design):
+Base workloads (chosen by flags, all sweep the Dickson multiplier design):
   default          sinusoidal 70 Hz charge scenario (deterministic)
   -noise-seed N    seeded band-limited noise excitation, 55-85 Hz,
                    RMS 0.59 m/s^2 (N != 0 selects this workload)
+  -bistable        double-well (bistable) device under seeded noise,
+                   8-40 Hz band around the in-well resonance; tune the
+                   well with -well/-barrier/-xi1/-xi2. Summaries and
+                   ensemble tables gain basin columns (high-orbit
+                   fraction, transit counts, per-basin mean/CI)
 
 Ensembles (stochastic workloads only):
   -seeds N         run every design point under N noise realisations
@@ -63,6 +68,7 @@ Remote mode:
 Examples:
   sweep -sim 12 -vc 2.5 -top 5
   sweep -noise-seed 7 -seeds 8 -cache-dir /tmp/harvsim-cache -v
+  sweep -bistable -noise-seed 7 -seeds 8 -barrier 8e-6
   sweep -remote http://127.0.0.1:8080 -sim 12 -vc 2.5
 `
 
@@ -72,6 +78,21 @@ func usage() {
 	flag.PrintDefaults()
 	fmt.Fprint(flag.CommandLine.Output(), usageFooter)
 }
+
+// bistableOpts gathers the double-well workload knobs threaded from the
+// flags into both the local scenario and the declarative remote spec.
+type bistableOpts struct {
+	on                      bool
+	well, barrier, xi1, xi2 float64
+}
+
+// The bistable workload's excitation band: wrapped around the default
+// geometry's ~18 Hz in-well resonance rather than the monostable
+// device's 55-85 Hz band.
+const (
+	bistableFLo = 8.0
+	bistableFHi = 40.0
+)
 
 // parseFloatList parses a comma-separated float list ("0,1e9,5e9").
 func parseFloatList(s string) ([]float64, error) {
@@ -98,6 +119,11 @@ func main() {
 		topK     = flag.Int("top", 10, "ranked designs to print")
 		k3List   = flag.String("k3", "", "comma-separated cubic spring coefficients [N/m^3] to add as a Duffing sweep axis (e.g. 0,1e9,5e9)")
 		noiseSd  = flag.Uint64("noise-seed", 0, "nonzero: replace the sinusoid with seeded band-limited noise (55-85 Hz, RMS 0.59 m/s^2)")
+		bistable = flag.Bool("bistable", false, "double-well (bistable) device under seeded noise (8-40 Hz band); needs -noise-seed")
+		wellM    = flag.Float64("well", harvester.BistableWellM, "bistable: well displacement [m]")
+		barrierJ = flag.Float64("barrier", harvester.BistableBarrierJ, "bistable: double-well barrier height [J]")
+		xi1      = flag.Float64("xi1", 0, "bistable: linear coupling correction [1/m]")
+		xi2      = flag.Float64("xi2", 0, "bistable: quadratic coupling correction [1/m^2]")
 		seeds    = flag.Int("seeds", 1, "noise realisations per design point (>1 adds a seed ensemble axis and reports mean/CI statistics; needs -noise-seed)")
 		useCache = flag.Bool("cache", false, "serve repeated candidates from an in-memory result cache")
 		cacheDir = flag.String("cache-dir", "", "persist cached results under this directory (implies -cache)")
@@ -119,6 +145,12 @@ func main() {
 	if *seeds > 1 && *noiseSd == 0 {
 		usageErr("-seeds %d needs a stochastic workload: set -noise-seed (the ensemble base seed)", *seeds)
 	}
+	if *bistable && *noiseSd == 0 {
+		usageErr("-bistable is noise-driven: set -noise-seed (the realisation seed)")
+	}
+	if *wellM < 0 || *barrierJ < 0 {
+		usageErr("-well and -barrier must be >= 0 (got %g, %g)", *wellM, *barrierJ)
+	}
 	if *remote != "" && (*useCache || *cacheDir != "") {
 		usageErr("-cache/-cache-dir are local-mode flags; the server at -remote owns the (always-on) shared cache")
 	}
@@ -134,8 +166,13 @@ func main() {
 		}
 	}
 
+	bi := bistableOpts{}
+	if *bistable {
+		bi = bistableOpts{on: true, well: *wellM, barrier: *barrierJ, xi1: *xi1, xi2: *xi2}
+	}
+
 	if *remote != "" {
-		if err := runRemote(os.Stdout, *remote, *simFor, *vc, *workers, *topK, k3s, *noiseSd, *seeds, *noLock, *verbose); err != nil {
+		if err := runRemote(os.Stdout, *remote, *simFor, *vc, *workers, *topK, k3s, *noiseSd, *seeds, bi, *noLock, *verbose); err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: remote: %v\n", err)
 			os.Exit(1)
 		}
@@ -148,6 +185,14 @@ func main() {
 		noisy := harvester.NoiseScenario(*simFor, 55, 85, *noiseSd)
 		noisy.Cfg.InitialVc = *vc
 		base = noisy
+	}
+	if bi.on {
+		// Mirrors remoteSpec's "bistable" wire scenario exactly, so local
+		// and remote runs share cache identities.
+		b := harvester.BistableScenario(*simFor, bi.well, bi.barrier, bi.xi1, bi.xi2,
+			bistableFLo, bistableFHi, *noiseSd)
+		b.Cfg.InitialVc = *vc
+		base = b
 	}
 	spec := batch.SweepSpec{
 		Base: batch.Job{
@@ -279,12 +324,18 @@ func report(w io.Writer, results []batch.Result, wall time.Duration, topK, seeds
 // local mode assembles with closures — the wire round-trip tests pin
 // that both produce identical job identities, so a remote run hits
 // cache entries primed locally and vice versa.
-func remoteSpec(simFor, vc float64, k3s []float64, noiseSd uint64, seeds int) wire.Spec {
+func remoteSpec(simFor, vc float64, k3s []float64, noiseSd uint64, seeds int, bi bistableOpts) wire.Spec {
 	sc := wire.Scenario{Kind: "charge", DurationS: simFor,
 		Set: map[string]float64{"initial_vc": vc}}
 	if noiseSd != 0 {
 		sc = wire.Scenario{Kind: "noise", DurationS: simFor,
 			NoiseFLoHz: 55, NoiseFHiHz: 85, NoiseSeed: wire.Seed(noiseSd),
+			Set: map[string]float64{"initial_vc": vc}}
+	}
+	if bi.on {
+		sc = wire.Scenario{Kind: "bistable", DurationS: simFor,
+			WellM: bi.well, BarrierJ: bi.barrier, Xi1: bi.xi1, Xi2: bi.xi2,
+			NoiseFLoHz: bistableFLo, NoiseFHiHz: bistableFHi, NoiseSeed: wire.Seed(noiseSd),
 			Set: map[string]float64{"initial_vc": vc}}
 	}
 	spec := wire.Spec{
@@ -315,9 +366,9 @@ func remoteSpec(simFor, vc float64, k3s []float64, noiseSd uint64, seeds int) wi
 // any job failed server-side; the caller turns that into a non-zero
 // exit.
 func runRemote(w io.Writer, baseURL string, simFor, vc float64, workers, topK int, k3s []float64,
-	noiseSd uint64, seeds int, noLockstep, verbose bool) error {
+	noiseSd uint64, seeds int, bi bistableOpts, noLockstep, verbose bool) error {
 	baseURL = strings.TrimRight(baseURL, "/")
-	req := wire.SweepRequest{Spec: remoteSpec(simFor, vc, k3s, noiseSd, seeds),
+	req := wire.SweepRequest{Spec: remoteSpec(simFor, vc, k3s, noiseSd, seeds, bi),
 		Workers: workers, NoLockstep: noLockstep}
 	body, err := json.Marshal(req)
 	if err != nil {

@@ -133,6 +133,190 @@ func TestConformanceDuffingLinearLimit(t *testing.T) {
 	}
 }
 
+// TestConformanceBistableLinearLimit pins the degenerate-well limit of
+// the bistable path on every engine: BistableScenario with wellM =
+// barrierJ = 0 (and no coupling corrections) must reproduce the
+// monostable NoiseScenario run bit for bit — every K1/Xi1/Xi2/Z0
+// stamping, residual and basin-observer expression is gated so the
+// zero-valued path computes exactly the pre-existing arithmetic.
+func TestConformanceBistableLinearLimit(t *testing.T) {
+	for _, kind := range []EngineKind{Proposed, ExistingTrap, ExistingBDF2, ExistingBE} {
+		bi := BistableScenario(1.5, 0, 0, 0, 0, 55, 85, 7)
+		hB, engB, err := RunScenario(bi, kind, 1)
+		if err != nil {
+			t.Fatalf("%v bistable: %v", kind, err)
+		}
+		lin := NoiseScenario(1.5, 55, 85, 7)
+		hL, engL, err := RunScenario(lin, kind, 1)
+		if err != nil {
+			t.Fatalf("%v linear: %v", kind, err)
+		}
+		if hB.VcTrace.Len() != hL.VcTrace.Len() {
+			t.Fatalf("%v: trace lengths differ: %d vs %d", kind, hB.VcTrace.Len(), hL.VcTrace.Len())
+		}
+		for i := range hB.VcTrace.Times {
+			if hB.VcTrace.Times[i] != hL.VcTrace.Times[i] || hB.VcTrace.Vals[i] != hL.VcTrace.Vals[i] {
+				t.Fatalf("%v: Vc sample %d differs: (%v, %v) vs (%v, %v)", kind, i,
+					hB.VcTrace.Times[i], hB.VcTrace.Vals[i], hL.VcTrace.Times[i], hL.VcTrace.Vals[i])
+			}
+		}
+		sb, sl := engB.State(), engL.State()
+		for i := range sb {
+			if sb[i] != sl[i] {
+				t.Fatalf("%v: final state[%d] differs: %v vs %v", kind, i, sb[i], sl[i])
+			}
+		}
+		if hB.Energy != hL.Energy {
+			t.Fatalf("%v: energy accounting differs: %+v vs %+v", kind, hB.Energy, hL.Energy)
+		}
+		// The degenerate well is monostable: the basin observer must stay
+		// entirely inert.
+		if bs := hB.BasinStats(); bs != (BasinStats{}) {
+			t.Fatalf("%v: degenerate well produced basin stats %+v", kind, bs)
+		}
+	}
+}
+
+// TestConformanceBistable checks engine agreement on the double-well
+// workload — the first piecewise-tangent workload where the operating
+// point jumps between linearisation regions instead of drifting around
+// one. The horizon is kept short enough that the (chaotic) inter-well
+// trajectory has not decorrelated between integrators, so power and
+// voltage agreement remain meaningful properties; every engine must
+// also agree on the basin itinerary itself (transit count and final
+// basin) over this horizon.
+func TestConformanceBistable(t *testing.T) {
+	sc := BistableScenario(0.8, BistableWellM, BistableBarrierJ, 0, 0, 8, 40, 7)
+	runConformance(t, "bistable", sc, []conformanceCase{
+		{Proposed, 2.5e-4, 0, 0},
+		{ExistingTrap, 2.5e-4, 1e-3, 0.10},
+		{ExistingBDF2, 1e-4, 1e-3, 0.10},
+		{ExistingBE, 2.5e-4, 1e-3, 0},
+	})
+
+	// Basin itinerary agreement across all four engines.
+	type itin struct{ transits, final int }
+	var ref itin
+	for i, kind := range []EngineKind{Proposed, ExistingTrap, ExistingBDF2, ExistingBE} {
+		s := sc.Clone()
+		if kind == ExistingBDF2 {
+			s.Cfg.Solver.HMax = 1e-4
+		} else {
+			s.Cfg.Solver.HMax = 2.5e-4
+		}
+		h, _, err := RunScenario(s, kind, 64)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		bs := h.BasinStats()
+		got := itin{bs.Transits, bs.FinalBasin}
+		if bs.Transits < 2 {
+			t.Errorf("%v: only %d transits — drive too weak to exercise jumps", kind, bs.Transits)
+		}
+		if i == 0 {
+			ref = got
+		} else if got != ref {
+			t.Errorf("%v: basin itinerary %+v differs from proposed %+v", kind, got, ref)
+		}
+		h.Release()
+	}
+}
+
+// TestPropertyBistableStochasticConformance is the seeded property
+// suite for the double-well workload: random-but-deterministic draws
+// over well geometry, barrier height, coupling corrections and noise
+// drive, each run under the proposed engine and the exact-cubic
+// trapezoidal ground truth. Per case: energy passivity on both engines,
+// final-voltage agreement, and settled RMS power within a calibrated
+// tolerance. Horizons stay short for the same reason as the bistable
+// conformance case above: inter-well dynamics are chaotic, so long-run
+// trajectory agreement between any two integrators is not a meaningful
+// property — short-run power and passivity are.
+func TestPropertyBistableStochasticConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property conformance skipped in -short (seconds of implicit solving)")
+	}
+	const (
+		cases   = 6
+		powRtol = 0.35
+		powAbs  = 1e-6 // [W] diode-threshold floor, as in the Duffing suite
+		vcTol   = 2e-3
+	)
+	rng := rand.New(rand.NewSource(20260807)) // fixed: the suite is deterministic
+	for i := 0; i < cases; i++ {
+		well := 3e-4 + rng.Float64()*4e-4
+		barrier := 0.5e-6 + rng.Float64()*3.5e-6
+		xi1 := (rng.Float64() - 0.5) * 400 // |xi1*z| up to ~0.14
+		xi2 := (rng.Float64() - 0.5) * 1e5
+		rms := 0.3 + rng.Float64()*0.6
+		seed := rng.Uint64()
+		name := fmt.Sprintf("case%d[well=%.3g barrier=%.3g xi=%.3g/%.3g rms=%.2f seed=%d]",
+			i, well, barrier, xi1, xi2, rms, seed)
+
+		sc := BistableScenario(0.8, well, barrier, xi1, xi2, 8, 40, seed)
+		sc.Cfg.VibNoise.RMS = rms
+		jobs := []BatchJob{
+			{Name: name + "/proposed", Scenario: sc.Clone(), Engine: Proposed, Decimate: 1},
+			{Name: name + "/trap", Scenario: sc.Clone(), Engine: ExistingTrap, Decimate: 1},
+		}
+		results := RunBatch(context.Background(), jobs, BatchOptions{})
+		ref, trap := results[0], results[1]
+		if ref.Err != nil || trap.Err != nil {
+			t.Fatalf("%s: run failed: %v / %v", name, ref.Err, trap.Err)
+		}
+		checkEnergyInvariants(t, name+"/proposed", ref.Energy)
+		checkEnergyInvariants(t, name+"/trap", trap.Energy)
+		if dvc := math.Abs(ref.FinalVc - trap.FinalVc); dvc > vcTol {
+			t.Errorf("%s: final Vc drifted %g (tol %g)", name, dvc, vcTol)
+		}
+		if trap.RMSPower <= 0 || math.IsNaN(trap.RMSPower) {
+			t.Errorf("%s: degenerate baseline power %v", name, trap.RMSPower)
+			continue
+		}
+		if d := math.Abs(ref.RMSPower - trap.RMSPower); d > powAbs+powRtol*trap.RMSPower {
+			t.Errorf("%s: RMS power drifted: %v vs %v (|d|=%.3g > %.3g)",
+				name, ref.RMSPower, trap.RMSPower, d, powAbs+powRtol*trap.RMSPower)
+		}
+		t.Logf("%s: P=%.4guW/%.4guW dVc=%.2g transits=%d/%d", name,
+			ref.RMSPower*1e6, trap.RMSPower*1e6, math.Abs(ref.FinalVc-trap.FinalVc),
+			ref.Transits, trap.Transits)
+	}
+}
+
+// TestBistableRefactorsBoundedUnderJumps is the engine-level no-thrash
+// regression for the retangent policy under inter-well jumps. The
+// proposed engine calls Linearise (up to) twice per step attempt on the
+// full system — once at the new state, once after the PWL segment
+// resolution — so 2.0 refactors per attempt is the structural ceiling,
+// and a retangent test whose reference is the SIGNED stamped stiffness
+// (which passes through zero at the well inflection points) pins the
+// march at that ceiling: every Linearise call mid-jump restamps. The
+// absolute-sum reference keeps the microgen's retangent to at most one
+// per attempt, landing the forced-jump workload near 1.4 (calibrated;
+// the workload is seeded and fully deterministic). The bound at 1.6
+// leaves headroom for legitimate drift while still catching the
+// every-call thrash mode.
+func TestBistableRefactorsBoundedUnderJumps(t *testing.T) {
+	sc := BistableScenario(1.5, BistableWellM, BistableBarrierJ, 0, 0, 8, 40, 7)
+	sc.Cfg.VibNoise.RMS = 3.0 // hard drive: sustained jumping
+	h, eng, err := RunScenario(sc, Proposed, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if bs := h.BasinStats(); bs.Transits < 10 {
+		t.Fatalf("only %d transits — not a forced-jump workload", bs.Transits)
+	}
+	stats := StatsOf(eng)
+	attempts := stats.Steps + stats.Rejected
+	if ratio := float64(stats.Refactors) / float64(attempts); ratio > 1.6 {
+		t.Fatalf("refactors %d for %d step attempts (%.2f per attempt, bound 1.6): retangent thrash under jumps",
+			stats.Refactors, attempts, ratio)
+	}
+	t.Logf("steps=%d rejected=%d refactors=%d (%.2f per attempt)",
+		stats.Steps, stats.Rejected, stats.Refactors, float64(stats.Refactors)/float64(attempts))
+}
+
 // checkEnergyInvariants asserts the passivity properties that hold for
 // ANY parameter draw and any engine — the property-based counterpart of
 // golden-answer checks, for a path where no closed form exists:

@@ -166,6 +166,52 @@ func TestLockstepBitIdenticalAcrossEngines(t *testing.T) {
 	}
 }
 
+// bistableEnsembleJobs builds one double-well design point's seed
+// ensemble, with coupling corrections active so every new bistable code
+// path (K1, K3, Xi1/Xi2, Z0, basin observer) is exercised.
+func bistableEnsembleJobs(k int, kind EngineKind, duration float64) []BatchJob {
+	jobs := make([]BatchJob, k)
+	for i, seed := range Seeds(13, k) {
+		sc := BistableScenario(duration, BistableWellM, BistableBarrierJ, 120, -3.4e4, 8, 40, seed)
+		jobs[i] = BatchJob{
+			Name: "bistable-lockstep", Group: "bi", Seed: seed,
+			Scenario: sc, Engine: kind, Decimate: 1,
+		}
+	}
+	return jobs
+}
+
+// TestBistableLockstepBitIdenticalAcrossEngines: a lockstep K-seed run
+// of the double-well workload is bit-identical to the K solo runs it
+// replaces, for every engine kind — including the EngineStats counters
+// (the march must be the same march, not just land on the same answer)
+// and the basin accounting the ensemble reductions consume.
+func TestBistableLockstepBitIdenticalAcrossEngines(t *testing.T) {
+	kinds := []EngineKind{Proposed, ExistingTrap, ExistingBDF2, ExistingBE}
+	for _, kind := range kinds {
+		dur := 0.5
+		if kind != Proposed {
+			dur = 0.15 // the implicit baselines are much slower
+		}
+		jobs := bistableEnsembleJobs(3, kind, dur)
+		solo := RunBatchSerial(jobs, BatchOptions{NoLockstep: true})
+		lock := RunBatchSerial(jobs, BatchOptions{})
+		for i := range jobs {
+			sameResult(t, kind.String(), solo[i], lock[i])
+			a, b := solo[i], lock[i]
+			if a.Stats != b.Stats {
+				t.Errorf("%v[%d]: EngineStats differ:\nsolo %+v\nlock %+v", kind, i, a.Stats, b.Stats)
+			}
+			if a.Transits != b.Transits || a.SettledTransits != b.SettledTransits ||
+				a.FinalBasin != b.FinalBasin {
+				t.Errorf("%v[%d]: basin accounting differs: (%d,%d,%+d) vs (%d,%d,%+d)",
+					kind, i, a.Transits, a.SettledTransits, a.FinalBasin,
+					b.Transits, b.SettledTransits, b.FinalBasin)
+			}
+		}
+	}
+}
+
 // TestEnsembleReductionInvariantAcrossDispatch: the Ensembles reduction
 // of a seed sweep is invariant across serial singleton, pooled
 // singleton, serial lockstep and pooled lockstep execution — the
@@ -190,6 +236,49 @@ func TestEnsembleReductionInvariantAcrossDispatch(t *testing.T) {
 				a.Mean != b.Mean || a.Variance != b.Variance || a.CI95 != b.CI95 ||
 				a.MeanVc != b.MeanVc {
 				t.Errorf("%s: point %d differs: %+v vs %+v", label, i, a, b)
+			}
+		}
+	}
+}
+
+// TestBistableBasinReductionInvariantAcrossDispatch: the basin-aware
+// ensemble reductions — high-orbit fraction, mean transit count and the
+// per-basin statistics — are invariant across serial singleton, pooled
+// singleton, serial lockstep and pooled lockstep execution, exactly
+// like the Student-t statistics they ride alongside. This requires the
+// basin observer's settle boundary to be part of the job identity (set
+// identically by the fresh and lockstep dispatch paths), not an
+// artifact of how the run was scheduled.
+func TestBistableBasinReductionInvariantAcrossDispatch(t *testing.T) {
+	jobs := bistableEnsembleJobs(4, Proposed, 0.8)
+	ref := Ensembles(RunBatchSerial(jobs, BatchOptions{NoLockstep: true}))
+	if len(ref) != 1 {
+		t.Fatalf("want 1 ensemble point, got %d", len(ref))
+	}
+	if len(ref[0].Basins) == 0 {
+		t.Fatal("reference reduction carries no basin statistics — workload not bistable?")
+	}
+	runs := map[string][]BatchResult{
+		"pooled-solo":     RunBatch(context.Background(), jobs, BatchOptions{Workers: 4, NoLockstep: true}),
+		"serial-lockstep": RunBatchSerial(jobs, BatchOptions{}),
+		"pooled-lockstep": RunBatch(context.Background(), jobs, BatchOptions{Workers: 4}),
+	}
+	for label, results := range runs {
+		points := Ensembles(results)
+		if len(points) != 1 {
+			t.Fatalf("%s: %d points, want 1", label, len(points))
+		}
+		a, b := ref[0], points[0]
+		if a.HighOrbitFrac != b.HighOrbitFrac || a.MeanTransits != b.MeanTransits {
+			t.Errorf("%s: orbit stats differ: (%v, %v) vs (%v, %v)",
+				label, a.HighOrbitFrac, a.MeanTransits, b.HighOrbitFrac, b.MeanTransits)
+		}
+		if len(a.Basins) != len(b.Basins) {
+			t.Fatalf("%s: basin counts differ: %d vs %d", label, len(a.Basins), len(b.Basins))
+		}
+		for j := range a.Basins {
+			if a.Basins[j] != b.Basins[j] {
+				t.Errorf("%s: basin %d differs: %+v vs %+v", label, j, a.Basins[j], b.Basins[j])
 			}
 		}
 	}

@@ -1,0 +1,81 @@
+// Bistable example: the double-well harvester workload and its
+// basin-aware ensemble statistics.
+//
+// A bistable harvester (negative linear stiffness + hardening cubic)
+// has two qualitatively different responses to the same noise level:
+// seeds that stay captured in one well orbit at small amplitude, and
+// seeds that keep jumping between wells harvest far more power. A plain
+// ensemble mean averages the two regimes away; the basin-aware
+// reduction keeps them visible — fraction of seeds on the high orbit,
+// mean inter-well transit counts, and per-basin mean/CI alongside the
+// Student-t statistics.
+//
+// The example first runs one bistable realisation on the proposed
+// engine and on the implicit trapezoidal baseline, which solves the
+// exact cubic — the conformance pairing of the test suite. It then
+// sweeps barrier height crossed with a seed axis and prints the
+// basin-aware ensemble table: raising the barrier lowers the fraction
+// of seeds that hold the inter-well orbit.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"harvsim"
+)
+
+func main() {
+	const (
+		duration = 1.5
+		wellM    = harvsim.BistableWellM
+		barrierJ = harvsim.BistableBarrierJ
+		fLo, fHi = 8.0, 40.0 // band covering the in-well resonance
+	)
+
+	// One realisation, proposed engine vs implicit exact-cubic baseline.
+	sc := harvsim.BistableScenario(duration, wellM, barrierJ, 0, 0, fLo, fHi, 7)
+	fmt.Printf("double well: z_w = ±%.2g m, barrier %.2g J, in-well f ≈ %.1f Hz\n",
+		sc.Cfg.Microgen.WellZ(), sc.Cfg.Microgen.BarrierJ(),
+		sc.Cfg.Microgen.InWellHz())
+
+	for _, kind := range []harvsim.EngineKind{harvsim.Proposed, harvsim.ExistingTrap} {
+		h, eng, err := harvsim.RunScenario(sc, kind, 1)
+		if err != nil {
+			log.Fatalf("%v run failed: %v", kind, err)
+		}
+		bs := h.BasinStats()
+		stats := harvsim.StatsOf(eng)
+		fmt.Printf("%-34v steps %6d  refactors %5d  transits %3d (settled %d)  final basin %+d  final Vc %.4f V\n",
+			kind, stats.Steps, stats.Refactors, bs.Transits, bs.SettledTransits,
+			bs.FinalBasin, func() float64 { _, v := h.VcTrace.Last(); return v }())
+		h.Release()
+	}
+
+	// Barrier-height sweep × seed ensemble with basin-aware reductions.
+	base := harvsim.BistableScenario(duration, wellM, barrierJ, 0, 0, fLo, fHi, 0)
+	spec := harvsim.SweepSpec{
+		Base: harvsim.BatchJob{Name: "bistable", Scenario: base, Engine: harvsim.Proposed},
+		Axes: []harvsim.SweepAxis{
+			harvsim.FloatAxis("barrier", []float64{0.5e-6, 2e-6, 8e-6},
+				func(j *harvsim.BatchJob, b float64) {
+					w := harvsim.BistableScenario(duration, wellM, b, 0, 0, fLo, fHi, 0)
+					j.Scenario.Cfg.Microgen = w.Cfg.Microgen
+				}),
+			harvsim.SeedAxis("seed", harvsim.Seeds(42, 8),
+				func(j *harvsim.BatchJob, s uint64) { j.Scenario.Cfg.VibNoise.Seed = s }),
+		},
+	}
+	results, err := harvsim.Sweep(context.Background(), spec, harvsim.BatchOptions{})
+	if err != nil {
+		log.Fatalf("sweep failed: %v", err)
+	}
+	sum := harvsim.SummarizeBatch(results)
+	if sum.Failed > 0 {
+		log.Fatalf("%d jobs failed", sum.Failed)
+	}
+	fmt.Printf("\nsweep: %d jobs, %d still on the inter-well orbit, %d transits total\n",
+		sum.Jobs, sum.HighOrbit, sum.Transits)
+	fmt.Print(harvsim.EnsembleTable(harvsim.Ensembles(results)))
+}

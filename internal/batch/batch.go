@@ -160,6 +160,14 @@ type Result struct {
 	Energy     harvester.Energy
 	Stats      EngineStats
 
+	// Transits / SettledTransits / FinalBasin are the bistable run's
+	// inter-well accounting (harvester.BasinStats): total well-to-well
+	// crossings, crossings inside the settled window, and the sign of the
+	// final well. All zero for monostable workloads.
+	Transits        int
+	SettledTransits int
+	FinalBasin      int
+
 	// Cached marks a result served from Options.Cache without running an
 	// engine. Every other field above is bit-identical to what a fresh
 	// run would have produced (Elapsed, which is wall time, is the
@@ -486,6 +494,9 @@ func runFresh(res *Result, job Job, opt Options, pool *core.WorkspacePool) {
 	if job.Probe != nil {
 		job.Probe(h, eng)
 	}
+	// The settled-transit boundary is the power metrics' settle window,
+	// which is part of the cache identity (KeyOf hashes settleFrac).
+	h.SetBasinSettle(job.Scenario.Duration * opt.settleFrac())
 	if err := h.RunEngine(eng, job.Scenario.Duration); err != nil {
 		res.Err = err
 		res.Elapsed = time.Since(start)
@@ -507,6 +518,8 @@ func runFresh(res *Result, job Job, opt Options, pool *core.WorkspacePool) {
 	}
 	res.Energy = h.Energy
 	res.Stats = StatsOf(eng)
+	bs := h.BasinStats()
+	res.Transits, res.SettledTransits, res.FinalBasin = bs.Transits, bs.SettledTransits, bs.FinalBasin
 	if opt.Keep {
 		res.Harvester = h
 		res.Engine = eng

@@ -21,7 +21,11 @@ import (
 // with fresh ones — old entries then miss (in memory, the key itself
 // changes) or are counted stale and ignored (on disk), so a cache can
 // never serve outdated physics.
-const CacheSchemaVersion = 1
+//
+// v2: Snapshot gained the bistable basin fields (Transits,
+// SettledTransits, FinalBasin) — a v1 entry replayed under v2 would
+// report a bistable run as transit-free.
+const CacheSchemaVersion = 2
 
 // cacheSchema is the full stamp written into disk entries and mixed into
 // every key.
@@ -103,27 +107,33 @@ func KeyOf(job Job, opt Options) CacheKey {
 // original compute cost (informational; a hit's Result.Elapsed is the
 // lookup time, not this).
 type Snapshot struct {
-	FinalVc    float64          `json:"final_vc"`
-	FinalState []float64        `json:"final_state"`
-	RMSPower   float64          `json:"rms_power"`
-	MeanPower  float64          `json:"mean_power"`
-	Metric     float64          `json:"metric"`
-	Energy     harvester.Energy `json:"energy"`
-	Stats      EngineStats      `json:"stats"`
-	Elapsed    time.Duration    `json:"elapsed_ns"`
+	FinalVc         float64          `json:"final_vc"`
+	FinalState      []float64        `json:"final_state"`
+	RMSPower        float64          `json:"rms_power"`
+	MeanPower       float64          `json:"mean_power"`
+	Metric          float64          `json:"metric"`
+	Energy          harvester.Energy `json:"energy"`
+	Stats           EngineStats      `json:"stats"`
+	Transits        int              `json:"transits,omitempty"`
+	SettledTransits int              `json:"settled_transits,omitempty"`
+	FinalBasin      int              `json:"final_basin,omitempty"`
+	Elapsed         time.Duration    `json:"elapsed_ns"`
 }
 
 // snapshotOf extracts the cacheable slice of a successful result.
 func snapshotOf(r Result) Snapshot {
 	return Snapshot{
-		FinalVc:    r.FinalVc,
-		FinalState: r.FinalState,
-		RMSPower:   r.RMSPower,
-		MeanPower:  r.MeanPower,
-		Metric:     r.Metric,
-		Energy:     r.Energy,
-		Stats:      r.Stats,
-		Elapsed:    r.Elapsed,
+		FinalVc:         r.FinalVc,
+		FinalState:      r.FinalState,
+		RMSPower:        r.RMSPower,
+		MeanPower:       r.MeanPower,
+		Metric:          r.Metric,
+		Energy:          r.Energy,
+		Stats:           r.Stats,
+		Transits:        r.Transits,
+		SettledTransits: r.SettledTransits,
+		FinalBasin:      r.FinalBasin,
+		Elapsed:         r.Elapsed,
 	}
 }
 
@@ -138,6 +148,9 @@ func (s Snapshot) fill(r *Result) {
 	r.Metric = s.Metric
 	r.Energy = s.Energy
 	r.Stats = s.Stats
+	r.Transits = s.Transits
+	r.SettledTransits = s.SettledTransits
+	r.FinalBasin = s.FinalBasin
 }
 
 // CacheStats is a point-in-time counter snapshot. Hits includes

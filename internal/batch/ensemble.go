@@ -52,6 +52,36 @@ type EnsemblePoint struct {
 	CI95 float64
 
 	MeanVc float64 // sample mean of the final supercap voltage
+
+	// Basin-aware reduction (bistable workloads; zero/nil when no member
+	// reported a final basin). A bistable ensemble splits across
+	// attractors — some seeds stay captured in one well, some keep
+	// jumping on the energetic inter-well orbit — and the plain mean
+	// averages over qualitatively different responses. These fields keep
+	// the split visible.
+
+	// HighOrbitFrac is the fraction of successful realisations still
+	// crossing between wells inside the settled window (SettledTransits
+	// > 0) — the probability the design holds the high-power orbit.
+	HighOrbitFrac float64
+	// MeanTransits is the mean full-run inter-well transit count over
+	// the successful realisations.
+	MeanTransits float64
+	// Basins holds per-final-basin Student-t statistics of Metric, in
+	// ascending basin order (-1, 0, +1); basins with no members are
+	// omitted. Deterministic across dispatch modes like the rest of the
+	// reduction.
+	Basins []BasinStat
+}
+
+// BasinStat is the Metric statistics of the realisations that ended in
+// one basin (keyed by the sign of the final well).
+type BasinStat struct {
+	Basin    int     // -1 or +1 (0 = never classified)
+	N        int     // successful realisations ending in this basin
+	Mean     float64 // sample mean of Metric
+	Variance float64 // unbiased sample variance of Metric
+	CI95     float64 // Student-t 95% half-width; 0 when N < 2
 }
 
 // tCrit95 returns the two-sided 95% Student-t critical value for df
@@ -104,6 +134,7 @@ func Ensembles(results []Result) []EnsemblePoint {
 	for _, g := range order {
 		p := byGroup[g]
 		reduce(p, results)
+		reduceBasins(p, results)
 		points = append(points, *p)
 	}
 	return points
@@ -141,6 +172,65 @@ func reduce(p *EnsemblePoint, results []Result) {
 	}
 	p.Variance = ss / (n - 1)
 	p.CI95 = tCrit95(p.N-1) * math.Sqrt(p.Variance/n)
+}
+
+// reduceBasins fills a point's basin-aware statistics. Skipped entirely
+// (nil Basins, zero fractions) when no member reported a final basin,
+// so monostable sweeps reduce exactly as before.
+func reduceBasins(p *EnsemblePoint, results []Result) {
+	if p.N == 0 {
+		return
+	}
+	any := false
+	high, transits := 0, 0
+	for _, i := range p.Indices {
+		if results[i].Err != nil {
+			continue
+		}
+		if results[i].FinalBasin != 0 {
+			any = true
+		}
+		transits += results[i].Transits
+		if results[i].SettledTransits > 0 {
+			high++
+		}
+	}
+	if !any {
+		return
+	}
+	n := float64(p.N)
+	p.HighOrbitFrac = float64(high) / n
+	p.MeanTransits = float64(transits) / n
+	for _, basin := range [...]int{-1, 0, 1} {
+		var bs BasinStat
+		bs.Basin = basin
+		var sum float64
+		for _, i := range p.Indices {
+			if results[i].Err != nil || results[i].FinalBasin != basin {
+				continue
+			}
+			bs.N++
+			sum += results[i].Metric
+		}
+		if bs.N == 0 {
+			continue
+		}
+		bn := float64(bs.N)
+		bs.Mean = sum / bn
+		if bs.N >= 2 {
+			var ss float64
+			for _, i := range p.Indices {
+				if results[i].Err != nil || results[i].FinalBasin != basin {
+					continue
+				}
+				d := results[i].Metric - bs.Mean
+				ss += d * d
+			}
+			bs.Variance = ss / (bn - 1)
+			bs.CI95 = tCrit95(bs.N-1) * math.Sqrt(bs.Variance/bn)
+		}
+		p.Basins = append(p.Basins, bs)
+	}
 }
 
 // EnsembleTop returns the k points with the largest ensemble Mean, in
@@ -198,6 +288,14 @@ func EnsembleTable(points []EnsemblePoint) string {
 		}
 		fmt.Fprintf(&b, "%-4d %-40s %12.5g %12.3g %10.3g %6d %10.4f\n",
 			i+1, p.Group, p.Mean, p.CI95, math.Sqrt(p.Variance), p.N, p.MeanVc)
+		if len(p.Basins) > 0 {
+			fmt.Fprintf(&b, "     %-40s high-orbit %.2f  transits %.1f ",
+				"", p.HighOrbitFrac, p.MeanTransits)
+			for _, bs := range p.Basins {
+				fmt.Fprintf(&b, " basin %+d: %.5g ±%.3g (n %d)", bs.Basin, bs.Mean, bs.CI95, bs.N)
+			}
+			b.WriteByte('\n')
+		}
 		if p.Failed > 0 {
 			fmt.Fprintf(&b, "     %-40s (%d failed realisations excluded)\n", "", p.Failed)
 		}

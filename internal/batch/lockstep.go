@@ -152,6 +152,7 @@ func runLockstep(unit []int, jobs []Job, opt Options, results []Result) {
 		if jobs[i].Probe != nil {
 			jobs[i].Probe(hs[k], engs[k])
 		}
+		hs[k].SetBasinSettle(jobs[i].Scenario.Duration * opt.settleFrac())
 	}
 	errs := harvester.RunEnsemble(hs, engs, scs[0].Duration)
 	// One engine-run observation per unit: the members marched as a
@@ -179,6 +180,8 @@ func runLockstep(unit []int, jobs []Job, opt Options, results []Result) {
 		}
 		res.Energy = h.Energy
 		res.Stats = StatsOf(eng)
+		bs := h.BasinStats()
+		res.Transits, res.SettledTransits, res.FinalBasin = bs.Transits, bs.SettledTransits, bs.FinalBasin
 		// Store every successful result, non-finite metrics included —
 		// the same policy as the singleton path (the wire layer encodes
 		// non-finite floats safely).

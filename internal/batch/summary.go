@@ -29,6 +29,12 @@ type Summary struct {
 	// without running an engine; CacheHits == Jobs means the whole batch
 	// was warm and did zero simulation work.
 	CacheHits int
+
+	// Transits sums the successful jobs' full-run inter-well transit
+	// counts; HighOrbit counts successful jobs still crossing between
+	// wells in the settled window. Both zero for monostable workloads.
+	Transits  int
+	HighOrbit int
 }
 
 // Summarize reduces a result slice.
@@ -49,6 +55,10 @@ func Summarize(results []Result) Summary {
 			continue
 		}
 		s.TotalSteps += r.Stats.Steps
+		s.Transits += r.Transits
+		if r.SettledTransits > 0 {
+			s.HighOrbit++
+		}
 		if r.Metric < s.MinMetric {
 			s.MinMetric, s.ArgMinMetric = r.Metric, i
 		}
@@ -72,6 +82,10 @@ func (s Summary) String() string {
 		s.Jobs, s.Failed, s.TotalSteps, s.CPUTime.Round(time.Millisecond))
 	if s.CacheHits > 0 {
 		fmt.Fprintf(&b, "cache hits %d/%d\n", s.CacheHits, s.Jobs)
+	}
+	if s.Transits > 0 || s.HighOrbit > 0 {
+		fmt.Fprintf(&b, "basins  %d inter-well transits  %d/%d jobs on the high orbit\n",
+			s.Transits, s.HighOrbit, s.Jobs)
 	}
 	if s.ArgMaxMetric >= 0 {
 		fmt.Fprintf(&b, "metric  min %.4g (#%d)  max %.4g (#%d)\n",

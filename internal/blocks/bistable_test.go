@@ -1,0 +1,403 @@
+package blocks
+
+import (
+	"math"
+	"testing"
+
+	"harvsim/internal/core"
+	"harvsim/internal/implicit"
+	"harvsim/internal/trace"
+)
+
+// bistableParams returns the default microgenerator reshaped into the
+// standard test double well (well displacement wellM, barrier height
+// barrierJ), mirroring harvester.BistableScenario's inversion.
+func bistableParams(wellM, barrierJ float64) MicrogenParams {
+	p := DefaultMicrogen()
+	kl := -4 * barrierJ / (wellM * wellM)
+	p.K1 = kl - p.Ks
+	p.K3 = 4 * barrierJ / (wellM * wellM * wellM * wellM)
+	p.Z0 = -wellM
+	return p
+}
+
+// TestBistableWellGeometry pins the closed-form geometry accessors
+// against the inversion: the derived K1/K3 must round-trip back to the
+// requested well displacement and barrier height, and the in-well
+// resonance must be sqrt(-2*(Ks+K1)/M)/2pi (tangent stiffness at the
+// well bottom is -2*(Ks+K1)).
+func TestBistableWellGeometry(t *testing.T) {
+	const wellM, barrierJ = 5e-4, 2e-6
+	p := bistableParams(wellM, barrierJ)
+	if !p.Bistable() {
+		t.Fatal("derived double-well params not recognised as bistable")
+	}
+	if got := p.WellZ(); math.Abs(got-wellM) > wellM*1e-12 {
+		t.Errorf("WellZ = %g, want %g", got, wellM)
+	}
+	if got := p.BarrierJ(); math.Abs(got-barrierJ) > barrierJ*1e-12 {
+		t.Errorf("BarrierJ = %g, want %g", got, barrierJ)
+	}
+	want := math.Sqrt(-2*(p.Ks+p.K1)/p.M) / (2 * math.Pi)
+	if got := p.InWellHz(); math.Abs(got-want) > want*1e-12 {
+		t.Errorf("InWellHz = %g, want %g", got, want)
+	}
+
+	// Monostable devices report no well: all three accessors return 0
+	// and Bistable is false, including the softening-cubic case (K3 < 0)
+	// and the stiff-but-positive K1 case.
+	for _, q := range []MicrogenParams{
+		DefaultMicrogen(),
+		{M: 5e-3, Ks: 800, K3: -1e8},
+		{M: 5e-3, Ks: 800, K1: 100, K3: 1e8},
+	} {
+		if q.Bistable() || q.WellZ() != 0 || q.BarrierJ() != 0 || q.InWellHz() != 0 {
+			t.Errorf("monostable %+v reported a well", q)
+		}
+	}
+}
+
+// TestBistableTangentStamp checks the double-well piecewise
+// linearisation against the closed form at three qualitatively
+// different operating points: in a well (stable tangent), on the
+// hilltop (negative tangent stiffness — the stamp the engine's
+// spectral-radius fallback must cope with), and mid-jump. The stamped
+// state entry must be -(keff+K1+3*K3*z^2)/M with the affine remainder
+// +2*K3*z^3/M, so the tangent line interpolates the exact force.
+func TestBistableTangentStamp(t *testing.T) {
+	p := bistableParams(5e-4, 2e-6)
+	vib := NewVibration(0, 18)
+	sys := core.NewSystem()
+	gen := NewMicrogenerator("gen", p, vib)
+	sys.AddBlock(gen)
+	sys.AddBlock(NewResistor("load", "Vm", "Im", 3000))
+	sys.MustBuild()
+
+	x := make([]float64, sys.NX())
+	y := make([]float64, sys.NY())
+	for _, z := range []float64{-5e-4, 0, 2.1e-4} {
+		x[0] = z
+		sys.Invalidate()
+		if !sys.Linearise(0, x, y) {
+			t.Fatalf("z=%g: Linearise after Invalidate reported no change", z)
+		}
+		wantA := -(p.Ks + p.K1 + 3*p.K3*z*z) / p.M
+		if got := sys.Jxx.At(1, 0); math.Abs(got-wantA) > math.Abs(wantA)*1e-12+1e-12 {
+			t.Fatalf("z=%g: tangent stamp A(1,0) = %g, want %g", z, got, wantA)
+		}
+		wantE := 2 * p.K3 * z * z * z / p.M
+		if got := sys.Ex[1]; math.Abs(got-wantE) > math.Abs(wantE)*1e-12+1e-12 {
+			t.Fatalf("z=%g: affine remainder Ex[1] = %g, want %g", z, got, wantE)
+		}
+		lin := sys.Jxx.At(1, 0)*z + sys.Ex[1]
+		exact := -((p.Ks+p.K1)*z + p.K3*z*z*z) / p.M
+		if math.Abs(lin-exact) > math.Abs(exact)*1e-12+1e-12 {
+			t.Fatalf("z=%g: tangent line %g does not interpolate exact force %g", z, lin, exact)
+		}
+	}
+	// The hilltop stamp must be genuinely unstable: positive A(1,0)
+	// (negative tangent stiffness) is what distinguishes the double well
+	// from every earlier workload.
+	x[0] = 0
+	sys.Invalidate()
+	sys.Linearise(0, x, y)
+	if got := sys.Jxx.At(1, 0); got <= 0 {
+		t.Fatalf("hilltop tangent A(1,0) = %g, want > 0 (unstable)", got)
+	}
+}
+
+// TestBistableRetangentAtInflection is the thrash regression. At the
+// inflection points z = ±WellZ/sqrt(3) the SIGNED stamped stiffness
+// keff+K1+3*K3*z^2 passes through zero; a relative drift test against
+// the signed total would see an (almost) zero reference there and
+// retangent on every Linearise call while an inter-well jump is in
+// flight. The reference must therefore be the absolute-value sum, which
+// keeps the threshold a fixed fraction of the physical stiffness scale:
+// a sub-threshold drift near the inflection must NOT restamp, and a
+// material drift still must.
+func TestBistableRetangentAtInflection(t *testing.T) {
+	p := bistableParams(5e-4, 2e-6)
+	vib := NewVibration(0, 18)
+	sys := core.NewSystem()
+	gen := NewMicrogenerator("gen", p, vib)
+	sys.AddBlock(gen)
+	sys.AddBlock(NewResistor("load", "Vm", "Im", 3000))
+	sys.MustBuild()
+
+	zInfl := p.WellZ() / math.Sqrt(3)
+	signed := p.Ks + p.K1 + 3*p.K3*zInfl*zInfl
+	ref := math.Abs(p.Ks) + math.Abs(p.K1) + math.Abs(3*p.K3*zInfl*zInfl)
+	if math.Abs(signed) > 1e-9*ref {
+		t.Fatalf("test premise: signed stiffness at inflection = %g, want ~0 (scale %g)", signed, ref)
+	}
+
+	x := make([]float64, sys.NX())
+	y := make([]float64, sys.NY())
+	x[0] = zInfl
+	if !sys.Linearise(0, x, y) {
+		t.Fatal("first Linearise reported no change")
+	}
+	// Drift well inside the absolute-sum threshold: must not restamp.
+	// (Against the signed reference the allowed drift would be ~0 and
+	// this would retangent — the per-step thrash this test pins out.)
+	x[0] = zInfl * (1 + 1e-4)
+	if sys.Linearise(0, x, y) {
+		t.Fatal("sub-threshold drift at the inflection point restamped (signed-reference thrash)")
+	}
+	// A material drift (a real jump making progress) still retangents.
+	x[0] = zInfl * 1.5
+	if !sys.Linearise(0, x, y) {
+		t.Fatal("material drift past the inflection point did not restamp")
+	}
+	wantA := -(p.Ks + p.K1 + 3*p.K3*x[0]*x[0]) / p.M
+	if got := sys.Jxx.At(1, 0); math.Abs(got-wantA) > math.Abs(wantA)*1e-12 {
+		t.Fatalf("retangented A(1,0) = %g, want %g", got, wantA)
+	}
+}
+
+// TestBistableCouplingStamp checks the displacement-dependent
+// transduction: the quasi-static terminal row must carry the effective
+// coupling frozen at the stamping displacement, C(0,1) = -Phi_eff(zLin),
+// and a displacement change that moves Phi_eff past its drift tolerance
+// must restamp even when the spring is linear (K3 = 0).
+func TestBistableCouplingStamp(t *testing.T) {
+	p := DefaultMicrogen()
+	p.Xi1 = 120
+	p.Xi2 = -3.4e4
+	vib := NewVibration(0, 64)
+	sys := core.NewSystem()
+	gen := NewMicrogenerator("gen", p, vib)
+	sys.AddBlock(gen)
+	sys.AddBlock(NewResistor("load", "Vm", "Im", 3000))
+	sys.MustBuild()
+
+	x := make([]float64, sys.NX())
+	y := make([]float64, sys.NY())
+	z := 2e-4
+	x[0] = z
+	if !sys.Linearise(0, x, y) {
+		t.Fatal("first Linearise reported no change")
+	}
+	wantPhi := p.Phi * (1 + p.Xi1*z + p.Xi2*z*z)
+	if got := sys.Jyx.At(0, 1); math.Abs(got-(-wantPhi)) > math.Abs(wantPhi)*1e-12 {
+		t.Fatalf("coupling stamp C(0,1) = %g, want %g", got, -wantPhi)
+	}
+	if got := sys.Jxy.At(1, 1); math.Abs(got-(-wantPhi/p.M)) > math.Abs(wantPhi/p.M)*1e-12 {
+		t.Fatalf("coupling stamp B(1,1) = %g, want %g", got, -wantPhi/p.M)
+	}
+	// Tiny drift: effective coupling moves < tol*Phi, no restamp.
+	x[0] = z * (1 + 1e-5)
+	if sys.Linearise(0, x, y) {
+		t.Fatal("negligible coupling drift forced a restamp")
+	}
+	// Large drift: Phi_eff(z) changes by several tolerances.
+	x[0] = -2e-4
+	if !sys.Linearise(0, x, y) {
+		t.Fatal("large coupling drift did not restamp")
+	}
+	wantPhi = p.Phi * (1 + p.Xi1*x[0] + p.Xi2*x[0]*x[0])
+	if got := sys.Jyx.At(0, 1); math.Abs(got-(-wantPhi)) > math.Abs(wantPhi)*1e-12 {
+		t.Fatalf("restamped C(0,1) = %g, want %g", got, -wantPhi)
+	}
+}
+
+// TestBistableExactResiduals checks EvalNonlinear carries the exact
+// double-well force and the exact displacement-dependent coupling for
+// the implicit ground-truth engines, on both coil models.
+func TestBistableExactResiduals(t *testing.T) {
+	p := bistableParams(5e-4, 2e-6)
+	p.Xi1 = 120
+	p.Xi2 = -3.4e4
+	vib := NewVibration(0, 18)
+
+	phiAt := func(z float64) float64 { return p.Phi * (1 + p.Xi1*z + p.Xi2*z*z) }
+	force := func(z float64) float64 { return (p.Ks+p.K1)*z + p.K3*z*z*z }
+
+	// Quasi-static coil: states [z, zdot], equations [KVL].
+	gen := NewMicrogenerator("gen", p, vib)
+	x := []float64{3e-4, 0.01}
+	y := []float64{0.5, 1e-4}
+	fx := make([]float64, 2)
+	fy := make([]float64, 1)
+	gen.EvalNonlinear(0, x, y, fx, fy)
+	z, zd, vm, im := x[0], x[1], y[0], y[1]
+	want := (-force(z) - p.Cp*zd - phiAt(z)*im) / p.M
+	if math.Abs(fx[1]-want) > math.Abs(want)*1e-12 {
+		t.Fatalf("quasi-static fx[1] = %g, want %g", fx[1], want)
+	}
+	if want = vm - phiAt(z)*zd + p.Rc*im; math.Abs(fy[0]-want) > math.Abs(want)*1e-12 {
+		t.Fatalf("quasi-static fy[0] = %g, want %g", fy[0], want)
+	}
+
+	// Inductive coil: states [z, zdot, iL].
+	p.Lc = 0.5e-3
+	gen = NewMicrogenerator("gen", p, vib)
+	il := 2e-4
+	x3 := []float64{3e-4, 0.01, il}
+	fx3 := make([]float64, 3)
+	gen.EvalNonlinear(0, x3, y, fx3, fy)
+	want = (-force(z) - p.Cp*zd - phiAt(z)*il) / p.M
+	if math.Abs(fx3[1]-want) > math.Abs(want)*1e-12 {
+		t.Fatalf("inductive fx[1] = %g, want %g", fx3[1], want)
+	}
+	want = (phiAt(z)*zd - p.Rc*il - vm) / p.Lc
+	if math.Abs(fx3[2]-want) > math.Abs(want)*1e-12 {
+		t.Fatalf("inductive fx[2] = %g, want %g", fx3[2], want)
+	}
+}
+
+// TestBistableJacobianMatchesFiniteDifference checks JacNonlinear —
+// including the dPhi/dz cross terms between the mechanical and
+// electrical sides — against central finite differences of
+// EvalNonlinear over every state and terminal, on both coil models.
+func TestBistableJacobianMatchesFiniteDifference(t *testing.T) {
+	for _, lc := range []float64{0, 0.5e-3} {
+		p := bistableParams(5e-4, 2e-6)
+		p.Xi1 = 120
+		p.Xi2 = -3.4e4
+		p.Lc = lc
+		vib := NewVibration(0.3, 18)
+		sys := core.NewSystem()
+		sys.AddBlock(NewMicrogenerator("gen", p, vib))
+		sys.AddBlock(NewResistor("load", "Vm", "Im", 3000))
+		sys.MustBuild()
+
+		nx, ny := sys.NX(), sys.NY()
+		x := make([]float64, nx)
+		y := make([]float64, ny)
+		// An operating point with every term active: mid-jump displacement,
+		// real velocity, nonzero terminal values.
+		x[0], x[1] = 2.1e-4, 0.02
+		if lc > 0 {
+			x[2] = 3e-4
+		}
+		y[0], y[1] = 0.4, 1.3e-4
+		sys.JacNonlinear(0.1, x, y)
+
+		eval := func(x, y []float64) ([]float64, []float64) {
+			fx := make([]float64, nx)
+			fy := make([]float64, ny)
+			sys.EvalNonlinear(0.1, x, y, fx, fy)
+			return fx, fy
+		}
+		// Central difference of column j of d(fx,fy)/d(v) where v is
+		// (x|y)[j]; scale-aware step.
+		checkCol := func(v []float64, j int, atX, atY func(i, j int) float64) {
+			h := 1e-7 * (1 + math.Abs(v[j]))
+			orig := v[j]
+			v[j] = orig + h
+			fxp, fyp := eval(x, y)
+			v[j] = orig - h
+			fxm, fym := eval(x, y)
+			v[j] = orig
+			for i := 0; i < nx; i++ {
+				fd := (fxp[i] - fxm[i]) / (2 * h)
+				if got := atX(i, j); math.Abs(got-fd) > 1e-5*(1+math.Abs(fd)) {
+					t.Errorf("Lc=%g: d fx[%d]/d v[%d]: stamped %g, FD %g", lc, i, j, got, fd)
+				}
+			}
+			for i := 0; i < ny; i++ {
+				fd := (fyp[i] - fym[i]) / (2 * h)
+				if got := atY(i, j); math.Abs(got-fd) > 1e-5*(1+math.Abs(fd)) {
+					t.Errorf("Lc=%g: d fy[%d]/d v[%d]: stamped %g, FD %g", lc, i, j, got, fd)
+				}
+			}
+		}
+		for j := 0; j < nx; j++ {
+			checkCol(x, j, sys.Jxx.At, sys.Jyx.At)
+		}
+		for j := 0; j < ny; j++ {
+			checkCol(y, j, sys.Jxy.At, sys.Jyy.At)
+		}
+	}
+}
+
+// TestBistableExplicitMatchesImplicit checks the piecewise-tangent
+// explicit march against the exact-Newton trapezoidal baseline on the
+// double-well gen+load system under a strong sinusoidal drive that
+// forces sustained inter-well oscillation — the jump regime the
+// retangent policy must survive.
+func TestBistableExplicitMatchesImplicit(t *testing.T) {
+	mk := func() *core.System {
+		p := bistableParams(5e-4, 2e-6)
+		vib := NewVibration(3.0, 18)
+		sys := core.NewSystem()
+		sys.AddBlock(NewMicrogenerator("gen", p, vib))
+		sys.AddBlock(NewResistor("load", "Vm", "Im", 3000))
+		return sys
+	}
+	var ex, im trace.Series
+	sysE := mk()
+	e1 := core.NewEngine(sysE)
+	e1.Ctl.HMax = 1e-4
+	e1.Observe(func(tm float64, x, y []float64) { ex.Append(tm, x[0]) })
+	if err := e1.Run(0, 1.5); err != nil {
+		t.Fatalf("explicit: %v", err)
+	}
+	sysI := mk()
+	e2 := implicit.NewEngine(sysI, implicit.Trapezoidal)
+	e2.Ctl.HMax = 1e-4
+	e2.Observe(func(tm float64, x, y []float64) { im.Append(tm, x[0]) })
+	if err := e2.Run(0, 1.5); err != nil {
+		t.Fatalf("implicit: %v", err)
+	}
+	// The displacement must actually cross between wells on both engines.
+	crossings := func(s *trace.Series) int {
+		n, last := 0, 0.0
+		for _, v := range s.Vals {
+			if v*last < 0 {
+				n++
+			}
+			if v != 0 {
+				last = v
+			}
+		}
+		return n
+	}
+	if c := crossings(&ex); c < 4 {
+		t.Fatalf("explicit trajectory crossed the barrier only %d times — drive too weak for a jump test", c)
+	}
+	cmp := trace.Compare(&ex, &im, 400)
+	if cmp.NRMSE > 0.05 {
+		t.Fatalf("cross-engine NRMSE = %v (max %v at t=%v)", cmp.NRMSE, cmp.MaxAbs, cmp.AtMax)
+	}
+}
+
+// TestBistableRefreshNoThrash bounds the retangent cost of sustained
+// inter-well jumping: on the forced-jump system the refresh count must
+// stay within one per attempted step (the absolute-sum reference can
+// legitimately fire every step while the operating point is genuinely
+// moving, but never more), and a device resting at a well bottom must
+// not refresh at all after the initial stamp.
+func TestBistableRefreshNoThrash(t *testing.T) {
+	run := func(amp float64, z0 float64) *core.Engine {
+		p := bistableParams(5e-4, 2e-6)
+		p.Z0 = z0
+		vib := NewVibration(amp, 18)
+		sys := core.NewSystem()
+		sys.AddBlock(NewMicrogenerator("gen", p, vib))
+		sys.AddBlock(NewResistor("load", "Vm", "Im", 3000))
+		eng := core.NewEngine(sys)
+		eng.Ctl.HMax = 2e-4
+		if err := eng.Run(0, 1.5); err != nil {
+			t.Fatalf("amp=%g: %v", amp, err)
+		}
+		return eng
+	}
+	// Forced jumps: bounded by one refresh per step attempt.
+	eng := run(3.0, -5e-4)
+	attempts := eng.Stats.Steps + eng.Stats.Rejected
+	if eng.Stats.Refreshes > attempts+2 {
+		t.Fatalf("jump workload: %d refreshes for %d step attempts (thrash)",
+			eng.Stats.Refreshes, attempts)
+	}
+	if eng.Stats.Refreshes < 100 {
+		t.Fatalf("jump workload refreshed only %d times — operating point not exercised", eng.Stats.Refreshes)
+	}
+	// At rest in the well bottom nothing moves: the initial stamp must
+	// hold for the whole run even though K1 is large and negative.
+	still := run(0, -5e-4)
+	if still.Stats.Refreshes > 4 {
+		t.Fatalf("resting device refreshed %d times, want a handful at most", still.Stats.Refreshes)
+	}
+}

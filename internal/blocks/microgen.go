@@ -33,12 +33,92 @@ type MicrogenParams struct {
 	Fb  float64 // cantilever buckling load for Eq. 12 [N]
 
 	// K3 is the cubic (Duffing) spring coefficient [N/m^3]: the restoring
-	// force is keff*z + K3*z^3, the standard adjustable-nonlinearity route
-	// to wider harvester bandwidth (Boisseau et al.). K3 > 0 hardens the
-	// spring (resonance rises with amplitude), K3 < 0 softens it. 0 keeps
-	// the paper's linear device, bit-identically: every stamping and
+	// force is (keff+K1)*z + K3*z^3, the standard adjustable-nonlinearity
+	// route to wider harvester bandwidth (Boisseau et al.). K3 > 0 hardens
+	// the spring (resonance rises with amplitude), K3 < 0 softens it. 0
+	// keeps the paper's linear device, bit-identically: every stamping and
 	// residual path below degenerates to the exact linear expressions.
 	K3 float64
+
+	// K1 is an extra linear stiffness [N/m] summed with the tuned Ks
+	// term. K1 < -Ks flips the total linear stiffness negative, which
+	// together with a hardening K3 > 0 forms the bistable double well
+	// (Morel et al.): wells at z = ±sqrt(-(Ks+K1)/K3), barrier height
+	// (Ks+K1)^2/(4*K3). 0 keeps the monostable device bit-identically.
+	K1 float64
+
+	// Xi1 [1/m] and Xi2 [1/m^2] make the transduction factor
+	// displacement-dependent, Phi_eff(z) = Phi*(1 + Xi1*z + Xi2*z^2) —
+	// the bistable_EH coupling corrections for a mass excursion that
+	// leaves the region where the flux gradient is constant. Both zero
+	// keep the constant-Phi device bit-identically.
+	Xi1 float64
+	Xi2 float64
+
+	// Z0 is the initial proof-mass displacement [m]. A bistable device
+	// must start inside a well, not balanced on the unstable hilltop;
+	// monostable scenarios leave it 0 (start at rest at equilibrium).
+	Z0 float64
+}
+
+// coupled reports whether the transduction factor depends on z.
+func (p MicrogenParams) coupled() bool { return p.Xi1 != 0 || p.Xi2 != 0 }
+
+// phiAt returns the effective transduction factor at displacement z.
+// For a constant-coupling device it is exactly P.Phi.
+func (p MicrogenParams) phiAt(z float64) float64 {
+	if !p.coupled() {
+		return p.Phi
+	}
+	return p.Phi * (1 + p.Xi1*z + p.Xi2*z*z)
+}
+
+// dphiAt returns d(Phi_eff)/dz at displacement z.
+func (p MicrogenParams) dphiAt(z float64) float64 {
+	if !p.coupled() {
+		return 0
+	}
+	return p.Phi * (p.Xi1 + 2*p.Xi2*z)
+}
+
+// operatingPointDriven reports whether any stamped coefficient depends
+// on the displacement, i.e. whether the piecewise-tangent zLin
+// machinery is active.
+func (p MicrogenParams) operatingPointDriven() bool { return p.K3 != 0 || p.coupled() }
+
+// Bistable reports whether the untuned restoring force forms a double
+// well: total linear stiffness Ks+K1 negative with a hardening cubic.
+func (p MicrogenParams) Bistable() bool { return p.Ks+p.K1 < 0 && p.K3 > 0 }
+
+// WellZ returns the well displacement sqrt(-(Ks+K1)/K3) of the untuned
+// double well (the stable equilibria sit at ±WellZ), or 0 for a
+// monostable device.
+func (p MicrogenParams) WellZ() float64 {
+	if !p.Bistable() {
+		return 0
+	}
+	return math.Sqrt(-(p.Ks + p.K1) / p.K3)
+}
+
+// BarrierJ returns the untuned double-well barrier height
+// (Ks+K1)^2/(4*K3) [J], or 0 for a monostable device.
+func (p MicrogenParams) BarrierJ() float64 {
+	if !p.Bistable() {
+		return 0
+	}
+	kl := p.Ks + p.K1
+	return kl * kl / (4 * p.K3)
+}
+
+// InWellHz returns the small-signal resonance inside one well of the
+// untuned double well: the tangent stiffness at z = ±WellZ is
+// (Ks+K1) + 3*K3*WellZ^2 = -2*(Ks+K1), so f = sqrt(-2(Ks+K1)/M)/2pi.
+// Returns 0 for a monostable device.
+func (p MicrogenParams) InWellHz() float64 {
+	if !p.Bistable() {
+		return 0
+	}
+	return math.Sqrt(-2*(p.Ks+p.K1)/p.M) / (2 * math.Pi)
 }
 
 // DefaultMicrogen returns the calibrated parameter set (quasi-static
@@ -138,11 +218,14 @@ func (g *Microgenerator) NumEquations() int { return 1 }
 // Terminals implements core.Block.
 func (g *Microgenerator) Terminals() []string { return []string{"Vm", "Im"} }
 
-// InitState implements core.Block: the device starts at rest.
+// InitState implements core.Block: the device starts at rest at the
+// configured initial displacement (0 for monostable devices, a well
+// position for bistable ones).
 func (g *Microgenerator) InitState(x []float64) {
 	for i := range x {
 		x[i] = 0
 	}
+	x[0] = g.P.Z0
 }
 
 // SetTuningForce sets the magnetic tuning force (Eq. 12) and its
@@ -179,12 +262,11 @@ func (g *Microgenerator) keff() float64 { return g.P.Ks * (1 + g.ft/g.P.Fb) }
 // genuinely operating-point driven.
 func (g *Microgenerator) Linearise(t float64, x, y []float64, st core.Stamp) bool {
 	p := g.P
-	if p.K3 != 0 {
+	if p.operatingPointDriven() {
 		z := x[0]
 		if !g.stamped {
 			g.zLin = z
-		} else if d := 3 * p.K3 * (z*z - g.zLin*g.zLin); math.Abs(d) >
-			duffingRetanTol*(math.Abs(g.keff())+math.Abs(3*p.K3*g.zLin*g.zLin)) {
+		} else if g.retangent(z) {
 			g.zLin = z
 			g.dirty = true
 		}
@@ -201,8 +283,20 @@ func (g *Microgenerator) Linearise(t float64, x, y []float64, st core.Stamp) boo
 		return false
 	}
 	ke := g.keff()
+	if p.K1 != 0 {
+		ke += p.K1
+	}
 	if p.K3 != 0 {
 		ke += 3 * p.K3 * g.zLin * g.zLin
+	}
+	// Displacement-dependent coupling is stamped frozen at zLin: the
+	// bilinear tangent terms (dphi*zdot*z, dphi*i*z) are not expressible
+	// in a linear stamp, so the coefficient rides the same retangent
+	// schedule as the cubic's tangent stiffness and stays within
+	// duffingRetanTol of the true Phi_eff between restamps.
+	phi := p.Phi
+	if p.coupled() {
+		phi = p.phiAt(g.zLin)
 	}
 	// dz/dt = zdot.
 	st.A(0, 1, 1)
@@ -211,9 +305,9 @@ func (g *Microgenerator) Linearise(t float64, x, y []float64, st core.Stamp) boo
 	st.A(1, 1, -p.Cp/p.M)
 	if g.inductive() {
 		// Electromagnetic force from the coil-current state.
-		st.A(1, 2, -p.Phi/p.M)
+		st.A(1, 2, -phi/p.M)
 		// diL/dt = (phi*zdot - Rc*iL - Vm)/Lc.
-		st.A(2, 1, p.Phi/p.Lc)
+		st.A(2, 1, phi/p.Lc)
 		st.A(2, 2, -p.Rc/p.Lc)
 		st.B(2, 0, -1/p.Lc)
 		// Terminal relation 0 = Im - iL.
@@ -221,15 +315,45 @@ func (g *Microgenerator) Linearise(t float64, x, y []float64, st core.Stamp) boo
 		st.D(0, 1, 1)
 	} else {
 		// Electromagnetic force from the terminal current (Fem = phi*Im).
-		st.B(1, 1, -p.Phi/p.M)
+		st.B(1, 1, -phi/p.M)
 		// Quasi-static coil KVL: 0 = Vm - phi*zdot + Rc*Im.
-		st.C(0, 1, -p.Phi)
+		st.C(0, 1, -phi)
 		st.D(0, 0, 1)
 		st.D(0, 1, p.Rc)
 	}
 	g.stamped = true
 	g.dirty = false
 	return true
+}
+
+// retangent reports whether the linearisation stamped at zLin has
+// drifted materially from the operating point z: tangent-stiffness
+// drift for the cubic spring, effective-coupling drift for the
+// displacement-dependent transduction. The stiffness reference sums
+// |keff|, |K1| and the stamped cubic tangent as absolute values — for
+// a double well the *signed* total passes through zero at the
+// inflection points (z = ±WellZ/sqrt(3)), and a relative test against
+// the signed total would retangent every step there (thrash) exactly
+// when an inter-well jump is in progress. Against the absolute sum the
+// tolerance stays a fixed fraction of the physical stiffness scale, so
+// a jump costs O(log(zWell/tol)) restamps, not O(steps).
+func (g *Microgenerator) retangent(z float64) bool {
+	p := g.P
+	if p.K3 != 0 {
+		ref := math.Abs(g.keff()) + math.Abs(3*p.K3*g.zLin*g.zLin)
+		if p.K1 != 0 {
+			ref += math.Abs(p.K1)
+		}
+		if d := 3 * p.K3 * (z*z - g.zLin*g.zLin); math.Abs(d) > duffingRetanTol*ref {
+			return true
+		}
+	}
+	if p.coupled() {
+		if d := p.phiAt(z) - p.phiAt(g.zLin); math.Abs(d) > duffingRetanTol*math.Abs(p.Phi) {
+			return true
+		}
+	}
+	return false
 }
 
 // EvalNonlinear implements core.Block: the exact device equations,
@@ -242,46 +366,79 @@ func (g *Microgenerator) EvalNonlinear(t float64, x, y, fx, fy []float64) {
 	vm, im := y[0], y[1]
 	fx[0] = zd
 	fs := g.keff() * z
+	if p.K1 != 0 {
+		fs += p.K1 * z
+	}
 	if p.K3 != 0 {
 		fs += p.K3 * z * z * z
 	}
+	phi := p.Phi
+	if p.coupled() {
+		phi = p.phiAt(z)
+	}
 	if g.inductive() {
 		il := x[2]
-		fx[1] = (-fs - p.Cp*zd - p.Phi*il + fa - g.ftz) / p.M
-		fx[2] = (p.Phi*zd - p.Rc*il - vm) / p.Lc
+		fx[1] = (-fs - p.Cp*zd - phi*il + fa - g.ftz) / p.M
+		fx[2] = (phi*zd - p.Rc*il - vm) / p.Lc
 		fy[0] = im - il
 		return
 	}
-	fx[1] = (-fs - p.Cp*zd - p.Phi*im + fa - g.ftz) / p.M
-	fy[0] = vm - p.Phi*zd + p.Rc*im
+	fx[1] = (-fs - p.Cp*zd - phi*im + fa - g.ftz) / p.M
+	fy[0] = vm - phi*zd + p.Rc*im
 }
 
-// JacNonlinear implements core.Block.
+// JacNonlinear implements core.Block: exact derivatives of the device
+// equations, including the cubic's tangent stiffness and — when the
+// coupling is displacement-dependent — the dPhi/dz cross terms between
+// the mechanical and electrical sides.
 func (g *Microgenerator) JacNonlinear(t float64, x, y []float64, st core.Stamp) {
 	p := g.P
+	z, zd := x[0], x[1]
 	ke := g.keff()
+	if p.K1 != 0 {
+		ke += p.K1
+	}
 	if p.K3 != 0 {
-		z := x[0]
 		ke += 3 * p.K3 * z * z
 	}
 	st.A(0, 1, 1)
-	st.A(1, 0, -ke/p.M)
 	st.A(1, 1, -p.Cp/p.M)
 	if g.inductive() {
-		st.A(1, 2, -p.Phi/p.M)
-		st.A(2, 1, p.Phi/p.Lc)
+		if p.coupled() {
+			phi, dphi := p.phiAt(z), p.dphiAt(z)
+			il := x[2]
+			st.A(1, 0, (-ke-dphi*il)/p.M)
+			st.A(1, 2, -phi/p.M)
+			st.A(2, 0, dphi*zd/p.Lc)
+			st.A(2, 1, phi/p.Lc)
+		} else {
+			st.A(1, 0, -ke/p.M)
+			st.A(1, 2, -p.Phi/p.M)
+			st.A(2, 1, p.Phi/p.Lc)
+		}
 		st.A(2, 2, -p.Rc/p.Lc)
 		st.B(2, 0, -1/p.Lc)
 		st.C(0, 2, -1)
 		st.D(0, 1, 1)
 	} else {
-		st.B(1, 1, -p.Phi/p.M)
-		st.C(0, 1, -p.Phi)
+		if p.coupled() {
+			phi, dphi := p.phiAt(z), p.dphiAt(z)
+			im := y[1]
+			st.A(1, 0, (-ke-dphi*im)/p.M)
+			st.B(1, 1, -phi/p.M)
+			st.C(0, 0, -dphi*zd)
+			st.C(0, 1, -phi)
+		} else {
+			st.A(1, 0, -ke/p.M)
+			st.B(1, 1, -p.Phi/p.M)
+			st.C(0, 1, -p.Phi)
+		}
 		st.D(0, 0, 1)
 		st.D(0, 1, p.Rc)
 	}
 	g.stamped = false
 }
 
-// EMF returns the electromagnetic voltage Phi*zdot for state x (Eq. 9).
-func (g *Microgenerator) EMF(x []float64) float64 { return g.P.Phi * x[1] }
+// EMF returns the electromagnetic voltage Phi_eff(z)*zdot for state x
+// (Eq. 9; for constant coupling exactly Phi*zdot).
+func (g *Microgenerator) EMF(x []float64) float64 { return g.P.phiAt(x[0]) * x[1] }

@@ -71,6 +71,7 @@ func RunEnsemble(hs []*Harvester, engs []Engine, duration float64) []error {
 		return errs
 	}
 	for _, h := range hs {
+		h.defaultBasinSettle(duration)
 		x0 := make([]float64, h.Sys.NX())
 		h.Sys.InitState(x0)
 		h.Energy.StoredT0 = h.Store.StoredEnergy(x0[h.scOff : h.scOff+3])

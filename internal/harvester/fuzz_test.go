@@ -19,6 +19,13 @@ func FuzzScenarioConfig(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("duffing-and-noise-seed-corpus-01"))
 	f.Add([]byte{255, 0, 128, 64, 32, 16, 8, 4, 2, 1, 0, 255, 77, 200, 13, 99, 1, 2, 3, 4})
+	// Bistable activation (operands 10..14 high): deep double well with
+	// strong coupling corrections riding band-limited noise.
+	f.Add([]byte{
+		40, 0, 100, 0, 60, 0, 0, 0, 200, 0, // duration/Vc/amp/K3/noise-gate
+		20, 0, 180, 0, 40, 0, 8, 0, 200, 0, // fLo/rms/fHi/tones/seed
+		220, 0, 160, 0, 140, 0, 255, 255, 10, 10, // bistable gate/well/barrier/xi1/xi2
+	})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Consume 16-bit operands; missing bytes read as zero so every
 		// prefix is a valid input.
@@ -36,7 +43,24 @@ func FuzzScenarioConfig(f *testing.F) {
 		sc.Cfg.InitialVc = frac(1) * 4
 		sc.Cfg.VibAmplitude = frac(2) * 1.5
 		sc.Cfg.Microgen.K3 = (frac(3) - 0.2) * 5e9 // softening through strongly hardening
-		if frac(4) > 0.25 {                        // three quarters of inputs add noise
+		if frac(10) > 0.6 {
+			// Double-well reshape: overwrite the spring with the bistable
+			// inversion (well 0.1..0.9 mm, barrier up to ~8 uJ) plus
+			// displacement-dependent coupling corrections of either sign.
+			// Zero-area wells (frac -> 0) degenerate to the knobs above.
+			well := frac(11) * 9e-4
+			barrier := frac(12) * 8e-6
+			if well > 1e-4 && barrier > 0 {
+				kl := -4 * barrier / (well * well)
+				sc.Cfg.Microgen.K1 = kl - sc.Cfg.Microgen.Ks
+				sc.Cfg.Microgen.K3 = 4 * barrier / (well * well * well * well)
+				sc.Cfg.Microgen.Z0 = -well
+				sc.Cfg.InitialTuneHz = sc.Cfg.Microgen.UntunedHz()
+			}
+			sc.Cfg.Microgen.Xi1 = (frac(13) - 0.5) * 400
+			sc.Cfg.Microgen.Xi2 = (frac(14) - 0.5) * 1e5
+		}
+		if frac(4) > 0.25 { // three quarters of inputs add noise
 			fLo := 0.5 + frac(5)*100
 			sc.Cfg.VibNoise.RMS = frac(6) * 2
 			sc.Cfg.VibNoise.FLo = fLo

@@ -82,7 +82,8 @@ func (c Config) Validate() error {
 	if err := c.VibNoise.Validate(); err != nil {
 		return fmt.Errorf("harvester: %w", err)
 	}
-	for _, f := range [...]float64{c.Microgen.K3, c.VibAmplitude, c.VibFreq} {
+	for _, f := range [...]float64{c.Microgen.K3, c.Microgen.K1, c.Microgen.Xi1,
+		c.Microgen.Xi2, c.Microgen.Z0, c.VibAmplitude, c.VibFreq} {
 		if math.IsNaN(f) || math.IsInf(f, 0) {
 			return fmt.Errorf("harvester: non-finite excitation/spring parameter in config")
 		}
@@ -123,10 +124,23 @@ type Harvester struct {
 
 	// terminal indices for probes
 	idxVm, idxIm, idxVc, idxIc int
-	scOff                      int
+	scOff, genOff              int
 
 	tuning  bool
 	arrival float64
+
+	// Basin accounting (active when the microgenerator declares a double
+	// well): the proof mass is classified into the -1/+1 basin with a
+	// ±WellZ/2 hysteresis band, every reclassification is an inter-well
+	// transit, and transits at t >= basinSettleT count as settled — the
+	// discriminator between a seed captured in one well and one still on
+	// the energetic inter-well ("high") orbit.
+	basinThr             float64 // hysteresis threshold [m]; 0 = monostable, counting off
+	basinSide            int     // current basin (-1/+1), 0 before first classification
+	basinTransits        int
+	basinSettledTransits int
+	basinSettleT         float64
+	basinSettleSet       bool
 
 	// Traces recorded during Run.
 	VcTrace     *trace.Series // supercapacitor terminal voltage
@@ -219,6 +233,8 @@ func NewWith(cfg Config, pool *core.WorkspacePool) *Harvester {
 	h.idxVc = h.Sys.MustTerminal("Vc")
 	h.idxIc = h.Sys.MustTerminal("Ic")
 	h.scOff = h.Sys.MustStateOffset("store")
+	h.genOff = h.Sys.MustStateOffset("gen")
+	h.initBasin()
 
 	h.initDigital()
 
@@ -277,7 +293,94 @@ func (h *Harvester) Reset() {
 	h.Energy = Energy{}
 	h.lastT, h.lastPIn, h.lastPLoad, h.lastPStore = 0, 0, 0, 0
 	h.haveLast = false
+	h.initBasin()
+	h.basinSettleT, h.basinSettleSet = 0, false
 	h.Sys.ResetLinearisation()
+}
+
+// initBasin restarts the basin classifier from the configured initial
+// displacement. Monostable devices get a zero threshold, which disables
+// counting entirely (the observer's fast path).
+func (h *Harvester) initBasin() {
+	h.basinTransits, h.basinSettledTransits = 0, 0
+	h.basinThr, h.basinSide = 0, 0
+	if wz := h.Cfg.Microgen.WellZ(); wz > 0 {
+		h.basinThr = wz / 2
+		switch z0 := h.Cfg.Microgen.Z0; {
+		case z0 > 0:
+			h.basinSide = 1
+		case z0 < 0:
+			h.basinSide = -1
+		}
+	}
+}
+
+// BasinStats is the run's inter-well accounting: how often the proof
+// mass crossed between wells, how often it still crossed inside the
+// settled window, and which well it ended in. All zero for monostable
+// devices.
+type BasinStats struct {
+	Transits        int `json:"transits,omitempty"`
+	SettledTransits int `json:"settled_transits,omitempty"`
+	// FinalBasin is the sign (-1/+1) of the well the mass ended in; 0
+	// for monostable devices (or a bistable run that never left the
+	// hysteresis band).
+	FinalBasin int `json:"final_basin,omitempty"`
+}
+
+// BasinStats returns the basin accounting of the run so far.
+func (h *Harvester) BasinStats() BasinStats {
+	return BasinStats{
+		Transits:        h.basinTransits,
+		SettledTransits: h.basinSettledTransits,
+		FinalBasin:      h.basinSide,
+	}
+}
+
+// SetBasinSettle fixes the settled-window boundary [s] for the
+// settled-transit counter. The batch runner calls it with
+// duration*settleFrac before every run — the same boundary the power
+// metrics use, and part of the cache identity — so basin reductions are
+// deterministic across dispatch modes. Unset, RunEngine/RunEnsemble
+// default it to duration/3 (the batch default fraction).
+func (h *Harvester) SetBasinSettle(t float64) {
+	h.basinSettleT = t
+	h.basinSettleSet = true
+}
+
+// defaultBasinSettle applies the duration/3 default when no explicit
+// settle boundary was set for this run.
+func (h *Harvester) defaultBasinSettle(duration float64) {
+	if !h.basinSettleSet {
+		h.basinSettleT = duration / 3
+	}
+}
+
+// observeBasin classifies one accepted step's displacement. Called on
+// the engine's observer path: no allocation, integer work only, and a
+// single compare for monostable devices.
+func (h *Harvester) observeBasin(t, z float64) {
+	if h.basinThr == 0 {
+		return
+	}
+	side := 0
+	switch {
+	case z >= h.basinThr:
+		side = 1
+	case z <= -h.basinThr:
+		side = -1
+	default:
+		return
+	}
+	if h.basinSide != side {
+		if h.basinSide != 0 {
+			h.basinTransits++
+			if t >= h.basinSettleT {
+				h.basinSettledTransits++
+			}
+		}
+		h.basinSide = side
+	}
 }
 
 // Release hands the harvester's pooled workspace back to its pool (a
@@ -407,6 +510,7 @@ func (h *Harvester) attachProbes(eng Engine, decimate int) {
 	count := 0
 	eng.Observe(func(t float64, x, y []float64) {
 		pin := y[h.idxVm] * y[h.idxIm]
+		h.observeBasin(t, x[h.genOff])
 		// The frequency meter samples the accelerometer signal.
 		h.Meter.Sample(t, h.Vib.Accel(t))
 		// Energy integrals (trapezoidal).
@@ -445,6 +549,7 @@ func (h *Harvester) Run(kind EngineKind, duration float64, decimate int) (Engine
 // lets callers (the batch runner, conformance harnesses) attach extra
 // observers or adjust engine settings between NewEngine and the run.
 func (h *Harvester) RunEngine(eng Engine, duration float64) error {
+	h.defaultBasinSettle(duration)
 	x0 := make([]float64, h.Sys.NX())
 	h.Sys.InitState(x0)
 	h.Energy.StoredT0 = h.Store.StoredEnergy(x0[h.scOff : h.scOff+3])

@@ -135,6 +135,22 @@ func TestScenarioHashCoversEveryConfigField(t *testing.T) {
 	if len(leaves) < 30 {
 		t.Fatalf("coverage walk found only %d leaves; walker broken?", len(leaves))
 	}
+	// The bistable knobs must be visible to the walk (and hence to the
+	// hasher): if one of these were unexported or pruned, two design
+	// points differing only in well shape or coupling correction would
+	// collide in the sweep cache.
+	seen := make(map[string]bool, len(leaves))
+	for _, p := range leaves {
+		seen[p] = true
+	}
+	for _, p := range []string{
+		"Config.Microgen.K1", "Config.Microgen.K3", "Config.Microgen.Z0",
+		"Config.Microgen.Xi1", "Config.Microgen.Xi2",
+	} {
+		if !seen[p] {
+			t.Errorf("%s not reachable by the coverage walk — bistable knob missing from the cache key", p)
+		}
+	}
 	base := scenarioHash(hashBase())
 	for i, path := range leaves {
 		sc := hashBase()

@@ -183,6 +183,92 @@ func TestCoordinatorMatchesSingleHost(t *testing.T) {
 	}
 }
 
+// bistableGrid is a 12-job bistable ensemble sweep (2 well depths via
+// the microgen.k1 registry knob x 6 seeds) in wire form — small enough
+// for CI, stochastic enough that the basin accounting is non-trivial
+// on both stiffness levels.
+func bistableGrid(duration float64) wire.Spec {
+	return wire.Spec{
+		Name: "bistable-grid",
+		V:    wire.Version,
+		Scenario: wire.Scenario{
+			Kind: "bistable", DurationS: duration,
+			WellM: 5e-4, BarrierJ: 2e-6, Xi1: 120, Xi2: -3.4e4,
+			NoiseFLoHz: 8, NoiseFHiHz: 40, NoiseSeed: 13,
+		},
+		Axes: []wire.Axis{
+			{Kind: wire.AxisFloat, Param: "microgen.k1", Values: []float64{-850, -900}},
+			{Kind: wire.AxisSeed, BaseSeed: 13, Count: 6},
+		},
+	}
+}
+
+// basinFields projects each result's basin accounting per global index.
+func basinFields(results []wire.Result) map[int][3]int {
+	out := make(map[int][3]int, len(results))
+	for _, r := range results {
+		out[r.Index] = [3]int{r.Transits, r.SettledTransits, r.FinalBasin}
+	}
+	return out
+}
+
+// TestCoordinatorBistableBasinsMatchSingleHost is the acceptance
+// criterion's distributed leg: a 3-worker coordinated bistable
+// ensemble sweep reproduces the single-host run bit for bit — the
+// standard identity fields AND the per-job basin accounting AND the
+// merged summary's basin reductions. Sharding must not perturb the
+// settle boundary or the transit counters, or the fleet's high-orbit
+// fraction would depend on worker count.
+func TestCoordinatorBistableBasinsMatchSingleHost(t *testing.T) {
+	spec := bistableGrid(0.5)
+	baseline, baseSummary := singleHostBaseline(t, spec)
+	if baseSummary.Transits == 0 {
+		t.Fatal("test premise broken: single-host bistable sweep counted no transits")
+	}
+
+	_, urls := startFleet(t, 3)
+	coord := httptest.NewServer(New(Options{Workers: urls}).Handler())
+	defer coord.Close()
+
+	results, summary := stream(t, coord.URL, post(t, coord.URL, wire.SweepRequest{Spec: spec}), nil)
+	if len(results) != 12 || summary.Jobs != 12 || summary.Failed != 0 {
+		t.Fatalf("coordinated bistable sweep: %d results, summary %+v", len(results), summary)
+	}
+	base, got := identityFields(baseline), identityFields(results)
+	for ix, want := range base {
+		if got[ix] != want {
+			t.Errorf("index %d: coordinated metrics %v != single-host %v", ix, got[ix], want)
+		}
+	}
+	baseBasins, gotBasins := basinFields(baseline), basinFields(results)
+	for ix, want := range baseBasins {
+		if gotBasins[ix] != want {
+			t.Errorf("index %d: coordinated basins %v != single-host %v", ix, gotBasins[ix], want)
+		}
+	}
+	if summary.Transits != baseSummary.Transits || summary.HighOrbit != baseSummary.HighOrbit {
+		t.Errorf("merged basin reductions (transits %d, high-orbit %d) != single-host (%d, %d)",
+			summary.Transits, summary.HighOrbit, baseSummary.Transits, baseSummary.HighOrbit)
+	}
+
+	// Warm repeat through the coordinator: basin accounting comes out of
+	// the snapshot cache unchanged.
+	warmResults, warm := stream(t, coord.URL, post(t, coord.URL, wire.SweepRequest{Spec: spec}), nil)
+	if warm.CacheHits != 12 {
+		t.Errorf("warm coordinated repeat hit caches %d/12 times", warm.CacheHits)
+	}
+	warmBasins := basinFields(warmResults)
+	for ix, want := range baseBasins {
+		if warmBasins[ix] != want {
+			t.Errorf("index %d: cached basins %v != fresh %v", ix, warmBasins[ix], want)
+		}
+	}
+	if warm.Transits != baseSummary.Transits || warm.HighOrbit != baseSummary.HighOrbit {
+		t.Errorf("cached basin reductions (transits %d, high-orbit %d) != fresh (%d, %d)",
+			warm.Transits, warm.HighOrbit, baseSummary.Transits, baseSummary.HighOrbit)
+	}
+}
+
 // TestCoordinatorSurvivesWorkerLoss is the tentpole acceptance path in
 // miniature: kill one of three workers mid-stream and the sweep still
 // completes — every index exactly once, bit-identical to a single-host

@@ -71,6 +71,13 @@ type Result struct {
 	MeanPower Float  `json:"mean_power"`
 	FinalVc   Float  `json:"final_vc"`
 	Steps     int    `json:"steps"`
+
+	// Bistable basin accounting (additive v1-compatible fields, omitted
+	// for monostable workloads): full-run inter-well transits, transits
+	// inside the settled window, and the sign of the final well.
+	Transits        int `json:"transits,omitempty"`
+	SettledTransits int `json:"settled_transits,omitempty"`
+	FinalBasin      int `json:"final_basin,omitempty"`
 }
 
 // ResultOf converts a batch result for the wire. The content-address
@@ -92,6 +99,10 @@ func ResultOf(r batch.Result) Result {
 		MeanPower: Float(r.MeanPower),
 		FinalVc:   Float(r.FinalVc),
 		Steps:     r.Stats.Steps,
+
+		Transits:        r.Transits,
+		SettledTransits: r.SettledTransits,
+		FinalBasin:      r.FinalBasin,
 	}
 	if r.Err != nil {
 		out.Error = r.Err.Error()
@@ -122,6 +133,12 @@ type Summary struct {
 	MaxMetric Float  `json:"max_metric"`
 	ArgMax    string `json:"argmax,omitempty"`
 
+	// Transits sums the jobs' full-run inter-well transit counts and
+	// HighOrbit counts jobs still crossing wells in the settled window —
+	// additive v1-compatible basin fields, omitted for monostable sweeps.
+	Transits  int `json:"transits,omitempty"`
+	HighOrbit int `json:"high_orbit,omitempty"`
+
 	// Workers is the fleet size that started serving the sweep.
 	Workers int `json:"workers,omitempty"`
 	// Resharded counts jobs re-assigned to surviving workers after a
@@ -147,6 +164,8 @@ func SummaryOf(results []batch.Result, wall time.Duration) Summary {
 		WallMS:    wall.Milliseconds(),
 		CPUMS:     s.CPUTime.Milliseconds(),
 		MaxMetric: Float(s.MaxMetric),
+		Transits:  s.Transits,
+		HighOrbit: s.HighOrbit,
 	}
 	for _, r := range results {
 		if r.Shared {
@@ -311,6 +330,10 @@ func BatchResultOf(r Result) batch.Result {
 		Metric:    float64(r.Metric),
 		Cached:    r.Cached,
 		Shared:    r.Shared,
+
+		Transits:        r.Transits,
+		SettledTransits: r.SettledTransits,
+		FinalBasin:      r.FinalBasin,
 	}
 	br.Stats.Steps = r.Steps
 	if r.Error != "" {

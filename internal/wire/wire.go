@@ -161,6 +161,10 @@ type param struct {
 // wire identifier: renaming one breaks clients, so add, don't rename.
 var params = map[string]param{
 	"microgen.k3":     {false, func(c *harvester.Config, v float64) { c.Microgen.K3 = v }},
+	"microgen.k1":     {false, func(c *harvester.Config, v float64) { c.Microgen.K1 = v }},
+	"microgen.xi1":    {false, func(c *harvester.Config, v float64) { c.Microgen.Xi1 = v }},
+	"microgen.xi2":    {false, func(c *harvester.Config, v float64) { c.Microgen.Xi2 = v }},
+	"microgen.z0":     {false, func(c *harvester.Config, v float64) { c.Microgen.Z0 = v }},
 	"microgen.rc":     {false, func(c *harvester.Config, v float64) { c.Microgen.Rc = v }},
 	"microgen.cp":     {false, func(c *harvester.Config, v float64) { c.Microgen.Cp = v }},
 	"dickson.stages":  {true, func(c *harvester.Config, v float64) { c.Dickson.Stages = int(v) }},
@@ -213,7 +217,7 @@ func lookupParam(name string, wantInt int) (param, error) {
 // compilation is deterministic).
 type Scenario struct {
 	// Kind selects the constructor: "charge", "scenario1", "scenario2",
-	// "duffing", "noise" or "tracking".
+	// "duffing", "noise", "bistable" or "tracking".
 	Kind string `json:"kind"`
 	// Fidelity applies to scenario1/scenario2: "quick" (default) or
 	// "paper".
@@ -223,11 +227,15 @@ type Scenario struct {
 	DurationS float64 `json:"duration_s,omitempty"`
 
 	K3          float64 `json:"k3,omitempty"`            // duffing: cubic spring [N/m^3]
-	NoiseFLoHz  float64 `json:"noise_flo_hz,omitempty"`  // noise: band lower edge
-	NoiseFHiHz  float64 `json:"noise_fhi_hz,omitempty"`  // noise: band upper edge
-	NoiseSeed   Seed    `json:"noise_seed,omitempty"`    // noise: realisation seed
+	NoiseFLoHz  float64 `json:"noise_flo_hz,omitempty"`  // noise/bistable: band lower edge
+	NoiseFHiHz  float64 `json:"noise_fhi_hz,omitempty"`  // noise/bistable: band upper edge
+	NoiseSeed   Seed    `json:"noise_seed,omitempty"`    // noise/bistable: realisation seed
 	TrackF0Hz   float64 `json:"track_f0_hz,omitempty"`   // tracking: chirp start [Hz]
 	TrackFEndHz float64 `json:"track_fend_hz,omitempty"` // tracking: chirp end [Hz]
+	WellM       float64 `json:"well_m,omitempty"`        // bistable: well displacement [m]
+	BarrierJ    float64 `json:"barrier_j,omitempty"`     // bistable: barrier height [J]
+	Xi1         float64 `json:"xi1,omitempty"`           // bistable: coupling correction [1/m]
+	Xi2         float64 `json:"xi2,omitempty"`           // bistable: coupling correction [1/m^2]
 
 	// Set overrides registry parameters on the constructed Config, e.g.
 	// {"initial_vc": 2.5, "dickson.stages": 4}.
@@ -272,13 +280,19 @@ func (s Scenario) build() (harvester.Scenario, error) {
 			return sc, err
 		}
 		sc = harvester.NoiseScenario(s.DurationS, s.NoiseFLoHz, s.NoiseFHiHz, uint64(s.NoiseSeed))
+	case "bistable":
+		if err := needDuration(); err != nil {
+			return sc, err
+		}
+		sc = harvester.BistableScenario(s.DurationS, s.WellM, s.BarrierJ, s.Xi1, s.Xi2,
+			s.NoiseFLoHz, s.NoiseFHiHz, uint64(s.NoiseSeed))
 	case "tracking":
 		if err := needDuration(); err != nil {
 			return sc, err
 		}
 		sc = harvester.TrackingScenario(s.DurationS, s.TrackF0Hz, s.TrackFEndHz)
 	default:
-		return sc, fmt.Errorf("wire: unknown scenario kind %q (want charge|scenario1|scenario2|duffing|noise|tracking)", s.Kind)
+		return sc, fmt.Errorf("wire: unknown scenario kind %q (want charge|scenario1|scenario2|duffing|noise|bistable|tracking)", s.Kind)
 	}
 	names := make([]string, 0, len(s.Set))
 	for name := range s.Set {

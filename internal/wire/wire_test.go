@@ -116,6 +116,8 @@ func TestRoundTripEveryScenarioKind(t *testing.T) {
 		{Kind: "scenario2", Fidelity: "quick"},
 		{Kind: "duffing", DurationS: 0.25, K3: harvester.DuffingK3Moderate},
 		{Kind: "noise", DurationS: 0.25, NoiseFLoHz: 55, NoiseFHiHz: 85, NoiseSeed: 7},
+		{Kind: "bistable", DurationS: 0.25, WellM: 5e-4, BarrierJ: 2e-6,
+			Xi1: 120, Xi2: -3.4e4, NoiseFLoHz: 8, NoiseFHiHz: 40, NoiseSeed: 7},
 		{Kind: "tracking", DurationS: 2, TrackF0Hz: 68, TrackFEndHz: 72},
 	}
 	for _, sc := range cases {
@@ -160,6 +162,58 @@ func TestWireMatchesHandBuiltSweep(t *testing.T) {
 				func(j *batch.Job, v int) { j.Scenario.Cfg.Dickson.Stages = v }),
 			batch.FloatAxis("dickson.cstage", []float64{10e-6, 22e-6},
 				func(j *batch.Job, v float64) { j.Scenario.Cfg.Dickson.CStage = v }),
+		},
+	}
+	handJobs, err := hand.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := batch.Options{}
+	wireKeys := keysOf(t, wireSpec, opt)
+	if len(wireKeys) != len(handJobs) {
+		t.Fatalf("job counts differ: wire %d vs hand-built %d", len(wireKeys), len(handJobs))
+	}
+	for i := range handJobs {
+		if want := batch.KeyOf(handJobs[i], opt); wireKeys[i] != want {
+			t.Errorf("job %d: wire key %s != hand-built key %s", i, wireKeys[i], want)
+		}
+	}
+}
+
+// TestWireMatchesHandBuiltBistable pins the same local/remote identity
+// property for the bistable workload: the "bistable" wire kind compiles
+// to the exact job identity of a hand-built harvester.BistableScenario
+// sweep — the pairing cmd/sweep's -bistable flag relies on for shared
+// cache entries between local and -remote runs.
+func TestWireMatchesHandBuiltBistable(t *testing.T) {
+	wireSpec := Spec{
+		Name: "bi",
+		Scenario: Scenario{Kind: "bistable", DurationS: 0.5,
+			WellM: 5e-4, BarrierJ: 2e-6, Xi1: 120, Xi2: -3.4e4,
+			NoiseFLoHz: 8, NoiseFHiHz: 40, NoiseSeed: 7,
+			Set: map[string]float64{"initial_vc": 2.5}},
+		Metric: MetricPStoreMeanSettled,
+		Axes: []Axis{
+			{Kind: AxisFloat, Param: "microgen.k1", Name: "k1", Values: []float64{-850, -900}},
+			{Kind: AxisSeed, Name: "seed", BaseSeed: 7, Count: 2},
+		},
+	}
+
+	base := harvester.BistableScenario(0.5, 5e-4, 2e-6, 120, -3.4e4, 8, 40, 7)
+	base.Cfg.InitialVc = 2.5
+	hand := batch.SweepSpec{
+		Base: batch.Job{
+			Name: "bi", Scenario: base, Engine: harvester.Proposed,
+			MetricKey: MetricPStoreMeanSettled,
+			Metric: func(h *harvester.Harvester, eng harvester.Engine) float64 {
+				return h.PStoreTrace.Slice(0.5/3, 0.5).Mean()
+			},
+		},
+		Axes: []batch.Axis{
+			batch.FloatAxis("k1", []float64{-850, -900},
+				func(j *batch.Job, v float64) { j.Scenario.Cfg.Microgen.K1 = v }),
+			batch.SeedAxis("seed", batch.Seeds(7, 2),
+				func(j *batch.Job, s uint64) { j.Scenario.Cfg.VibNoise.Seed = s }),
 		},
 	}
 	handJobs, err := hand.Jobs()
@@ -319,14 +373,35 @@ func TestBatchResultRoundTrip(t *testing.T) {
 		Shared:    true,
 	}
 	in.Stats.Steps = 1234
+	in.Transits, in.SettledTransits, in.FinalBasin = 17, 11, -1
 	out := BatchResultOf(ResultOf(in))
 	if out.Index != in.Index || out.Name != in.Name || out.Key != in.Key ||
 		out.Job.Group != in.Job.Group || out.Job.Seed != in.Job.Seed ||
 		out.Elapsed != in.Elapsed || out.FinalVc != in.FinalVc ||
 		out.RMSPower != in.RMSPower || out.MeanPower != in.MeanPower ||
 		out.Metric != in.Metric || out.Cached != in.Cached || out.Shared != in.Shared ||
-		out.Stats.Steps != in.Stats.Steps || out.Err != nil {
+		out.Stats.Steps != in.Stats.Steps || out.Err != nil ||
+		out.Transits != in.Transits || out.SettledTransits != in.SettledTransits ||
+		out.FinalBasin != in.FinalBasin {
 		t.Fatalf("round trip changed the result:\n in %+v\nout %+v", in, out)
+	}
+	// The basin fields must survive the JSON encoding too (a negative
+	// FinalBasin exercises the signed field), and reduce into the wire
+	// summary's basin counters.
+	line, err := json.Marshal(ResultOf(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wr Result
+	if err := json.Unmarshal(line, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if got := BatchResultOf(wr); got.Transits != 17 || got.SettledTransits != 11 || got.FinalBasin != -1 {
+		t.Fatalf("basin fields lost across JSON: %+v", got)
+	}
+	sum := SummaryOf([]batch.Result{in}, 0)
+	if sum.Transits != 17 || sum.HighOrbit != 1 {
+		t.Fatalf("summary basin counters: transits %d, high-orbit %d", sum.Transits, sum.HighOrbit)
 	}
 	in.Err = errors.New("boom")
 	if out := BatchResultOf(ResultOf(in)); out.Err == nil || out.Err.Error() != "boom" {

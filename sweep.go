@@ -124,6 +124,10 @@ func SeedAxis(name string, seeds []uint64, set func(j *BatchJob, seed uint64)) S
 // of the metric.
 type EnsemblePoint = batch.EnsemblePoint
 
+// BasinStat is the per-final-basin Metric statistics of one ensemble
+// point (bistable workloads; see EnsemblePoint.Basins).
+type BasinStat = batch.BasinStat
+
 // Ensembles groups results by design point and reduces each group's
 // realisations to ensemble statistics, deterministically across serial
 // and pooled execution.
