@@ -470,6 +470,65 @@ func BenchmarkWarmStep(b *testing.B) {
 	}
 }
 
+// traceOverheadEngine builds the warm steady-state engine the trace
+// overhead pair steps (same setup as BenchmarkWarmStep).
+func traceOverheadEngine(b *testing.B) *core.Engine {
+	b.Helper()
+	sc := harvester.ChargeScenario(1e9)
+	sc.Cfg.InitialVc = 2.5
+	h, err := harvester.Assemble(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, ok := h.NewEngine(harvester.Proposed, 1<<20).(*core.Engine)
+	if !ok {
+		b.Fatal("proposed engine is not a core.Engine")
+	}
+	if err := eng.Begin(0, sc.Duration); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := eng.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return eng
+}
+
+// BenchmarkTraceOverhead_Off is the tracing-disabled warm step — the
+// default state every untraced sweep runs in. Engine.Phases is nil, so
+// the engine takes no clock readings; the gate pins this at ZERO
+// allocs/op, the observer-grade contract of the tracing layer.
+func BenchmarkTraceOverhead_Off(b *testing.B) {
+	eng := traceOverheadEngine(b)
+	if eng.Phases != nil {
+		b.Fatal("Phases armed on a fresh engine")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceOverhead_On is the same warm step with phase timing
+// armed (what a traced sweep pays): the engine reads the clock around
+// refactorisations and stability scans only, so the steady-state step
+// cost should be indistinguishable from _Off.
+func BenchmarkTraceOverhead_On(b *testing.B) {
+	eng := traceOverheadEngine(b)
+	eng.Phases = &core.PhaseTimes{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEngineStepRate isolates the proposed engine's raw step
 // throughput (steps per second of CPU) on the composite 10-state system.
 func BenchmarkEngineStepRate(b *testing.B) {

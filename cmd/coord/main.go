@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -57,6 +59,10 @@ func main() {
 		maxTime       = flag.Duration("max-request-time", 0, "per-request wall-clock budget ceiling (0 = 2m)")
 		healthTimeout = flag.Duration("health-timeout", 0, "per-probe worker health-check timeout (0 = 2s)")
 		maxRetries    = flag.Int("max-retries", 0, "stream-resume attempts against a worker that still answers health checks before it is declared lost (0 = 2)")
+		pprofOn       = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the coordinator mux")
+		alertLost     = flag.Float64("alert-lost", 0, "log an alert when cumulative lost workers reach this count (0 = off)")
+		alertP99      = flag.Float64("alert-shard-p99", 0, "log an alert when any worker's shard p99 reaches this many seconds (0 = off)")
+		alertEvery    = flag.Duration("alert-interval", 0, "alert poll interval (0 = 10s)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -86,6 +92,34 @@ func main() {
 		MaxRetries:     *maxRetries,
 	})
 
+	if *alertLost > 0 {
+		coord.WatchLostWorkers(*alertLost)
+	}
+	if *alertP99 > 0 {
+		coord.WatchShardP99(*alertP99)
+	}
+	if *alertLost > 0 || *alertP99 > 0 {
+		coord.Alerts().Notify(func(a harvsim.Alert) {
+			fmt.Fprintf(os.Stderr, "coord: ALERT %s: value %g reached bound %g at %s\n",
+				a.Name, a.Value, a.Bound, a.At.Format(time.RFC3339))
+		})
+		go coord.Alerts().Run(context.Background(), *alertEvery)
+	}
+
+	// -pprof shares the coordinator mux: profiling lives next to
+	// /metrics on the one listener, off by default.
+	handler := coord.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", coord.Handler())
+		handler = mux
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "coord: %v\n", err)
@@ -96,7 +130,7 @@ func main() {
 	fmt.Printf("listening on %s\n", ln.Addr())
 	fmt.Printf("fleet of %d workers: %s\n", len(fleet), strings.Join(fleet, " "))
 
-	hs := &http.Server{Handler: coord.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	hs := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "coord: %v\n", err)
 		os.Exit(1)

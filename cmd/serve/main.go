@@ -6,10 +6,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -47,14 +49,18 @@ func usage() {
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port; the chosen address is printed)")
-		workers   = flag.Int("workers", 0, "per-sweep worker pool cap (0 = GOMAXPROCS)")
-		maxActive = flag.Int("max-active", 0, "concurrently simulating sweeps; further sweeps queue (0 = 2)")
-		maxJobs   = flag.Int("max-jobs", 0, "per-request expanded job budget (0 = 4096)")
-		maxTime   = flag.Duration("max-request-time", 0, "per-request wall-clock budget ceiling (0 = 2m)")
-		cacheCap  = flag.Int("cache-cap", 0, "in-memory cache entries (0 = default capacity)")
-		cacheDir  = flag.String("cache-dir", "", "persist cached results under this directory (warm starts across restarts)")
-		noLock    = flag.Bool("no-lockstep", false, "disable the ensemble-lockstep dispatch server-wide (A/B timing; results are bit-identical either way)")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port; the chosen address is printed)")
+		workers     = flag.Int("workers", 0, "per-sweep worker pool cap (0 = GOMAXPROCS)")
+		maxActive   = flag.Int("max-active", 0, "concurrently simulating sweeps; further sweeps queue (0 = 2)")
+		maxJobs     = flag.Int("max-jobs", 0, "per-request expanded job budget (0 = 4096)")
+		maxTime     = flag.Duration("max-request-time", 0, "per-request wall-clock budget ceiling (0 = 2m)")
+		cacheCap    = flag.Int("cache-cap", 0, "in-memory cache entries (0 = default capacity)")
+		cacheDir    = flag.String("cache-dir", "", "persist cached results under this directory (warm starts across restarts)")
+		noLock      = flag.Bool("no-lockstep", false, "disable the ensemble-lockstep dispatch server-wide (A/B timing; results are bit-identical either way)")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the service mux")
+		alertFailed = flag.Float64("alert-failed", 0, "log an alert when cumulative failed jobs reach this count (0 = off)")
+		alertP99    = flag.Float64("alert-exec-p99", 0, "log an alert when sweep-execution p99 reaches this many seconds (0 = off)")
+		alertEvery  = flag.Duration("alert-interval", 0, "alert poll interval (0 = 10s)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -85,6 +91,35 @@ func main() {
 		NoLockstep:     *noLock,
 	})
 
+	if *alertFailed > 0 {
+		srv.WatchFailed(*alertFailed)
+	}
+	if *alertP99 > 0 {
+		srv.WatchExecP99(*alertP99)
+	}
+	if *alertFailed > 0 || *alertP99 > 0 {
+		srv.Alerts().Notify(func(a harvsim.Alert) {
+			fmt.Fprintf(os.Stderr, "serve: ALERT %s: value %g reached bound %g at %s\n",
+				a.Name, a.Value, a.Bound, a.At.Format(time.RFC3339))
+		})
+		go srv.Alerts().Run(context.Background(), *alertEvery)
+	}
+
+	// -pprof shares the service mux: profiling lives next to /metrics on
+	// the one listener, off by default so a production service exposes
+	// no profiling surface unless asked to.
+	handler := srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv.Handler())
+		handler = mux
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
@@ -97,7 +132,7 @@ func main() {
 		fmt.Printf("cache dir %s\n", *cacheDir)
 	}
 
-	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	hs := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(1)

@@ -26,8 +26,11 @@ import (
 	"strings"
 	"time"
 
+	"sort"
+
 	"harvsim/internal/batch"
 	"harvsim/internal/harvester"
+	"harvsim/internal/tracing"
 	"harvsim/internal/wire"
 )
 
@@ -65,11 +68,22 @@ Remote mode:
                    as NDJSON, and the server's shared cache makes repeats
                    (from any client) free
 
+Tracing:
+  -trace           record a span per sweep phase and job (cache probe,
+                   march, factorisation, stability scan) and render a
+                   per-phase waterfall of the slowest jobs after the
+                   ranking tables; works locally and with -remote
+                   (against a worker or a coordinator fleet, whose
+                   merged trace spans every worker). Results are
+                   bit-identical with and without -trace.
+  -trace-top N     waterfall rows: the N slowest jobs (default 5)
+
 Examples:
   sweep -sim 12 -vc 2.5 -top 5
   sweep -noise-seed 7 -seeds 8 -cache-dir /tmp/harvsim-cache -v
   sweep -bistable -noise-seed 7 -seeds 8 -barrier 8e-6
   sweep -remote http://127.0.0.1:8080 -sim 12 -vc 2.5
+  sweep -remote http://127.0.0.1:8080 -trace -trace-top 3
 `
 
 func usage() {
@@ -129,6 +143,8 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "persist cached results under this directory (implies -cache)")
 		remote   = flag.String("remote", "", "sweep server base URL (e.g. http://127.0.0.1:8080); runs the sweep remotely instead of simulating locally")
 		noLock   = flag.Bool("no-lockstep", false, "disable the ensemble-lockstep dispatch (A/B timing and bisection; results are bit-identical either way)")
+		trace    = flag.Bool("trace", false, "trace the sweep and render a per-phase waterfall of the slowest jobs (results are bit-identical either way)")
+		traceTop = flag.Int("trace-top", 5, "slowest jobs to show in the -trace waterfall")
 		verbose  = flag.Bool("v", false, "verbose: full cache counters and complete ensemble CI table")
 	)
 	flag.Usage = usage
@@ -172,7 +188,7 @@ func main() {
 	}
 
 	if *remote != "" {
-		if err := runRemote(os.Stdout, *remote, *simFor, *vc, *workers, *topK, k3s, *noiseSd, *seeds, bi, *noLock, *verbose); err != nil {
+		if err := runRemote(os.Stdout, *remote, *simFor, *vc, *workers, *topK, k3s, *noiseSd, *seeds, bi, *noLock, *trace, *traceTop, *verbose); err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: remote: %v\n", err)
 			os.Exit(1)
 		}
@@ -242,6 +258,17 @@ func main() {
 		opt.Cache = batch.NewCache(0)
 	}
 
+	// -trace: the local run owns its recorder directly — same span
+	// topology the server records, minus the queue phase it doesn't have.
+	var rec *tracing.Recorder
+	var rootSpan *tracing.Active
+	if *trace {
+		rec = tracing.New("", 0)
+		rootSpan = rec.Start("sweep", "")
+		opt.Trace = rec
+		opt.TraceParent = rootSpan.ID()
+	}
+
 	fmt.Printf("design sweep: %d candidates, %.3g s simulated each, %d workers\n",
 		spec.Size(), *simFor, opt.EffectiveWorkers())
 	start := time.Now()
@@ -251,14 +278,114 @@ func main() {
 		os.Exit(1)
 	}
 	wall := time.Since(start)
+	rootSpan.End()
+	rec.Finish()
 
 	var cacheStats *batch.CacheStats
 	if opt.Cache != nil {
 		cs := opt.Cache.Stats()
 		cacheStats = &cs
 	}
-	if failed := report(os.Stdout, results, wall, *topK, *seeds, *vc, *simFor, cacheStats, *verbose); failed > 0 {
+	failed := report(os.Stdout, results, wall, *topK, *seeds, *vc, *simFor, cacheStats, *verbose)
+	if rec != nil {
+		spans, _ := rec.Snapshot(0)
+		renderTrace(os.Stdout, spans, *traceTop)
+	}
+	if failed > 0 {
 		os.Exit(1)
+	}
+}
+
+// renderTrace prints a completed trace: the sweep-level phases first
+// (root, expand, queue/exec or per-worker shards), then a per-phase
+// waterfall of the slowest jobs — each phase bar positioned and scaled
+// inside its job's wall-clock window, so "slow because cache-miss
+// march" and "slow because factorisation churn" read directly off the
+// terminal.
+func renderTrace(w io.Writer, spans []tracing.Span, top int) {
+	if len(spans) == 0 {
+		fmt.Fprintln(w, "\ntrace: no spans recorded")
+		return
+	}
+	byID := make(map[string]tracing.Span, len(spans))
+	children := make(map[string][]tracing.Span)
+	for _, s := range spans {
+		byID[s.ID] = s
+		children[s.Parent] = append(children[s.Parent], s)
+	}
+	depth := func(s tracing.Span) int {
+		d := 0
+		for {
+			p, ok := byID[s.Parent]
+			if !ok || d >= 8 {
+				return d
+			}
+			d++
+			s = p
+		}
+	}
+
+	fmt.Fprintf(w, "\ntrace %s (%d spans)\n", spans[0].Trace, len(spans))
+	for _, s := range spans {
+		if s.Job >= 0 {
+			continue
+		}
+		label := s.Name
+		if s.Worker != "" {
+			label += " " + s.Worker
+		}
+		fmt.Fprintf(w, "  %-52s %12s\n", strings.Repeat("  ", depth(s))+label, s.Dur.Round(time.Microsecond))
+	}
+
+	var jobs []tracing.Span
+	for _, s := range spans {
+		if s.Name == "job" && s.Job >= 0 {
+			jobs = append(jobs, s)
+		}
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Dur > jobs[j].Dur })
+	if top <= 0 || top > len(jobs) {
+		top = len(jobs)
+	}
+	const width = 32
+	fmt.Fprintf(w, "slowest %d of %d jobs (bars span each job's window):\n", top, len(jobs))
+	for _, js := range jobs[:top] {
+		fmt.Fprintf(w, "  job %-6d %-37s %12s\n", js.Job, "", js.Dur.Round(time.Microsecond))
+		var phases []tracing.Span
+		var walk func(id string)
+		walk = func(id string) {
+			for _, c := range children[id] {
+				phases = append(phases, c)
+				walk(c.ID)
+			}
+		}
+		walk(js.ID)
+		sort.Slice(phases, func(i, j int) bool { return phases[i].Start.Before(phases[j].Start) })
+		for _, p := range phases {
+			lo, n := 0, width
+			if js.Dur > 0 {
+				off := p.Start.Sub(js.Start)
+				if off < 0 {
+					off = 0
+				}
+				lo = int(float64(off) / float64(js.Dur) * width)
+				n = int(float64(p.Dur) / float64(js.Dur) * width)
+			}
+			if lo >= width {
+				lo = width - 1
+			}
+			if n < 1 {
+				n = 1
+			}
+			if lo+n > width {
+				n = width - lo
+			}
+			bar := strings.Repeat(" ", lo) + strings.Repeat("#", n) + strings.Repeat(" ", width-lo-n)
+			fmt.Fprintf(w, "    %-10s [%s] %12s\n", p.Name, bar, p.Dur.Round(time.Microsecond))
+		}
 	}
 }
 
@@ -366,10 +493,13 @@ func remoteSpec(simFor, vc float64, k3s []float64, noiseSd uint64, seeds int, bi
 // any job failed server-side; the caller turns that into a non-zero
 // exit.
 func runRemote(w io.Writer, baseURL string, simFor, vc float64, workers, topK int, k3s []float64,
-	noiseSd uint64, seeds int, bi bistableOpts, noLockstep, verbose bool) error {
+	noiseSd uint64, seeds int, bi bistableOpts, noLockstep, traced bool, traceTop int, verbose bool) error {
 	baseURL = strings.TrimRight(baseURL, "/")
 	req := wire.SweepRequest{Spec: remoteSpec(simFor, vc, k3s, noiseSd, seeds, bi),
 		Workers: workers, NoLockstep: noLockstep}
+	if traced {
+		req.Trace = tracing.NewTraceID()
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
@@ -500,8 +630,43 @@ func runRemote(w io.Writer, baseURL string, simFor, vc float64, workers, topK in
 		}
 		fmt.Fprintln(w)
 	}
-	if failed := report(w, ordered, wall, topK, seeds, vc, simFor, cacheStats, verbose); failed > 0 {
+	failed := report(w, ordered, wall, topK, seeds, vc, simFor, cacheStats, verbose)
+	if traced {
+		// The stream's summary line means the sweep finished; the trace
+		// endpoint seals moments later, and its replay blocks until then.
+		if spans, err := fetchTrace(baseURL, acc.ID); err != nil {
+			fmt.Fprintf(w, "\ntrace: fetch failed: %v\n", err)
+		} else {
+			renderTrace(w, spans, traceTop)
+		}
+	}
+	if failed > 0 {
 		return fmt.Errorf("%d of %d jobs failed server-side", failed, acc.Jobs)
 	}
 	return nil
+}
+
+// fetchTrace replays a finished sweep's span stream into memory — the
+// same NDJSON a coordinator imports per shard, here for rendering.
+func fetchTrace(baseURL, id string) ([]tracing.Span, error) {
+	resp, err := http.Get(baseURL + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("trace endpoint replied %s", resp.Status)
+	}
+	var spans []tracing.Span
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ln wire.SpanLine
+		if json.Unmarshal(sc.Bytes(), &ln) != nil || ln.Type != wire.LineSpan {
+			continue
+		}
+		spans = append(spans, wire.SpanOf(ln))
+	}
+	return spans, sc.Err()
 }

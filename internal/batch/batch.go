@@ -36,6 +36,18 @@ import (
 	"harvsim/internal/core"
 	"harvsim/internal/harvester"
 	"harvsim/internal/implicit"
+	"harvsim/internal/tracing"
+)
+
+// Phase names of the per-job spans a traced run records (Result.Phases
+// keys and internal/tracing span names): the cache probe, the
+// assemble-and-march pass, and the engine's factorisation / stability
+// shares of the march.
+const (
+	PhaseProbe     = "probe"
+	PhaseMarch     = "march"
+	PhaseFactor    = "factor"
+	PhaseStability = "stability"
 )
 
 // DefaultDecimate bounds per-job trace memory when a job does not choose
@@ -189,6 +201,14 @@ type Result struct {
 	// uncacheable jobs.
 	Key string
 
+	// Phases is the job's per-phase wall-time breakdown (PhaseProbe,
+	// PhaseMarch, PhaseFactor, PhaseStability), filled only when the run
+	// is traced (Options.Trace). It is observability data, not physics:
+	// it never enters cache keys, cache snapshots or summaries, and a
+	// traced result is bit-identical to an untraced one on every other
+	// field.
+	Phases map[string]time.Duration
+
 	// Harvester and Engine are retained only under Options.Keep — a
 	// thousand-job sweep must not pin a thousand trace sets.
 	Harvester *harvester.Harvester
@@ -252,6 +272,18 @@ type Options struct {
 	// Like Cache and Pools it is meant to be shared across Run calls by
 	// a long-lived front-end; nil records nothing.
 	Metrics *Metrics
+
+	// Trace, when set, records one span per job plus cache-probe, march
+	// and engine-phase child spans into the sweep's flight recorder, and
+	// fills Result.Phases. nil (the default) is tracing off: no clock
+	// reads, no allocations, and bit-identical results — tracing is
+	// strictly observer-grade (pinned by the determinism tests and the
+	// trace-overhead benchmark gate).
+	Trace *tracing.Recorder
+
+	// TraceParent is the span id job spans are parented to (a server's
+	// exec span, a CLI's sweep root). Ignored when Trace is nil.
+	TraceParent string
 }
 
 // EffectiveWorkers resolves the pool size the options select: Workers
@@ -429,6 +461,11 @@ func jobName(job Job) string {
 // that assembly would accept.
 func runOne(idx int, job Job, opt Options, pool *core.WorkspacePool) Result {
 	res := Result{Index: idx, Name: jobName(job), Job: job}
+	// One span per job, parented to the sweep's exec (or client root)
+	// span. Every tracing call below is a no-op when Options.Trace is
+	// nil — the default, zero-overhead state.
+	jobSpan := opt.Trace.StartJob("job", opt.TraceParent, idx)
+	defer jobSpan.End()
 	if err := job.Scenario.Cfg.Validate(); err != nil {
 		res.Err = err
 		return res
@@ -441,13 +478,15 @@ func runOne(idx int, job Job, opt Options, pool *core.WorkspacePool) Result {
 			snap.fill(&res)
 			res.Cached = true
 			res.Elapsed = time.Since(start)
+			tracePhase(&res, opt, PhaseProbe, jobSpan.ID(), start, res.Elapsed)
 			return res
 		}
+		tracePhase(&res, opt, PhaseProbe, jobSpan.ID(), start, time.Since(start))
 		// Miss: lead the computation for this key, or — when another
 		// worker (possibly in a different Run on the same cache) is
 		// already simulating the identical job — wait for its snapshot.
 		snap, err, shared := c.flightDo(key, func() (Snapshot, error) {
-			runFresh(&res, job, opt, pool)
+			runFresh(&res, job, opt, pool, jobSpan.ID())
 			if res.Err != nil {
 				return Snapshot{}, res.Err
 			}
@@ -470,20 +509,57 @@ func runOne(idx int, job Job, opt Options, pool *core.WorkspacePool) Result {
 		}
 		return res
 	}
-	runFresh(&res, job, opt, pool)
+	runFresh(&res, job, opt, pool, jobSpan.ID())
 	return res
+}
+
+// tracePhase records one measured phase span and accumulates it into
+// the result's breakdown. No-op when the run is untraced.
+func tracePhase(res *Result, opt Options, name, parent string, start time.Time, d time.Duration) {
+	if opt.Trace == nil {
+		return
+	}
+	opt.Trace.Add(name, parent, res.Index, start, d)
+	if res.Phases == nil {
+		res.Phases = make(map[string]time.Duration, 4)
+	}
+	res.Phases[name] += d
 }
 
 // runFresh assembles, runs and summarises a single job. With a pool, the
 // harvester's Jacobian and engine storage comes from recycled same-shape
 // workspaces and is handed back after metric extraction (unless the
 // caller keeps the harvester), amortising assembly across a sweep.
-func runFresh(res *Result, job Job, opt Options, pool *core.WorkspacePool) {
+// parent is the job span the march's trace spans hang off (ignored when
+// the run is untraced).
+func runFresh(res *Result, job Job, opt Options, pool *core.WorkspacePool, parent string) {
 	start := time.Now()
+	march := opt.Trace.StartJob(PhaseMarch, parent, res.Index)
+	var phases *core.PhaseTimes
+	// endMarch closes the march span and records the engine's phase
+	// accumulators under it — called on every exit, failures included,
+	// so a trace shows where a failed job's time went too.
+	endMarch := func() {
+		if opt.Trace == nil {
+			return
+		}
+		march.End()
+		if res.Phases == nil {
+			res.Phases = make(map[string]time.Duration, 4)
+		}
+		res.Phases[PhaseMarch] += time.Since(start)
+		if phases != nil {
+			opt.Trace.Add(PhaseFactor, march.ID(), res.Index, start, phases.Refactor)
+			opt.Trace.Add(PhaseStability, march.ID(), res.Index, start, phases.Stability)
+			res.Phases[PhaseFactor] += phases.Refactor
+			res.Phases[PhaseStability] += phases.Stability
+		}
+	}
 	h, err := harvester.AssembleWith(job.Scenario, pool)
 	if err != nil {
 		res.Err = err
 		res.Elapsed = time.Since(start)
+		endMarch()
 		return
 	}
 	dec := job.Decimate
@@ -491,6 +567,14 @@ func runFresh(res *Result, job Job, opt Options, pool *core.WorkspacePool) {
 		dec = DefaultDecimate
 	}
 	eng := h.NewEngine(job.Engine, dec)
+	if opt.Trace != nil {
+		// Engine-phase timing rides only on traced runs; the proposed
+		// engine is the one with the refactor/stability split to expose.
+		if ce, ok := eng.(*core.Engine); ok {
+			phases = &core.PhaseTimes{}
+			ce.Phases = phases
+		}
+	}
 	if job.Probe != nil {
 		job.Probe(h, eng)
 	}
@@ -500,10 +584,12 @@ func runFresh(res *Result, job Job, opt Options, pool *core.WorkspacePool) {
 	if err := h.RunEngine(eng, job.Scenario.Duration); err != nil {
 		res.Err = err
 		res.Elapsed = time.Since(start)
+		endMarch()
 		h.Release()
 		return
 	}
 	res.Elapsed = time.Since(start)
+	endMarch()
 	opt.Metrics.observeEngineRun(res.Elapsed)
 
 	_, res.FinalVc = h.VcTrace.Last()

@@ -5,6 +5,7 @@ import (
 
 	"harvsim/internal/core"
 	"harvsim/internal/harvester"
+	"harvsim/internal/tracing"
 )
 
 // lockstepUnits partitions the jobs into dispatch units. Jobs that form
@@ -104,24 +105,44 @@ func runUnit(unit []int, jobs []Job, opt Options, results []Result, pool *core.W
 // correctness (Put is idempotent for bit-identical snapshots).
 func runLockstep(unit []int, jobs []Job, opt Options, results []Result) {
 	start := time.Now()
+	// One span per member job (parented like the singleton path's), so a
+	// trace reads identically whether the scheduler grouped or not; the
+	// lockstep members' march spans share the unit's wall time, which is
+	// the honest accounting — they marched as one pass. Every tracing
+	// call is a no-op when Options.Trace is nil.
+	jobSpans := make(map[int]*tracing.Active)
+	startJobSpan := func(i int) *tracing.Active {
+		a, ok := jobSpans[i]
+		if !ok {
+			a = opt.Trace.StartJob("job", opt.TraceParent, i)
+			jobSpans[i] = a
+		}
+		return a
+	}
 	pending := make([]int, 0, len(unit))
 	for _, i := range unit {
 		res := Result{Index: i, Name: jobName(jobs[i]), Job: jobs[i]}
+		jobSpan := startJobSpan(i)
 		if err := jobs[i].Scenario.Cfg.Validate(); err != nil {
 			res.Err = err
 			results[i] = res
+			jobSpan.End()
 			continue
 		}
 		if c := opt.Cache; c != nil && Cacheable(jobs[i], opt) {
+			probeStart := time.Now()
 			key := KeyOf(jobs[i], opt)
 			res.Key = key.String()
 			if snap, ok := c.Get(key); ok {
 				snap.fill(&res)
 				res.Cached = true
 				res.Elapsed = time.Since(start)
+				tracePhase(&res, opt, PhaseProbe, jobSpan.ID(), probeStart, time.Since(probeStart))
 				results[i] = res
+				jobSpan.End()
 				continue
 			}
+			tracePhase(&res, opt, PhaseProbe, jobSpan.ID(), probeStart, time.Since(probeStart))
 		}
 		results[i] = res
 		pending = append(pending, i)
@@ -129,6 +150,7 @@ func runLockstep(unit []int, jobs []Job, opt Options, results []Result) {
 	if len(pending) == 0 {
 		return
 	}
+	marchStart := time.Now()
 
 	scs := make([]harvester.Scenario, len(pending))
 	for k, i := range pending {
@@ -139,16 +161,27 @@ func runLockstep(unit []int, jobs []Job, opt Options, results []Result) {
 		for _, i := range pending {
 			results[i].Err = err
 			results[i].Elapsed = time.Since(start)
+			startJobSpan(i).End()
 		}
 		return
 	}
 	engs := make([]harvester.Engine, len(pending))
+	var phases []*core.PhaseTimes
+	if opt.Trace != nil {
+		phases = make([]*core.PhaseTimes, len(pending))
+	}
 	for k, i := range pending {
 		dec := jobs[i].Decimate
 		if dec == 0 {
 			dec = DefaultDecimate
 		}
 		engs[k] = hs[k].NewEngine(jobs[i].Engine, dec)
+		if phases != nil {
+			if ce, ok := engs[k].(*core.Engine); ok {
+				phases[k] = &core.PhaseTimes{}
+				ce.Phases = phases[k]
+			}
+		}
 		if jobs[i].Probe != nil {
 			jobs[i].Probe(hs[k], engs[k])
 		}
@@ -158,10 +191,29 @@ func runLockstep(unit []int, jobs []Job, opt Options, results []Result) {
 	// One engine-run observation per unit: the members marched as a
 	// single shared-factorisation pass, not len(pending) separate runs.
 	opt.Metrics.observeEngineRun(time.Since(start))
+	marchDur := time.Since(marchStart)
 
 	for k, i := range pending {
 		res := &results[i]
 		res.Elapsed = time.Since(start)
+		if opt.Trace != nil {
+			// Each member's march span carries the unit's full wall
+			// time: the members stepped as one pass, so that is the
+			// honest per-member accounting.
+			jobSpan := startJobSpan(i)
+			marchID := opt.Trace.Add(PhaseMarch, jobSpan.ID(), i, marchStart, marchDur)
+			if res.Phases == nil {
+				res.Phases = make(map[string]time.Duration, 4)
+			}
+			res.Phases[PhaseMarch] += marchDur
+			if p := phases[k]; p != nil {
+				opt.Trace.Add(PhaseFactor, marchID, i, marchStart, p.Refactor)
+				opt.Trace.Add(PhaseStability, marchID, i, marchStart, p.Stability)
+				res.Phases[PhaseFactor] += p.Refactor
+				res.Phases[PhaseStability] += p.Stability
+			}
+			jobSpan.End()
+		}
 		if errs[k] != nil {
 			res.Err = errs[k]
 			hs[k].Release()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"time"
 
 	"harvsim/internal/la"
 	"harvsim/internal/ode"
@@ -51,6 +52,17 @@ type Stats struct {
 	AllocBytes uint64
 }
 
+// PhaseTimes accumulates wall time per engine refresh phase when a run
+// is traced (Engine.Phases). Refactor covers the Jyy factorisation of
+// every linearisation refresh; Stability covers the reduced-matrix
+// stability analyses. The accumulators are observer-grade: attaching
+// them changes no numerical behaviour, and a nil pointer (the default)
+// costs nothing on the warm step.
+type PhaseTimes struct {
+	Refactor  time.Duration
+	Stability time.Duration
+}
+
 // Engine is the proposed linearised state-space simulator: explicit
 // integration (variable-step Adams-Bashforth by default) of the
 // linearised model with terminal-variable elimination at every step.
@@ -83,6 +95,16 @@ type Engine struct {
 	// per Run — cheap for single runs, but process-wide, so leave it off
 	// inside concurrent batch workers).
 	MeasureAllocs bool
+
+	// Phases, when set, accumulates wall time spent in the engine's two
+	// expensive refresh phases — Jyy refactorisation and the reduced-
+	// matrix stability analysis — the engine-level tail of the sweep
+	// fabric's tracing (internal/tracing). nil (the default) records
+	// nothing: the march pays two nil checks per refresh and none per
+	// step, so the warm step's zero-allocation contract is untouched
+	// (pinned by TestTraceOffZeroOverhead and the trace-overhead
+	// benchmark gate).
+	Phases *PhaseTimes
 
 	Stats Stats
 
@@ -214,6 +236,10 @@ func (e *Engine) Workspace() *Workspace { return e.ws }
 // few hundred flops, which is where the technique's speedup lives.
 func (e *Engine) refresh(first bool) (relChange float64, err error) {
 	s := e.Sys
+	var phaseStart time.Time
+	if e.Phases != nil {
+		phaseStart = time.Now()
+	}
 	if e.share != nil {
 		lu, err := e.share.factorOf(s.Jyy)
 		if err != nil {
@@ -225,6 +251,9 @@ func (e *Engine) refresh(first bool) (relChange float64, err error) {
 			return 0, fmt.Errorf("core: terminal elimination matrix singular: %w", err)
 		}
 		e.luRef = e.luYY
+	}
+	if e.Phases != nil {
+		e.Phases.Refactor += time.Since(phaseStart)
 	}
 	if !first {
 		relChange = e.jacChange()
@@ -254,12 +283,19 @@ func (e *Engine) refresh(first bool) (relChange float64, err error) {
 // bookkeeping tail (cap tracking, drift reset, stats) is always
 // per-member, so a served member's counters match its solo run exactly.
 func (e *Engine) refreshStability() error {
+	var phaseStart time.Time
+	if e.Phases != nil {
+		phaseStart = time.Now()
+	}
 	if e.share != nil {
 		if err := e.share.stabilityFor(e); err != nil {
 			return err
 		}
 	} else if err := e.computeStability(); err != nil {
 		return err
+	}
+	if e.Phases != nil {
+		e.Phases.Stability += time.Since(phaseStart)
 	}
 	hs := e.stabCapFor(1)
 	e.hStab = e.hRealFE

@@ -143,6 +143,45 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket
+// counts, the way a scrape-side histogram_quantile would: the estimate
+// is the upper bound of the bucket the target rank falls in — an upper
+// bound on the true quantile, off by at most one bucket width, which is
+// what a threshold alert wants (no false calm). With no observations it
+// returns 0; when the rank falls in the +Inf overflow bucket it returns
+// the highest finite bound (the histogram cannot resolve beyond it).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, ub := range h.bounds {
+		cum += h.counts[i]
+		if cum >= rank {
+			return ub
+		}
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // DefBuckets are the default latency buckets, in seconds: wide enough
 // to span a cache-warm lookup (~sub-millisecond) and a budget-ceiling
 // sweep (two minutes).

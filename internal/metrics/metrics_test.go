@@ -221,3 +221,120 @@ func TestNilInstrumentsAreSafe(t *testing.T) {
 		t.Error("nil instruments reported values")
 	}
 }
+
+// TestHistogramBucketBoundary pins the le-bucket edge rule: an
+// observation exactly equal to a bucket's upper bound lands in that
+// cumulative le bucket (Prometheus buckets are closed above), for every
+// bound in the layout — not in the next bucket up.
+func TestHistogramBucketBoundary(t *testing.T) {
+	bounds := []float64{0.25, 0.5, 1, 2}
+	r := NewRegistry()
+	h := r.Histogram("edge_seconds", "Boundary landings.", bounds)
+	for _, b := range bounds {
+		h.Observe(b)
+	}
+	want := "# HELP edge_seconds Boundary landings.\n" +
+		"# TYPE edge_seconds histogram\n" +
+		"edge_seconds_bucket{le=\"0.25\"} 1\n" +
+		"edge_seconds_bucket{le=\"0.5\"} 2\n" +
+		"edge_seconds_bucket{le=\"1\"} 3\n" +
+		"edge_seconds_bucket{le=\"2\"} 4\n" +
+		"edge_seconds_bucket{le=\"+Inf\"} 4\n" +
+		"edge_seconds_sum 3.75\n" +
+		"edge_seconds_count 4\n"
+	if got := collect(t, r); got != want {
+		t.Errorf("boundary exposition:\n%s\nwant:\n%s", got, want)
+	}
+	// Just past the last finite bound overflows into +Inf only.
+	h.Observe(2.0000001)
+	if got := collect(t, r); !strings.Contains(got, "edge_seconds_bucket{le=\"2\"} 4\n") ||
+		!strings.Contains(got, "edge_seconds_bucket{le=\"+Inf\"} 5\n") {
+		t.Errorf("overflow exposition:\n%s", got)
+	}
+}
+
+// TestHistogramVecConcurrentFirstObservation races many goroutines
+// creating and observing fresh label children. Child ordering in the
+// exposition must come out sorted by label value regardless of creation
+// order, every observation must be accounted, and -race must stay
+// silent.
+func TestHistogramVecConcurrentFirstObservation(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("shard_seconds", "Per-worker latency.", "worker", []float64{1})
+	labels := []string{"w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7"}
+	const perLabel = 25
+	var wg sync.WaitGroup
+	for i := range labels {
+		for k := 0; k < perLabel; k++ {
+			// A fresh goroutine per (label, observation): first
+			// observations of every child race each other.
+			lv := labels[len(labels)-1-i]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				v.With(lv).Observe(0.5)
+			}()
+		}
+	}
+	wg.Wait()
+
+	got := collect(t, r)
+	// Children render sorted by label value, each with the full count.
+	prev := -1
+	for _, lv := range labels {
+		line := "shard_seconds_bucket{worker=\"" + lv + "\",le=\"1\"} 25\n"
+		at := strings.Index(got, line)
+		if at < 0 {
+			t.Fatalf("missing series for %s in:\n%s", lv, got)
+		}
+		if at < prev {
+			t.Fatalf("children not sorted by label value:\n%s", got)
+		}
+		prev = at
+	}
+	for _, lv := range labels {
+		if n := v.With(lv).Count(); n != perLabel {
+			t.Errorf("child %s count = %d; want %d", lv, n, perLabel)
+		}
+	}
+	// Repeated collection is stable: identical text both times.
+	if again := collect(t, r); again != got {
+		t.Error("collect output unstable across scrapes")
+	}
+}
+
+// TestHistogramQuantile pins the bucket-upper-bound quantile estimate
+// the alert rules poll.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "Quantiles.", []float64{0.1, 1, 10})
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty Quantile = %g; want 0", got)
+	}
+	// 90 fast, 9 medium, 1 slow: p50 -> 0.1, p99 -> 10, p100 -> 10.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.05)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.5)
+	}
+	h.Observe(5)
+	cases := []struct{ q, want float64 }{
+		{0, 0.1}, {0.5, 0.1}, {0.9, 0.1}, {0.95, 1}, {0.99, 1}, {0.995, 10}, {1, 10},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g; want %g", c.q, got, c.want)
+		}
+	}
+	// An overflow observation caps the estimate at the highest finite
+	// bound: the histogram cannot resolve beyond its layout.
+	h.Observe(100)
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("overflow Quantile(1) = %g; want 10", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.99); got != 0 {
+		t.Errorf("nil Quantile = %g; want 0", got)
+	}
+}

@@ -197,7 +197,7 @@ func TestCancelReportsActualState(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	del := func(id string) map[string]string {
+	del := func(id string) map[string]any {
 		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
@@ -207,7 +207,7 @@ func TestCancelReportsActualState(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("DELETE %s: %s", id, resp.Status)
 		}
-		var out map[string]string
+		var out map[string]any
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 			t.Fatal(err)
 		}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"harvsim/internal/tracing"
 	"harvsim/internal/wire"
 )
 
@@ -21,6 +22,10 @@ type Run struct {
 	Total   int
 	Started time.Time
 	Cancel  context.CancelFunc
+	// Trace is the sweep's flight recorder, non-nil only when the request
+	// asked for tracing; set before the 202 is written and never after,
+	// so handlers read it without the run lock.
+	Trace *tracing.Recorder
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -79,6 +84,7 @@ func (run *Run) Status(withResults bool) wire.JobStatus {
 	run.mu.Lock()
 	defer run.mu.Unlock()
 	st := wire.JobStatus{
+		V:         wire.Version,
 		ID:        run.ID,
 		State:     wire.StateRunning,
 		Jobs:      run.Total,

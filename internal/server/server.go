@@ -16,6 +16,10 @@
 //	GET    /v1/jobs/{id}/stream NDJSON: one wire.Result line per job as it
 //	                            completes, then one wire.Summary line;
 //	                            ?from=<n> skips the first n replay lines
+//	GET    /v1/jobs/{id}/trace  NDJSON: one wire.SpanLine per finished
+//	                            span of a traced sweep's flight recorder
+//	                            (404 when the sweep was not traced);
+//	                            ?from=<n> resumes past the first n spans
 //	DELETE /v1/jobs/{id}        cancel a running sweep
 //	GET    /v1/cache/stats      shared cache counters
 //	GET    /healthz             liveness
@@ -50,6 +54,7 @@ import (
 
 	"harvsim/internal/batch"
 	"harvsim/internal/metrics"
+	"harvsim/internal/tracing"
 	"harvsim/internal/wire"
 )
 
@@ -117,6 +122,7 @@ type Server struct {
 	registry *metrics.Registry
 	metrics  *serverMetrics
 	batchM   *batch.Metrics
+	alerts   *tracing.Alerts
 }
 
 // New builds a server. The cache (Options.Cache or a fresh in-memory
@@ -136,10 +142,12 @@ func New(opt Options) *Server {
 	s.registry = metrics.NewRegistry()
 	s.batchM = batch.NewMetrics(s.registry)
 	s.metrics = newServerMetrics(s.registry, s.runs, s.cache)
+	s.alerts = tracing.NewAlerts()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
 	mux.Handle("GET /metrics", s.registry.Handler())
@@ -156,6 +164,23 @@ func (s *Server) Metrics() *metrics.Registry { return s.registry }
 // Cache exposes the shared result cache (for priming or inspection by
 // an embedding process).
 func (s *Server) Cache() *batch.Cache { return s.cache }
+
+// Alerts exposes the server's threshold watcher. Arm rules with the
+// Watch* helpers (or Alerts().Watch directly), register sinks with
+// Alerts().Notify, and start Alerts().Run once at boot.
+func (s *Server) Alerts() *tracing.Alerts { return s.alerts }
+
+// WatchFailed arms an alert on the cumulative failed-jobs counter
+// (harvsim_batch_failed_total) reaching bound.
+func (s *Server) WatchFailed(bound float64) {
+	s.alerts.Watch("failed_total", bound, func() float64 { return float64(s.batchM.Failed.Value()) })
+}
+
+// WatchExecP99 arms an alert on the p99 of sweep execution wall time
+// (harvsim_server_sweep_exec_seconds) reaching bound seconds.
+func (s *Server) WatchExecP99(bound float64) {
+	s.alerts.Watch("exec_p99_seconds", bound, func() float64 { return s.metrics.execSeconds.Quantile(0.99) })
+}
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.handler }
@@ -203,6 +228,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	expandStart := time.Now()
 	bspec, err := req.Spec.Compile()
 	if err != nil {
 		code := wire.CodeBadRequest
@@ -227,6 +253,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			"sweep expands to %d jobs, server budget is %d", len(jobs), s.opt.maxJobs())
 		return
 	}
+	expandDur := time.Since(expandStart)
 
 	// Budgets: the client may shrink, never grow, the server's ceiling.
 	// Compare in the millisecond domain first so an absurd BudgetMS
@@ -252,6 +279,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(context.Background(), budget)
 	run := s.runs.New(len(jobs), cancel)
 
+	// Tracing is opt-in per request: a non-empty trace id builds the
+	// sweep's flight recorder. The root span links to the caller's span
+	// (a coordinator's shard span), so fleet traces stay connected; the
+	// expansion above was timed unconditionally (two clock reads on a
+	// cold path) so it can be reported here without re-compiling.
+	var root *tracing.Active
+	if req.Trace != "" {
+		rec := tracing.New(req.Trace, 0)
+		root = rec.Start("sweep", req.Span)
+		rec.Add("expand", root.ID(), -1, expandStart, expandDur)
+		run.Trace = rec
+	}
+
 	opt := batch.Options{
 		Workers:    workers,
 		SettleFrac: req.SettleFrac,
@@ -259,6 +299,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Pools:      s.pools,
 		NoLockstep: req.NoLockstep || s.opt.NoLockstep,
 		Metrics:    s.batchM,
+		Trace:      run.Trace,
 	}
 	// The batch layer stamps each Result with the content-address key it
 	// computed for its cache lookup, so the hook only converts — no
@@ -273,9 +314,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		run.Record(wr)
 	}
-	go s.run(ctx, run, jobs, opt)
+	go s.run(ctx, run, jobs, opt, root)
 
 	WriteJSON(w, http.StatusAccepted, wire.SweepAccepted{
+		V:         wire.Version,
 		ID:        run.ID,
 		Jobs:      len(jobs),
 		StatusURL: "/v1/jobs/" + run.ID,
@@ -284,12 +326,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // run executes a submitted sweep under the concurrency semaphore and
-// finalises its state.
-func (s *Server) run(ctx context.Context, run *Run, jobs []batch.Job, opt batch.Options) {
+// finalises its state. root is the sweep's open trace span (nil when
+// tracing is off); its queue/exec children split the same clock the
+// summary's QueuedMS/WallMS report.
+func (s *Server) run(ctx context.Context, run *Run, jobs []batch.Job, opt batch.Options, root *tracing.Active) {
 	defer run.Cancel()
 	// Queue for an execution slot; an expired budget while queued still
 	// runs batch.Run, which then reports every job cancelled (so streams
 	// and status always resolve).
+	queueStart := time.Now()
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
@@ -301,12 +346,18 @@ func (s *Server) run(ctx context.Context, run *Run, jobs []batch.Job, opt batch.
 	// which both misled clients and would poison the latency histograms
 	// under contention.
 	queued := time.Since(run.Started)
+	run.Trace.Add("queue", root.ID(), -1, queueStart, time.Since(queueStart))
+	execSpan := run.Trace.Start("exec", root.ID())
+	opt.TraceParent = execSpan.ID()
 	execStart := time.Now()
 	results := batch.Run(ctx, jobs, opt)
 	wall := time.Since(execStart)
+	execSpan.End()
 	sum := wire.SummaryOf(results, wall)
 	sum.QueuedMS = queued.Milliseconds()
 	run.Finish(sum)
+	root.End()
+	run.Trace.Finish()
 	s.metrics.finished.Inc()
 	s.metrics.queueSeconds.Observe(queued.Seconds())
 	s.metrics.execSeconds.Observe(wall.Seconds())
@@ -358,7 +409,23 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	} else {
 		run.Cancel()
 	}
-	WriteJSON(w, http.StatusOK, map[string]string{"id": run.ID, "status": status})
+	WriteJSON(w, http.StatusOK, map[string]any{"v": wire.Version, "id": run.ID, "status": status})
+}
+
+// handleTrace replays a sweep's flight recorder as NDJSON span lines
+// (see ServeTrace). A sweep submitted without a trace id has no
+// recorder and reports 404.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	run := s.lookup(w, r)
+	if run == nil {
+		return
+	}
+	if run.Trace == nil {
+		WriteError(w, http.StatusNotFound, wire.CodeNotFound, false,
+			"job %q was not traced (submit with a \"trace\" id)", run.ID)
+		return
+	}
+	ServeTrace(w, r, run.Trace)
 }
 
 // handleCacheStats reports the shared cache's counters.
@@ -369,6 +436,7 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 // handleHealth is the liveness probe.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	WriteJSON(w, http.StatusOK, wire.Health{
+		V:            wire.Version,
 		Status:       "ok",
 		ActiveSweeps: s.runs.Active(),
 		CacheEntries: s.cache.Stats().Entries,

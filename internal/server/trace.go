@@ -1,0 +1,65 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"harvsim/internal/tracing"
+	"harvsim/internal/wire"
+)
+
+// ServeTrace replays a sweep's flight recorder as NDJSON — one
+// wire.SpanLine per finished span, with the same ?from=<n> cursor
+// semantics the result streams use (a resuming client skips the first n
+// spans of the absolute sequence; a cursor behind the ring's eviction
+// horizon is clamped forward). The stream stays open while the sweep
+// runs, delivering spans as they finish, and terminates once the
+// recorder is sealed and fully drained. Shared by the single-host
+// server and the shard coordinator.
+func ServeTrace(w http.ResponseWriter, r *http.Request, rec *tracing.Recorder) {
+	var from int64
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || n < 0 {
+			WriteError(w, http.StatusBadRequest, wire.CodeBadRequest, false,
+				"from must be a non-negative integer, got %q", q)
+			return
+		}
+		from = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// A disconnecting client must unblock the Next wait; Interrupt
+	// serialises with its check-then-wait window, so the wake-up cannot
+	// be lost.
+	ctx := r.Context()
+	stop := func() bool { return ctx.Err() != nil }
+	go func() {
+		<-ctx.Done()
+		rec.Interrupt()
+	}()
+
+	for {
+		spans, next, done := rec.Next(from, stop)
+		if ctx.Err() != nil {
+			return
+		}
+		from = next
+		for _, s := range spans {
+			if enc.Encode(wire.SpanLineOf(s)) != nil {
+				return // client went away
+			}
+		}
+		if flusher != nil && (len(spans) > 0 || done) {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"harvsim/internal/batch"
 	"harvsim/internal/metrics"
 	"harvsim/internal/server"
+	"harvsim/internal/tracing"
 	"harvsim/internal/wire"
 )
 
@@ -93,6 +94,7 @@ type Coordinator struct {
 	handler  http.Handler
 	registry *metrics.Registry
 	metrics  *coordMetrics
+	alerts   *tracing.Alerts
 
 	// mu guards the drain set. Draining is coordinator-local lifecycle
 	// state, not a probe outcome: a draining worker is excluded from new
@@ -124,10 +126,12 @@ func New(opt Options) *Coordinator {
 	}
 	c.registry = metrics.NewRegistry()
 	c.metrics = newCoordMetrics(c.registry, c)
+	c.alerts = tracing.NewAlerts()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweep", c.handleSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", c.handleStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", c.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
 	mux.HandleFunc("GET /v1/workers", c.handleWorkers)
 	mux.HandleFunc("POST /v1/workers/drain", c.handleDrain)
@@ -140,6 +144,26 @@ func New(opt Options) *Coordinator {
 // Metrics exposes the coordinator's metric registry — the same one GET
 // /metrics collects.
 func (c *Coordinator) Metrics() *metrics.Registry { return c.registry }
+
+// Alerts exposes the coordinator's threshold watcher. Arm rules with
+// the Watch* helpers (or Alerts().Watch directly), register sinks with
+// Alerts().Notify, and start Alerts().Run once at boot.
+func (c *Coordinator) Alerts() *tracing.Alerts { return c.alerts }
+
+// WatchLostWorkers arms an alert on the cumulative lost-worker counter
+// (harvsim_coord_lost_workers_total) reaching bound.
+func (c *Coordinator) WatchLostWorkers(bound float64) {
+	c.alerts.Watch("lost_workers", bound, func() float64 { return float64(c.metrics.lostWorkers.Value()) })
+}
+
+// WatchShardP99 arms one alert per configured worker on the p99 of its
+// shard submit-to-summary wall time reaching bound seconds.
+func (c *Coordinator) WatchShardP99(bound float64) {
+	for _, w := range c.opt.Workers {
+		h := c.metrics.shardSeconds.With(w)
+		c.alerts.Watch("shard_p99_seconds:"+w, bound, func() float64 { return h.Quantile(0.99) })
+	}
+}
 
 // isDraining reports whether a worker is marked draining. URLs are
 // compared with trailing slashes trimmed, matching handleDrain's
@@ -231,6 +255,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 			"sweep would expand to %d jobs, coordinator budget is %d", n, c.opt.maxJobs())
 		return
 	}
+	expandStart := time.Now()
 	bspec, err := req.Spec.Compile()
 	if err != nil {
 		code := wire.CodeBadRequest
@@ -245,6 +270,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, http.StatusBadRequest, wire.CodeBadRequest, false, "%v", err)
 		return
 	}
+	expandDur := time.Since(expandStart)
 
 	// Health-check the fleet before accepting: a sweep with nowhere to
 	// run is a 503 now, not a stream of failures later. Draining workers
@@ -272,9 +298,22 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), c.opt.maxRequestTime())
 	run := c.runs.New(len(jobs), cancel)
-	go c.dispatch(ctx, run, req, keys, names, alive)
+
+	// Tracing is opt-in per request, exactly as on a worker: the
+	// coordinator's recorder is the sweep's merge point — every shard's
+	// worker-side spans are imported into it, so one connected trace
+	// spans the whole fleet.
+	var root *tracing.Active
+	if req.Trace != "" {
+		rec := tracing.New(req.Trace, 0)
+		root = rec.Start("sweep", req.Span)
+		rec.Add("expand", root.ID(), -1, expandStart, expandDur)
+		run.Trace = rec
+	}
+	go c.dispatch(ctx, run, req, keys, names, alive, root)
 
 	server.WriteJSON(w, http.StatusAccepted, wire.SweepAccepted{
+		V:         wire.Version,
 		ID:        run.ID,
 		Jobs:      len(jobs),
 		StatusURL: "/v1/jobs/" + run.ID,
@@ -292,6 +331,9 @@ type sweepState struct {
 	keys  []string
 	names []string
 	m     *coordMetrics
+	// rootID is the sweep root span's id — the parent every shard span
+	// links to ("" when the sweep is untraced).
+	rootID string
 
 	wg sync.WaitGroup
 
@@ -346,7 +388,7 @@ func (st *sweepState) fail(indices []int, format string, args ...any) {
 // dispatch fans the sweep out over the fleet and finishes the run with
 // the merged summary. It returns only when every global index has been
 // recorded (delivered by a worker, or failed terminally).
-func (c *Coordinator) dispatch(ctx context.Context, run *server.Run, req wire.SweepRequest, keys, names []string, alive []string) {
+func (c *Coordinator) dispatch(ctx context.Context, run *server.Run, req wire.SweepRequest, keys, names []string, alive []string, root *tracing.Active) {
 	defer run.Cancel()
 	st := &sweepState{
 		run:       run,
@@ -354,6 +396,7 @@ func (c *Coordinator) dispatch(ctx context.Context, run *server.Run, req wire.Sw
 		keys:      keys,
 		names:     names,
 		m:         c.metrics,
+		rootID:    root.ID(),
 		ring:      NewRing(alive),
 		delivered: make(map[int]bool, len(keys)),
 		lost:      make(map[string]bool),
@@ -397,6 +440,8 @@ func (c *Coordinator) dispatch(ctx context.Context, run *server.Run, req wire.Sw
 	summary.Retries = retries
 	summary.LostWorkers = lost
 	run.Finish(summary)
+	root.End()
+	run.Trace.Finish()
 	c.metrics.finished.Inc()
 	c.runs.Retire(run.ID)
 }
@@ -492,6 +537,14 @@ func (c *Coordinator) streamShard(ctx context.Context, st *sweepState, worker st
 func (c *Coordinator) runShard(ctx context.Context, st *sweepState, worker string, indices []int) {
 	defer st.wg.Done()
 	start := time.Now()
+	// The shard span propagates the trace to the worker: the worker's
+	// own root span links back to it via the request's span field, so
+	// importing the worker's trace below yields one connected tree. A
+	// re-shard (loseWorker) opens its own shard span on the survivor.
+	rec := st.run.Trace
+	shardSpan := rec.Start("shard", st.rootID)
+	shardSpan.SetWorker(worker)
+	defer shardSpan.End()
 	req := wire.SweepRequest{
 		Spec:       st.req.Spec,
 		Indices:    indices,
@@ -499,6 +552,8 @@ func (c *Coordinator) runShard(ctx context.Context, st *sweepState, worker strin
 		SettleFrac: st.req.SettleFrac,
 		BudgetMS:   st.req.BudgetMS,
 		NoLockstep: st.req.NoLockstep,
+		Trace:      rec.Trace(),
+		Span:       shardSpan.ID(),
 	}
 	acc, envErr, err := c.postShard(ctx, worker, req)
 	if err != nil {
@@ -520,6 +575,9 @@ func (c *Coordinator) runShard(ctx context.Context, st *sweepState, worker strin
 		err := c.streamShard(ctx, st, worker, acc, &received)
 		if err == nil {
 			c.metrics.shardSeconds.With(worker).Observe(time.Since(start).Seconds())
+			if rec != nil {
+				c.importShardTrace(ctx, rec, worker, acc.ID)
+			}
 			return
 		}
 		if ctx.Err() != nil {
@@ -536,6 +594,36 @@ func (c *Coordinator) runShard(ctx context.Context, st *sweepState, worker strin
 		}
 		c.loseWorker(ctx, st, worker, indices, err)
 		return
+	}
+}
+
+// importShardTrace replays a completed shard's span stream off the
+// worker and merges it into the sweep's recorder. The worker seals its
+// recorder right after its summary line, so this replay terminates
+// promptly; failures are silently dropped — a lost trace fetch must
+// never fail the shard it observed.
+func (c *Coordinator) importShardTrace(ctx context.Context, rec *tracing.Recorder, worker, id string) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/v1/jobs/"+id+"/trace", nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ln wire.SpanLine
+		if json.Unmarshal(sc.Bytes(), &ln) != nil || ln.Type != wire.LineSpan {
+			continue
+		}
+		rec.Import(wire.SpanOf(ln))
 	}
 }
 
@@ -605,6 +693,22 @@ func (c *Coordinator) handleStream(w http.ResponseWriter, r *http.Request) {
 	server.ServeStream(w, r, run)
 }
 
+// handleTrace replays the merged flight recorder as NDJSON span lines —
+// the same contract as a worker's trace endpoint, but spanning the
+// whole fleet (worker spans are imported as each shard completes).
+func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
+	run := c.lookup(w, r)
+	if run == nil {
+		return
+	}
+	if run.Trace == nil {
+		server.WriteError(w, http.StatusNotFound, wire.CodeNotFound, false,
+			"job %q was not traced (submit with a \"trace\" id)", run.ID)
+		return
+	}
+	server.ServeTrace(w, r, run.Trace)
+}
+
 // handleCancel cancels a running coordinated sweep. Shard streams abort
 // via context; the workers' sub-sweeps run to their own budgets. A
 // finished run reports "done" — same contract as the single-host server.
@@ -619,7 +723,7 @@ func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
 	} else {
 		run.Cancel()
 	}
-	server.WriteJSON(w, http.StatusOK, map[string]string{"id": run.ID, "status": status})
+	server.WriteJSON(w, http.StatusOK, map[string]any{"v": wire.Version, "id": run.ID, "status": status})
 }
 
 // handleWorkers reports a live health probe of the configured fleet,
@@ -672,6 +776,7 @@ func (c *Coordinator) handleDrain(w http.ResponseWriter, r *http.Request) {
 // handleHealth is the liveness probe.
 func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
 	server.WriteJSON(w, http.StatusOK, wire.Health{
+		V:            wire.Version,
 		Status:       "ok",
 		ActiveSweeps: c.runs.Active(),
 		Workers:      len(c.opt.Workers),

@@ -298,7 +298,7 @@ func TestCoordinatorCancelReportsDone(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out map[string]string
+	var out map[string]any
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}

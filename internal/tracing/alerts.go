@@ -1,0 +1,125 @@
+package tracing
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Alert is one threshold crossing: a watched signal rose to or above
+// its configured bound.
+type Alert struct {
+	// Name identifies the watched signal (e.g. "failed_total",
+	// "lost_workers", "exec_p99_seconds").
+	Name string
+	// Value is the sampled value that crossed.
+	Value float64
+	// Bound is the configured threshold.
+	Bound float64
+	// At is when the crossing was observed.
+	At time.Time
+}
+
+// rule is one armed watch: a sampler closure and its bound, plus the
+// rising-edge latch so a persistently bad signal fires once per
+// excursion, not once per poll.
+type rule struct {
+	name   string
+	bound  float64
+	sample func() float64
+	firing bool
+}
+
+// Alerts is the registry-level threshold watcher — the push half of the
+// observability layer. Rules sample closures (a counter's Value, a
+// histogram's Quantile) so the watcher stays dependency-free of any
+// particular metrics implementation; Poll evaluates every rule and
+// fires the notify callbacks on rising edges only. All methods are safe
+// for concurrent use and on a nil receiver.
+type Alerts struct {
+	mu     sync.Mutex
+	rules  []*rule
+	notify []func(Alert)
+}
+
+// NewAlerts returns an empty watcher.
+func NewAlerts() *Alerts { return &Alerts{} }
+
+// Watch arms a rule: sample is evaluated on every Poll and an Alert
+// fires when it reaches or exceeds bound (rising edge: the rule re-arms
+// only after the signal drops back below the bound). No-op on nil.
+func (a *Alerts) Watch(name string, bound float64, sample func() float64) {
+	if a == nil || sample == nil {
+		return
+	}
+	a.mu.Lock()
+	a.rules = append(a.rules, &rule{name: name, bound: bound, sample: sample})
+	a.mu.Unlock()
+}
+
+// Notify registers a callback invoked (synchronously, from Poll's
+// caller) for every fired alert. No-op on nil.
+func (a *Alerts) Notify(fn func(Alert)) {
+	if a == nil || fn == nil {
+		return
+	}
+	a.mu.Lock()
+	a.notify = append(a.notify, fn)
+	a.mu.Unlock()
+}
+
+// Poll samples every armed rule once and returns the alerts that fired
+// on this pass (rising edges only), after delivering each to the notify
+// callbacks. Samplers run outside the watcher's lock, so they may take
+// other locks (histogram quantiles do).
+func (a *Alerts) Poll() []Alert {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	rules := append([]*rule(nil), a.rules...)
+	notify := append([]func(Alert){}, a.notify...)
+	a.mu.Unlock()
+
+	now := time.Now()
+	var fired []Alert
+	for _, r := range rules {
+		v := r.sample()
+		crossed := v >= r.bound
+		a.mu.Lock()
+		edge := crossed && !r.firing
+		r.firing = crossed
+		a.mu.Unlock()
+		if edge {
+			fired = append(fired, Alert{Name: r.name, Value: v, Bound: r.bound, At: now})
+		}
+	}
+	for _, al := range fired {
+		for _, fn := range notify {
+			fn(al)
+		}
+	}
+	return fired
+}
+
+// Run polls on the interval until the context is cancelled — the
+// background loop a service binary starts once at boot. 0 selects a
+// 10-second interval. No-op on nil.
+func (a *Alerts) Run(ctx context.Context, interval time.Duration) {
+	if a == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			a.Poll()
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"harvsim/internal/batch"
+	"harvsim/internal/tracing"
 )
 
 // SweepRequest is the body of POST /v1/sweep.
@@ -32,10 +33,20 @@ type SweepRequest struct {
 	// (every job simulates independently). Results are bit-identical
 	// either way; the switch exists for A/B timing and bisection.
 	NoLockstep bool `json:"no_lockstep,omitempty"`
+	// Trace, when non-empty, enables span recording for this sweep under
+	// the given trace id (32 hex chars, W3C-traceparent style). Tracing
+	// is observer-grade: it never changes results, cache keys or
+	// summaries, and the server records nothing when the field is absent.
+	Trace string `json:"trace,omitempty"`
+	// Span is the caller's parent span id (16 hex chars) — the sweep's
+	// root span links to it, so a coordinator's shard span and the
+	// worker-side spans it fans out to form one connected trace.
+	Span string `json:"span,omitempty"`
 }
 
 // SweepAccepted is the 202 response to a submitted sweep.
 type SweepAccepted struct {
+	V         int    `json:"v"`
 	ID        string `json:"id"`
 	Jobs      int    `json:"jobs"`
 	StatusURL string `json:"status_url"`
@@ -46,6 +57,9 @@ type SweepAccepted struct {
 const (
 	LineResult  = "result"
 	LineSummary = "summary"
+	// LineSpan lines appear on GET /v1/jobs/{id}/trace only — never in
+	// the result stream, which stays byte-identical with tracing on.
+	LineSpan = "span"
 )
 
 // Result is the wire form of one job's outcome — an NDJSON stream line
@@ -78,6 +92,11 @@ type Result struct {
 	Transits        int `json:"transits,omitempty"`
 	SettledTransits int `json:"settled_transits,omitempty"`
 	FinalBasin      int `json:"final_basin,omitempty"`
+
+	// SpanMS is the per-phase wall-time breakdown (milliseconds) recorded
+	// when the sweep ran with tracing enabled — observability only, never
+	// part of the job identity, absent when tracing is off.
+	SpanMS map[string]Float `json:"span_ms,omitempty"`
 }
 
 // ResultOf converts a batch result for the wire. The content-address
@@ -106,6 +125,12 @@ func ResultOf(r batch.Result) Result {
 	}
 	if r.Err != nil {
 		out.Error = r.Err.Error()
+	}
+	if len(r.Phases) > 0 {
+		out.SpanMS = make(map[string]Float, len(r.Phases))
+		for name, d := range r.Phases {
+			out.SpanMS[name] = Float(float64(d) / float64(time.Millisecond))
+		}
 	}
 	return out
 }
@@ -180,8 +205,60 @@ func SummaryOf(results []batch.Result, wall time.Duration) Summary {
 	return out
 }
 
+// SpanLine is one NDJSON line of GET /v1/jobs/{id}/trace (Type ==
+// "span"): a finished span from the sweep's flight recorder. Times are
+// integer microseconds so span lines, like result lines, are
+// byte-stable across encoders.
+type SpanLine struct {
+	Type   string `json:"type"`
+	V      int    `json:"v"`
+	Trace  string `json:"trace"`
+	ID     string `json:"id"`
+	Parent string `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	Worker string `json:"worker,omitempty"`
+	// Job is the global expansion index the span belongs to; -1 marks
+	// sweep-level spans (root, expand, queue, exec, shard).
+	Job     int   `json:"job"`
+	StartUS int64 `json:"start_us"`
+	DurUS   int64 `json:"dur_us"`
+}
+
+// SpanLineOf converts a recorded span for the wire.
+func SpanLineOf(s tracing.Span) SpanLine {
+	return SpanLine{
+		Type:    LineSpan,
+		V:       Version,
+		Trace:   s.Trace,
+		ID:      s.ID,
+		Parent:  s.Parent,
+		Name:    s.Name,
+		Worker:  s.Worker,
+		Job:     s.Job,
+		StartUS: s.Start.UnixMicro(),
+		DurUS:   s.Dur.Microseconds(),
+	}
+}
+
+// SpanOf is the inverse of SpanLineOf — the form a coordinator imports
+// worker-side spans through when stitching shard traces into the
+// sweep's own recorder.
+func SpanOf(l SpanLine) tracing.Span {
+	return tracing.Span{
+		Trace:  l.Trace,
+		ID:     l.ID,
+		Parent: l.Parent,
+		Name:   l.Name,
+		Worker: l.Worker,
+		Job:    l.Job,
+		Start:  time.UnixMicro(l.StartUS),
+		Dur:    time.Duration(l.DurUS) * time.Microsecond,
+	}
+}
+
 // JobStatus is the GET /v1/jobs/{id} response.
 type JobStatus struct {
+	V         int      `json:"v"`
 	ID        string   `json:"id"`
 	State     string   `json:"state"` // "running" | "done"
 	Jobs      int      `json:"jobs"`
@@ -202,6 +279,7 @@ const (
 
 // CacheStats is the GET /v1/cache/stats response.
 type CacheStats struct {
+	V         int    `json:"v"`
 	Hits      int64  `json:"hits"`
 	Misses    int64  `json:"misses"`
 	Stale     int64  `json:"stale"`
@@ -216,6 +294,7 @@ type CacheStats struct {
 func CacheStatsOf(c *batch.Cache) CacheStats {
 	s := c.Stats()
 	return CacheStats{
+		V:         Version,
 		Hits:      s.Hits,
 		Misses:    s.Misses,
 		Stale:     s.Stale,
@@ -270,6 +349,7 @@ func Errorf(code string, retryable bool, format string, args ...any) Error {
 // Health is the GET /healthz response. Workers is reported by the
 // coordinator only (its configured fleet size).
 type Health struct {
+	V            int    `json:"v"`
 	Status       string `json:"status"`
 	ActiveSweeps int    `json:"active_sweeps"`
 	CacheEntries int    `json:"cache_entries,omitempty"`

@@ -3,8 +3,8 @@
 # Used by the CI bench job and for regenerating the committed baseline:
 #
 #   ./scripts/bench.sh > bench.out
-#   go run ./cmd/benchgate -parse bench.out -baseline BENCH_9.json            # gate
-#   go run ./cmd/benchgate -parse bench.out -baseline BENCH_9.json -write-baseline  # refresh
+#   go run ./cmd/benchgate -parse bench.out -baseline BENCH_10.json            # gate
+#   go run ./cmd/benchgate -parse bench.out -baseline BENCH_10.json -write-baseline  # refresh
 #
 # The table/sweep benchmarks are full simulations (hundreds of ms per
 # op), so one timed iteration is already stable; the warm-step
@@ -19,3 +19,4 @@ go test -run '^$' -bench 'BenchmarkSweepCache_Warm$' -benchmem -benchtime 50x -c
 go test -run '^$' -bench 'BenchmarkBistableBasinReduction$' -benchmem -benchtime 200x -count 3 .
 go test -run '^$' -bench 'BenchmarkServerSweep_Warm$' -benchmem -benchtime 20x -count 3 .
 go test -run '^$' -bench 'BenchmarkWarmStep$' -benchmem -benchtime 100000x -count 3 .
+go test -run '^$' -bench 'BenchmarkTraceOverhead_(Off|On)$' -benchmem -benchtime 100000x -count 3 .

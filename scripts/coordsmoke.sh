@@ -49,12 +49,20 @@ wait_addr "$WORK/w2.log" worker2; W2=$ADDR
 wait_addr "$WORK/w3.log" worker3; W3=$ADDR
 wait_addr "$WORK/solo.log" solo;  SOLO=$ADDR
 
-"$WORK/coord" -addr 127.0.0.1:0 \
+"$WORK/coord" -addr 127.0.0.1:0 -pprof \
   -workers "http://$W1,http://$W2,http://$W3" > "$WORK/coord.log" 2>&1 &
 COORD_PID=$!
 wait_addr "$WORK/coord.log" coordinator; COORD=$ADDR
 
 curl -fsS "http://$COORD/healthz" | jq -e '.status == "ok" and .workers == 3' > /dev/null
+
+# -pprof mounts net/http/pprof on the coordinator mux: a 1-second CPU
+# profile must come back 200 alongside the API routes.
+PPROF_CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$COORD/debug/pprof/profile?seconds=1")
+if [ "$PPROF_CODE" != "200" ]; then
+  echo "coordsmoke: /debug/pprof/profile returned $PPROF_CODE, want 200" >&2
+  exit 1
+fi
 curl -fsS "http://$COORD/v1/workers" | jq -e '[.workers[].healthy] == [true,true,true]' > /dev/null
 
 # A 64-point ensemble grid: 4 coil resistances x 4 multiplier stages x
@@ -134,7 +142,8 @@ echo "coordsmoke: kill phase OK ($LOST worker lost, $RESHARDED jobs re-sharded)"
 # A fresh 64-point grid (different base_seed, so cold everywhere) runs
 # on the two survivors; mid-stream, worker 2 is DRAINED — unlike the
 # kill above, its in-flight shard must finish and nothing re-shards.
-SPEC2='{"spec":{"v":1,"name":"fleet2","scenario":{"kind":"noise","duration_s":2.0,"noise_flo_hz":40,"noise_fhi_hz":80,"set":{"initial_vc":2.5}},"axes":[{"kind":"float","param":"microgen.rc","values":[100,320,1000,3200]},{"kind":"int","param":"dickson.stages","ints":[3,5,7,9]},{"kind":"seed","base_seed":"777","count":4}]}}'
+TRACE=0123456789abcdef0123456789abcdef
+SPEC2='{"trace":"'$TRACE'","spec":{"v":1,"name":"fleet2","scenario":{"kind":"noise","duration_s":2.0,"noise_flo_hz":40,"noise_fhi_hz":80,"set":{"initial_vc":2.5}},"axes":[{"kind":"float","param":"microgen.rc","values":[100,320,1000,3200]},{"kind":"int","param":"dickson.stages","ints":[3,5,7,9]},{"kind":"seed","base_seed":"777","count":4}]}}'
 
 SOLO_ID2=$(curl -fsS -X POST "http://$SOLO/v1/sweep" -H 'Content-Type: application/json' -d "$SPEC2" | jq -r .id)
 curl -fsSN "http://$SOLO/v1/jobs/$SOLO_ID2/stream" > "$WORK/solo2.ndjson"
@@ -176,6 +185,21 @@ if ! cmp -s "$WORK/solo2.metrics" "$WORK/drain.metrics"; then
   diff "$WORK/solo2.metrics" "$WORK/drain.metrics" >&2 || true
   exit 1
 fi
+
+# The drained sweep was submitted with a trace id: the coordinator's
+# flight recorder must replay one connected trace spanning the fleet —
+# at least one span per job (64) and exactly one root (the sweep span,
+# the only line without a parent link).
+curl -fsSN "http://$COORD/v1/jobs/$ID2/trace" > "$WORK/trace.ndjson"
+SPANS=$(grep -c '"type":"span"' "$WORK/trace.ndjson")
+ROOTS=$(grep '"type":"span"' "$WORK/trace.ndjson" | grep -vc '"parent":')
+jq -es --arg t "$TRACE" 'all(.trace == $t and .v == 1)' "$WORK/trace.ndjson" > /dev/null
+if [ "$SPANS" -lt 64 ] || [ "$ROOTS" != "1" ]; then
+  echo "coordsmoke: trace replay has $SPANS spans / $ROOTS roots, want >= 64 spans and exactly 1 root" >&2
+  head -5 "$WORK/trace.ndjson" >&2
+  exit 1
+fi
+echo "coordsmoke: trace replay OK ($SPANS spans, 1 root)"
 
 # All three lifecycle states visible at once: worker 1 was killed
 # (lost), worker 2 is draining, worker 3 serves on (live).

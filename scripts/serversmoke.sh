@@ -11,7 +11,7 @@ WORK=$(mktemp -d)
 trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 go build -o "$WORK/serve" ./cmd/serve
-"$WORK/serve" -addr 127.0.0.1:0 > "$WORK/serve.log" 2>&1 &
+"$WORK/serve" -addr 127.0.0.1:0 -pprof > "$WORK/serve.log" 2>&1 &
 SERVE_PID=$!
 
 # The server prints its resolved address; wait for it.
@@ -29,6 +29,14 @@ fi
 BASE="http://$ADDR"
 
 curl -fsS "$BASE/healthz" | jq -e '.status == "ok"' > /dev/null
+
+# -pprof mounts net/http/pprof on the service mux: a 1-second CPU
+# profile must come back 200 alongside the API routes.
+PPROF_CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/debug/pprof/profile?seconds=1")
+if [ "$PPROF_CODE" != "200" ]; then
+  echo "serversmoke: /debug/pprof/profile returned $PPROF_CODE, want 200" >&2
+  exit 1
+fi
 
 # The repo's 64-point benchmark grid (bench_test.go batchSweepGrid) in
 # its wire form: coil resistance x multiplier stages, charge scenario.

@@ -12,6 +12,7 @@ package harvsim
 import (
 	"harvsim/internal/server"
 	"harvsim/internal/shard"
+	"harvsim/internal/tracing"
 	"harvsim/internal/wire"
 )
 
@@ -53,6 +54,30 @@ type Coordinator = shard.Coordinator
 // Coordinate builds a shard coordinator over the configured fleet.
 // Mount Handler on any mux, or run the standalone cmd/coord binary.
 func Coordinate(opt CoordinateOptions) *Coordinator { return shard.New(opt) }
+
+// TraceSpan is one recorded interval of a traced sweep: a named phase
+// with trace/parent links, wall-clock start and monotonic duration.
+// Sweeps are traced on request (wire field "trace"); GET
+// /v1/jobs/{id}/trace replays a traced sweep's spans as NDJSON.
+type TraceSpan = tracing.Span
+
+// TraceRecorder is one sweep's flight recorder — a bounded ring of
+// finished spans with an absolute-sequence cursor. Embedding processes
+// normally never build one directly (the service does, per traced
+// request); it is exported for tools that render traces.
+type TraceRecorder = tracing.Recorder
+
+// NewTraceID mints a random hex-32 trace id for a sweep request.
+func NewTraceID() string { return tracing.NewTraceID() }
+
+// Alert is one threshold crossing reported by a service's alert
+// watcher (see SweepService.Alerts / Coordinator.Alerts).
+type Alert = tracing.Alert
+
+// Alerts is the registry-level threshold watcher both services embed:
+// rules sample metric closures, and notify callbacks fire on rising
+// edges only.
+type Alerts = tracing.Alerts
 
 // SweepServer is the previous name of SweepService.
 //
